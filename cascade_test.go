@@ -1,0 +1,279 @@
+package cascade
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.002, 42)
+	run, err := NewRun(RunConfig{
+		Dataset: ds, Model: "TGN", Scheduler: SchedCascade,
+		BaseBatch: 60, Epochs: 2, MemoryDim: 16, TimeDim: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalValLoss <= 0 || math.IsNaN(res.FinalValLoss) {
+		t.Fatalf("val loss %v", res.FinalValLoss)
+	}
+	if res.MeanBatchSize <= 60 {
+		t.Fatalf("Cascade batch size %.1f not above base", res.MeanBatchSize)
+	}
+	if res.PreprocessTime <= 0 || res.LookupTime <= 0 {
+		t.Fatal("Cascade timings missing")
+	}
+	if run.CascadeScheduler() == nil {
+		t.Fatal("no core scheduler exposed")
+	}
+}
+
+func TestFacadeAllSchedulersConstruct(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.001, 7)
+	for _, kind := range SchedulerKinds {
+		run, err := NewRun(RunConfig{
+			Dataset: ds, Model: "JODIE", Scheduler: kind,
+			BaseBatch: 50, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := run.Execute()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.FinalTrainLoss <= 0 || math.IsNaN(res.FinalTrainLoss) {
+			t.Fatalf("%s: loss %v", kind, res.FinalTrainLoss)
+		}
+		if res.DeviceTime <= 0 {
+			t.Fatalf("%s: no simulated device time", kind)
+		}
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := NewRun(RunConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	ds := GenerateDataset("WIKI", 0.001, 7)
+	if _, err := NewRun(RunConfig{Dataset: ds, Model: "TGN", Scheduler: "Bogus", BaseBatch: 10}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if _, err := NewRun(RunConfig{Dataset: ds, Model: "Bogus", Scheduler: SchedTGL, BaseBatch: 10}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestGenerateDatasetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset name accepted")
+		}
+	}()
+	GenerateDataset("NOPE", 1, 1)
+}
+
+func TestDevicePresets(t *testing.T) {
+	if DevicePreset(SchedTGLite).Name == DevicePreset(SchedTGL).Name {
+		t.Fatal("TGLite preset identical to TGL")
+	}
+	if DevicePreset(SchedCascadeLite).Name != DevicePreset(SchedTGLite).Name {
+		t.Fatal("Cascade-Lite should use the TGLite preset")
+	}
+}
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.001, 7)
+	mk := func() *Run {
+		run, err := NewRun(RunConfig{
+			Dataset: ds, Model: "TGN", Scheduler: SchedTGL,
+			BaseBatch: 40, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	trained := mk()
+	if _, err := trained.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trained.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A second run with a different seed restores the trained weights and
+	// must then score edges identically after identical state replay.
+	restored, err := NewRun(RunConfig{
+		Dataset: ds, Model: "TGN", Scheduler: SchedTGL,
+		BaseBatch: 40, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range trained.Model().Params() {
+		rp := restored.Model().Params()[i]
+		for j := range p.T.Value.Data {
+			if p.T.Value.Data[j] != rp.T.Value.Data[j] {
+				t.Fatalf("param %s not restored", p.Name)
+			}
+		}
+	}
+	// Mismatched architecture must be rejected.
+	other, err := NewRun(RunConfig{
+		Dataset: ds, Model: "JODIE", Scheduler: SchedTGL,
+		BaseBatch: 40, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := trained.SaveModel(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadModel(&buf2); err == nil {
+		t.Fatal("cross-architecture load accepted")
+	}
+}
+
+func TestScoreEdges(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.001, 7)
+	run, err := NewRun(RunConfig{
+		Dataset: ds, Model: "JODIE", Scheduler: SchedCascade,
+		BaseBatch: 40, Epochs: 2, MemoryDim: 8, TimeDim: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := run.ScoreEdges([]int32{0, 1}, []int32{2, 3}, []float64{1e6, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	for _, s := range scores {
+		if math.IsNaN(float64(s)) {
+			t.Fatal("NaN score")
+		}
+	}
+	if _, err := run.ScoreEdges([]int32{0}, []int32{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if got, err := run.ScoreEdges(nil, nil, nil); err != nil || got != nil {
+		t.Fatalf("empty scoring: %v %v", got, err)
+	}
+}
+
+func TestTrainDistributedFacade(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.002, 7)
+	res, err := TrainDistributed(DistributedConfig{
+		Dataset: ds, Replicas: 2, Model: "JODIE", UseCascade: true,
+		BaseBatch: 40, Epochs: 2, MemoryDim: 8, TimeDim: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncCount != 2 || len(res.ReplicaLosses) != 2 {
+		t.Fatalf("distributed result %+v", res)
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+	if _, err := TrainDistributed(DistributedConfig{}); err == nil {
+		t.Fatal("empty distributed config accepted")
+	}
+}
+
+func TestRunConfigNodeClassification(t *testing.T) {
+	ds := GenerateDataset("MOOC", 1000.0/411749.0, 7)
+	run, err := NewRun(RunConfig{
+		Dataset: ds, Model: "TGN", Scheduler: SchedCascade,
+		BaseBatch: 40, Epochs: 2, MemoryDim: 8, TimeDim: 4, Seed: 3,
+		Task: TaskNodeClassification,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalValLoss <= 0 || math.IsNaN(res.FinalValLoss) {
+		t.Fatalf("val loss %v", res.FinalValLoss)
+	}
+	m := run.Trainer().ValidateClass()
+	if m.Events == 0 {
+		t.Fatal("no classified events")
+	}
+}
+
+func TestOnBatchHookThroughFacade(t *testing.T) {
+	ds := GenerateDataset("WIKI", 0.001, 7)
+	count := 0
+	run, err := NewRun(RunConfig{
+		Dataset: ds, Model: "JODIE", Scheduler: SchedTGL,
+		BaseBatch: 50, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: 3,
+		OnBatch: func(bt BatchTrace) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("OnBatch never fired")
+	}
+}
+
+func TestHeadlineSpeedupRegression(t *testing.T) {
+	// The paper's headline, as a regression guard at small scale: Cascade
+	// must beat TGL-style fixed batching on simulated device time with
+	// comparable validation loss (the observed margin is ~2.5x / ~1.0; the
+	// thresholds leave room for seed noise).
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	ds := GenerateDataset("WIKI", 2500.0/157474.0, 1)
+	run := func(kind SchedulerKind) *Result {
+		r, err := NewRun(RunConfig{
+			Dataset: ds, Model: "TGN", Scheduler: kind,
+			BaseBatch: 14, Epochs: 6, MemoryDim: 24, TimeDim: 8, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	tgl := run(SchedTGL)
+	casc := run(SchedCascade)
+	total := func(r *Result) float64 {
+		return (r.DeviceTime + r.PreprocessTime + r.LookupTime).Seconds()
+	}
+	speedup := total(tgl) / total(casc)
+	if speedup < 1.3 {
+		t.Fatalf("headline speedup regressed: %.2fx", speedup)
+	}
+	if casc.FinalValLoss > 1.3*tgl.FinalValLoss {
+		t.Fatalf("Cascade degraded loss: %.4f vs %.4f", casc.FinalValLoss, tgl.FinalValLoss)
+	}
+	if casc.MeanBatchSize < 1.5*tgl.MeanBatchSize {
+		t.Fatalf("Cascade batches barely grew: %.0f vs %.0f", casc.MeanBatchSize, tgl.MeanBatchSize)
+	}
+}

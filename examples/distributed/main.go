@@ -1,0 +1,45 @@
+// Distributed: DistTGL-style data-parallel training (related work, §6) —
+// several trainer replicas consume disjoint temporal shards of an SX-FULL
+// profile stream, averaging weights each epoch; every replica runs its own
+// Cascade scheduler, showing that dependency-aware batching composes with
+// data parallelism. The example compares 1, 2 and 4 replicas.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cascade-ml/cascade"
+)
+
+func main() {
+	ds := cascade.GenerateDataset("SX-FULL", 6000.0/63497050.0, 31)
+	fmt.Printf("stream: %d events over %d nodes\n\n", ds.NumEvents(), ds.NumNodes)
+
+	fmt.Printf("%9s %12s %12s %10s\n", "replicas", "wall", "val loss", "syncs")
+	for _, replicas := range []int{1, 2, 4} {
+		res, err := cascade.TrainDistributed(cascade.DistributedConfig{
+			Dataset:    ds,
+			Replicas:   replicas,
+			Model:      "TGN",
+			UseCascade: true,
+			BaseBatch:  20,
+			Epochs:     4,
+			MemoryDim:  24,
+			TimeDim:    8,
+			Seed:       13,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d %12v %12.4f %10d\n",
+			replicas, res.WallTime.Round(1e6), res.ValLoss, res.SyncCount)
+	}
+	fmt.Println("\nEach replica trains its shard under its own Cascade scheduler")
+	fmt.Println("(per-shard dependency table + endurance profile); weights average")
+	fmt.Println("synchronously at epoch boundaries (DistTGL-style data parallelism).")
+	fmt.Println("Replicas run as goroutines, so wall time tracks the machine's core")
+	fmt.Println("count; the validation column shows the accuracy cost of sharding.")
+}

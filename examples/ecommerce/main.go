@@ -1,0 +1,119 @@
+// Ecommerce: the stable-node scenario of §1 and §3.3 — "a consistently
+// popular product in an e-commerce graph may have stable states despite
+// frequent purchases". The example hand-builds a custom CTDG (no generator
+// profile): a few blockbuster products absorb a steady stream of purchases
+// from loyal repeat buyers, while a long tail of products sells rarely.
+// Under plain dependency analysis the blockbusters would cap every batch;
+// the SG-Filter detects that their memories stabilize and unlocks the
+// batches. The example contrasts Cascade-TB (no filter) with full Cascade.
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/cascade-ml/cascade"
+)
+
+func main() {
+	ds := buildPurchaseStream(6000, 400, 40, 99)
+	fmt.Printf("purchase stream: %d purchases, %d customers+products\n\n", ds.NumEvents(), ds.NumNodes)
+
+	base := 30
+	type outcome struct {
+		name        string
+		meanBatch   float64
+		deviceMs    float64
+		stableRatio float64
+		valLoss     float64
+	}
+	var results []outcome
+	for _, kind := range []cascade.SchedulerKind{cascade.SchedTGL, cascade.SchedCascadeTB, cascade.SchedCascade} {
+		run, err := cascade.NewRun(cascade.RunConfig{
+			Dataset:   ds,
+			Model:     "TGN",
+			Scheduler: kind,
+			BaseBatch: base,
+			Epochs:    6,
+			MemoryDim: 32,
+			TimeDim:   8,
+			Seed:      5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := run.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Epochs[len(res.Epochs)-1]
+		results = append(results, outcome{
+			name:        string(kind),
+			meanBatch:   res.MeanBatchSize,
+			deviceMs:    (res.DeviceTime + res.PreprocessTime + res.LookupTime).Seconds() * 1000,
+			stableRatio: last.StableRatio,
+			valLoss:     res.FinalValLoss,
+		})
+	}
+
+	fmt.Printf("%-12s %12s %12s %10s %10s\n", "scheduler", "mean batch", "device ms", "stable", "val loss")
+	for _, r := range results {
+		fmt.Printf("%-12s %12.0f %12.1f %9.1f%% %10.4f\n",
+			r.name, r.meanBatch, r.deviceMs, 100*r.stableRatio, r.valLoss)
+	}
+	fmt.Println("\nThe SG-Filter's win is the gap between Cascade-TB and Cascade:")
+	fmt.Println("blockbuster products stabilize, their temporal dependencies break,")
+	fmt.Println("and batches grow past the hot-node barrier (§3.3, Fig. 4b).")
+}
+
+// buildPurchaseStream constructs the custom CTDG directly with the public
+// Dataset/Event types: customers [0, nCustomers) buy products
+// [nCustomers, nCustomers+nProducts); 70% of purchases hit the top three
+// blockbusters, and buyers re-purchase from their history 60% of the time.
+func buildPurchaseStream(nPurchases, nCustomers, nProducts int, seed int64) *cascade.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const featDim = 8
+	feats := make([]float32, nProducts*featDim)
+	for i := range feats {
+		feats[i] = float32(rng.NormFloat64()) * 0.5
+	}
+	recent := make([][]int32, nCustomers)
+	events := make([]cascade.Event, 0, nPurchases)
+	t := 0.0
+	for i := 0; i < nPurchases; i++ {
+		t += rng.ExpFloat64()
+		customer := int32(rng.Intn(nCustomers))
+		var product int32
+		switch {
+		case len(recent[customer]) > 0 && rng.Float64() < 0.6:
+			product = recent[customer][rng.Intn(len(recent[customer]))]
+		case rng.Float64() < 0.7:
+			product = int32(nCustomers + rng.Intn(3)) // blockbusters
+		default:
+			product = int32(nCustomers + rng.Intn(nProducts))
+		}
+		if len(recent[customer]) < 3 {
+			recent[customer] = append(recent[customer], product)
+		} else {
+			recent[customer][i%3] = product
+		}
+		events = append(events, cascade.Event{
+			Src: customer, Dst: product, Time: t,
+			FeatIdx: product - int32(nCustomers),
+		})
+	}
+	ds := &cascade.Dataset{
+		Name:        "ecommerce",
+		NumNodes:    nCustomers + nProducts,
+		Events:      events,
+		EdgeFeatDim: featDim,
+		EdgeFeats:   feats,
+	}
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

@@ -1,0 +1,72 @@
+// Largescale: the §4.2/§5.5 scalability story — on billion-event graphs the
+// dependency-table build stops being negligible (up to 36.6% of execution
+// time in the paper), so Cascade_EX splits the sequence into chunks, builds
+// per-chunk tables with bounded working sets, and pipelines building with
+// training. This example runs a GDELT-profile stream (scaled) under plain
+// Cascade and Cascade_EX and prints the preprocessing breakdown.
+//
+//	go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cascade-ml/cascade"
+)
+
+func main() {
+	// GDELT profile: few nodes, enormous event count — the densest stream
+	// in Table 2, which is exactly where table building hurts.
+	ds := cascade.GenerateDataset("GDELT", 12000.0/191290882.0, 21)
+	fmt.Printf("news-event stream (GDELT profile): %d events, %d nodes\n\n",
+		ds.NumEvents(), ds.NumNodes)
+
+	type outcome struct {
+		name               string
+		preprocMs, totalMs float64
+		meanBatch          float64
+		valLoss            float64
+	}
+	var results []outcome
+	for _, kind := range []cascade.SchedulerKind{cascade.SchedTGL, cascade.SchedCascade, cascade.SchedCascadeEX} {
+		run, err := cascade.NewRun(cascade.RunConfig{
+			Dataset:   ds,
+			Model:     "TGN",
+			Scheduler: kind,
+			BaseBatch: 56, // proportional analog of the paper's 900
+			ChunkSize: 1500,
+			Epochs:    4,
+			MemoryDim: 32,
+			TimeDim:   8,
+			Seed:      9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := run.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := res.DeviceTime + res.PreprocessTime + res.LookupTime
+		results = append(results, outcome{
+			name:      string(kind),
+			preprocMs: res.PreprocessTime.Seconds() * 1000,
+			totalMs:   total.Seconds() * 1000,
+			meanBatch: res.MeanBatchSize,
+			valLoss:   res.FinalValLoss,
+		})
+	}
+
+	fmt.Printf("%-11s %12s %12s %12s %10s\n", "scheduler", "preproc ms", "total ms", "mean batch", "val loss")
+	for _, r := range results {
+		fmt.Printf("%-11s %12.1f %12.1f %12.0f %10.4f\n",
+			r.name, r.preprocMs, r.totalMs, r.meanBatch, r.valLoss)
+	}
+	base := results[0].totalMs
+	fmt.Printf("\nspeedup over TGL: Cascade %.2fx, Cascade_EX %.2fx\n",
+		base/results[1].totalMs, base/results[2].totalMs)
+	fmt.Println("Cascade_EX builds per-chunk tables lazily and pipelines the next")
+	fmt.Println("chunk's build with the current chunk's training (§4.2), so its")
+	fmt.Println("up-front preprocessing cost is a fraction of plain Cascade's.")
+}

@@ -1,0 +1,3 @@
+module github.com/cascade-ml/cascade
+
+go 1.22

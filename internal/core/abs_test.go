@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+)
+
+func profiledStats(t testing.TB, baseBatch int) (EnduranceStats, *DependencyTable) {
+	t.Helper()
+	d := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: 41, FeatDimOverride: 1, MinEvents: 3000})
+	table := BuildDependencyTable(d.Events, d.NumNodes, 4)
+	return ProfileMaxEndurance(table, d.Events, baseBatch, 50, 7), table
+}
+
+func TestProfileMaxEnduranceSane(t *testing.T) {
+	stats, _ := profiledStats(t, 100)
+	if stats.MrMin < 1 || stats.MrMean < stats.MrMin || stats.MrMax < stats.MrMean {
+		t.Fatalf("ordering violated: %+v", stats)
+	}
+	if stats.NumBaseBatches <= 0 || stats.SampledBatches <= 0 {
+		t.Fatalf("batch counts: %+v", stats)
+	}
+	if stats.SampledBatches > 50 {
+		t.Fatalf("sampled %d > 50", stats.SampledBatches)
+	}
+	// With base batch 100 on a skewed graph, a hot node should be involved
+	// in well over one event per batch.
+	if stats.MrMax < 3 {
+		t.Fatalf("MrMax %v implausibly low for a skewed stream", stats.MrMax)
+	}
+}
+
+func TestProfileMaxEnduranceWorkedExample(t *testing.T) {
+	// Figure 9's flavor: base batch 4 over the paper example. Batch 0
+	// (events 0–3) touches node 1 four times plus its neighbor futures;
+	// node 1's in-range relevant count is 4.
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	stats := ProfileMaxEndurance(table, events, 4, 0, 1)
+	if stats.NumBaseBatches != 3 {
+		t.Fatalf("base batches %d, want 3", stats.NumBaseBatches)
+	}
+	// Batch [0,4): node 1 count 4. Batch [4,8): node a count 4.
+	// Batch [8,12): node 1 count {8,9,10,11} = 4. Max endurance = 4 in all.
+	if stats.MrMax != 4 || stats.MrMin != 4 || stats.MrMean != 4 {
+		t.Fatalf("stats %+v, want all 4", stats)
+	}
+}
+
+func TestABSInitialMaxr(t *testing.T) {
+	a := NewABS(EnduranceStats{MrMax: 20, MrMean: 6, MrMin: 2, NumBaseBatches: 100})
+	// 2·mean = 12 ≤ max → Maxr = 12.
+	if a.Maxr() != 12 {
+		t.Fatalf("initial Maxr %d, want 12", a.Maxr())
+	}
+	// 2·mean above max clamps to max.
+	b := NewABS(EnduranceStats{MrMax: 8, MrMean: 6, MrMin: 2, NumBaseBatches: 100})
+	if b.Maxr() != 8 {
+		t.Fatalf("clamped Maxr %d, want 8", b.Maxr())
+	}
+}
+
+func TestABSDecaysOnPlateau(t *testing.T) {
+	// Stats where Eq. 5's α is large enough for visible decay:
+	// α = 20²/40 = 10, β = 100/10 = 10.
+	a := NewABS(EnduranceStats{MrMax: 40, MrMean: 25, MrMin: 20, NumBaseBatches: 100})
+	start := a.Maxr()
+	// Feed a flat loss: after DecayPeriod batches with ≥ PlateauWindow
+	// non-improving ones, Maxr must decay.
+	decayed := false
+	for i := 0; i < 200; i++ {
+		if _, changed := a.ObserveLoss(1.0); changed {
+			decayed = true
+		}
+	}
+	if !decayed {
+		t.Fatal("no decay on a 200-batch plateau")
+	}
+	if a.Maxr() >= start {
+		t.Fatalf("Maxr %d did not decrease from %d", a.Maxr(), start)
+	}
+	if float64(a.Maxr()) < 20 {
+		t.Fatalf("Maxr %d fell below MrMin", a.Maxr())
+	}
+}
+
+func TestABSHoldsWhileImproving(t *testing.T) {
+	a := NewABS(EnduranceStats{MrMax: 40, MrMean: 25, MrMin: 20, NumBaseBatches: 100})
+	start := a.Maxr()
+	loss := 10.0
+	for i := 0; i < 200; i++ {
+		loss *= 0.99 // strictly improving
+		if _, changed := a.ObserveLoss(loss); changed {
+			t.Fatalf("decayed at batch %d despite improvement", i)
+		}
+	}
+	if a.Maxr() != start {
+		t.Fatal("Maxr moved while loss improved")
+	}
+}
+
+// Property: the decay schedule is monotone non-increasing and always within
+// [MrMin, MrMax], for arbitrary loss streams.
+func TestABSDecayMonotoneAndClamped(t *testing.T) {
+	f := func(losses []float64) bool {
+		a := NewABS(EnduranceStats{MrMax: 25, MrMean: 9, MrMin: 3, NumBaseBatches: 40})
+		prev := a.Maxr()
+		for _, l := range losses {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				l = 1
+			}
+			m, _ := a.ObserveLoss(l)
+			if m > prev || float64(m) > 25 || float64(m) < 3 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestABSEq5Schedule(t *testing.T) {
+	// Verify decayed values follow Eq. 5 exactly: clamp(2·mean − α·log(i/β+1))
+	// with α = mrMin²/mrMax, β = B/α. These stats make α large enough for
+	// the schedule to move (α = 10).
+	stats := EnduranceStats{MrMax: 40, MrMean: 25, MrMin: 20, NumBaseBatches: 100}
+	a := NewABS(stats)
+	alpha := stats.MrMin * stats.MrMin / stats.MrMax
+	beta := float64(stats.NumBaseBatches) / alpha
+	triggers := 0
+	for i := 0; i < 2000; i++ {
+		m, changed := a.ObserveLoss(5.0)
+		if changed {
+			triggers++
+			eq5 := 2*stats.MrMean - alpha*math.Log(float64(a.batchIdx)/beta+1)
+			if eq5 > stats.MrMax {
+				eq5 = stats.MrMax
+			}
+			if eq5 < stats.MrMin {
+				eq5 = stats.MrMin
+			}
+			if int(math.Round(eq5)) != m {
+				t.Fatalf("decay at batch %d = %d, Eq.5 gives %v", a.batchIdx, m, eq5)
+			}
+		}
+	}
+	if triggers == 0 {
+		t.Fatal("no decay observed")
+	}
+	if a.Maxr() != int(stats.MrMin) {
+		t.Fatalf("2000 flat batches should reach MrMin: Maxr %d", a.Maxr())
+	}
+}
+
+func TestABSEpochResetKeepsMaxr(t *testing.T) {
+	a := NewABS(EnduranceStats{MrMax: 30, MrMean: 10, MrMin: 2, NumBaseBatches: 10})
+	for i := 0; i < 500; i++ {
+		a.ObserveLoss(1.0)
+	}
+	decayed := a.Maxr()
+	a.ResetEpoch()
+	if a.Maxr() != decayed {
+		t.Fatal("epoch reset reverted the decayed Maxr")
+	}
+}
+
+func TestProfileEmptySequence(t *testing.T) {
+	stats := ProfileMaxEndurance(&DependencyTable{Entries: make([][]int32, 3)}, nil, 10, 5, 1)
+	if stats.MrMin < 1 {
+		t.Fatalf("degenerate stats %+v", stats)
+	}
+	a := NewABS(stats)
+	if a.Maxr() < 1 {
+		t.Fatal("Maxr below 1")
+	}
+}

@@ -1,0 +1,116 @@
+// Package core implements the paper's contribution: the Cascade
+// dependency-aware adaptive batching framework — the Topology-Aware Graph
+// Diffuser (TG-Diffuser, §4.2), the Similarity-Aware Graph Filter
+// (SG-Filter, §4.3) and the Adaptive Batch Sensor (ABS, §4.4), composed into
+// a batching.Scheduler per Algorithm 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/parallel"
+)
+
+// DependencyTable is the N-entry table of Algorithm 2: entry n lists, in
+// ascending order without duplicates, the indices of every event that may
+// affect node n or rely on it —
+//
+//  1. all events incident to n, and
+//  2. for each incident event e = (n, q), all of q's incident events with
+//     index greater than e's (the neighbor's *future* events; past events of
+//     a neighbor cannot influence n before the connecting event exists).
+//
+// Only 1-hop neighbors are considered: updates propagate further only
+// through intermediate updates, which the table already captures (§4.2).
+type DependencyTable struct {
+	// Entries[n] is node n's sorted unique relevant-event index list.
+	Entries [][]int32
+	// Lo and Hi bound the event-index range the table covers ([Lo, Hi));
+	// a full-sequence table has Lo = 0, Hi = len(events).
+	Lo, Hi int
+}
+
+// BuildDependencyTable runs Algorithm 2 over the whole event sequence,
+// parallelized over nodes (the paper uses OpenMP; we fan goroutines over
+// node shards).
+func BuildDependencyTable(events []graph.Event, numNodes, workers int) *DependencyTable {
+	return buildTableRange(events, numNodes, workers, 0, len(events))
+}
+
+// buildTableRange builds a table restricted to events [lo, hi): only
+// within-range events appear in entries, and neighbor-future closure only
+// sees within-range events. This is the primitive the chunk-based
+// optimization (§4.2) composes.
+func buildTableRange(events []graph.Event, numNodes, workers, lo, hi int) *DependencyTable {
+	if lo < 0 || hi > len(events) || lo > hi {
+		panic(fmt.Sprintf("core: table range [%d,%d) of %d events", lo, hi, len(events)))
+	}
+	// incident[n] = ascending indices of events touching n within [lo, hi).
+	incident := make([][]int32, numNodes)
+	for i := lo; i < hi; i++ {
+		e := events[i]
+		incident[e.Src] = append(incident[e.Src], int32(i))
+		if e.Dst != e.Src {
+			incident[e.Dst] = append(incident[e.Dst], int32(i))
+		}
+	}
+	entries := make([][]int32, numNodes)
+	parallel.For(numNodes, workers, func(n int) {
+		own := incident[n]
+		if len(own) == 0 {
+			return
+		}
+		// Step 1: the node's own events. Step 2: each neighbor's future
+		// events (suffix of the neighbor's incident list past the
+		// connecting event).
+		est := len(own)
+		out := make([]int32, 0, est*2)
+		out = append(out, own...)
+		for _, idx := range own {
+			e := events[idx]
+			q := e.Dst
+			if int32(n) == e.Dst {
+				q = e.Src
+			}
+			qe := incident[q]
+			// First neighbor event strictly after idx.
+			p := sort.Search(len(qe), func(i int) bool { return qe[i] > idx })
+			out = append(out, qe[p:]...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		// Dedupe in place.
+		w := 0
+		for i, v := range out {
+			if i == 0 || v != out[w-1] {
+				out[w] = v
+				w++
+			}
+		}
+		entries[n] = out[:w:w]
+	})
+	return &DependencyTable{Entries: entries, Lo: lo, Hi: hi}
+}
+
+// Entry returns node n's relevant-event list (nil for untouched nodes).
+func (t *DependencyTable) Entry(n int32) []int32 { return t.Entries[n] }
+
+// MemoryBytes reports the table's resident size (Fig. 13c's "DT" bar).
+func (t *DependencyTable) MemoryBytes() int64 {
+	var b int64
+	for _, e := range t.Entries {
+		b += int64(len(e)) * 4
+	}
+	b += int64(len(t.Entries)) * 24 // slice headers
+	return b
+}
+
+// CountInRange returns |Entry(n) ∩ [st, ed)| via binary search — the
+// per-node relevant-event count the ABS profiles (§4.4).
+func (t *DependencyTable) CountInRange(n int32, st, ed int) int {
+	e := t.Entries[n]
+	lo := sort.Search(len(e), func(i int) bool { return int(e[i]) >= st })
+	hi := sort.Search(len(e), func(i int) bool { return int(e[i]) >= ed })
+	return hi - lo
+}

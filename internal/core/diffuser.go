@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+
+	"github.com/cascade-ml/cascade/internal/parallel"
+)
+
+// MaxEventIndex is the sentinel Algorithm 3 assigns to nodes whose relevant
+// events are all processed: every remaining event is safe for them.
+const MaxEventIndex = math.MaxInt
+
+// TGDiffuser executes the training-time half of the Topology-Aware Graph
+// Diffuser (§4.2, Algorithm 3): given per-node pointers into the dependency
+// table and the Maximum Revisit Endurance Maxr, it finds, per batch, the
+// last tolerable event — the earliest event at which some node would exceed
+// Maxr relevant events — and advances the pointers once the batch is cut.
+type TGDiffuser struct {
+	table   *DependencyTable
+	ptrs    []int   // per active node: position within its entry
+	active  []int32 // nodes with non-empty entries in the current table
+	maxr    int
+	workers int
+}
+
+// NewTGDiffuser builds a diffuser over a dependency table. maxr must be ≥ 1
+// (the ABS provides and later adapts it).
+func NewTGDiffuser(table *DependencyTable, maxr, workers int) *TGDiffuser {
+	d := &TGDiffuser{workers: workers}
+	d.SetMaxr(maxr)
+	d.SetTable(table)
+	return d
+}
+
+// SetTable installs a (new chunk's) table and resets all event pointers to
+// its start.
+func (d *TGDiffuser) SetTable(t *DependencyTable) {
+	d.table = t
+	d.active = d.active[:0]
+	for n, e := range t.Entries {
+		if len(e) > 0 {
+			d.active = append(d.active, int32(n))
+		}
+	}
+	if cap(d.ptrs) < len(d.active) {
+		d.ptrs = make([]int, len(d.active))
+	}
+	d.ptrs = d.ptrs[:len(d.active)]
+	for i := range d.ptrs {
+		d.ptrs[i] = 0
+	}
+}
+
+// SetMaxr updates the Maximum Revisit Endurance (floored at 1 — a node must
+// tolerate at least its own next event).
+func (d *TGDiffuser) SetMaxr(maxr int) {
+	if maxr < 1 {
+		maxr = 1
+	}
+	d.maxr = maxr
+}
+
+// Maxr returns the current endurance limit.
+func (d *TGDiffuser) Maxr() int { return d.maxr }
+
+// LastTolerableEvent is Algorithm 3's parallel min-reduction: for each
+// non-stable active node, the candidate boundary is the event at position
+// ptr + Maxr of its entry — the first event at which the node would be
+// involved beyond its endurance; the batch's last event (inclusive) is the
+// minimum candidate. Nodes whose remaining entries all fit within Maxr
+// contribute MaxEventIndex ("all remaining events in their entries can be
+// processed safely"); stable nodes (SG-Filter) are skipped entirely, which
+// is how temporal independence relaxes the boundary (§4.3, Fig. 8b).
+//
+// Note: Algorithm 3 as printed clamps the lookup position to len−1, but the
+// worked examples of Figures 7(b) and 8(b) — node boundaries {1:8, 2:8,
+// 7:9, 8:10, and the SG-Filter expansion from 8 to 10} — are only
+// reproducible with the out-of-range ⇒ MAX_INT rule, which also matches the
+// prose; we implement the figures' semantics. Each non-stable node is thus
+// involved in at most Maxr+1 relevant events per batch (positions
+// ptr … ptr+Maxr inclusive).
+func (d *TGDiffuser) LastTolerableEvent(stable func(int32) bool) int {
+	return parallel.MinIntReduce(len(d.active), d.workers, func(i int) int {
+		n := d.active[i]
+		if stable != nil && stable(n) {
+			return MaxEventIndex
+		}
+		entry := d.table.Entries[n]
+		perm := d.ptrs[i] + d.maxr
+		if perm >= len(entry) {
+			return MaxEventIndex
+		}
+		return int(entry[perm])
+	})
+}
+
+// AdvancePointers consumes every relevant event with index < ed from every
+// node's entry (the pointer-update loop closing Algorithm 3).
+func (d *TGDiffuser) AdvancePointers(ed int) {
+	parallel.For(len(d.active), d.workers, func(i int) {
+		entry := d.table.Entries[d.active[i]]
+		p := d.ptrs[i]
+		for p < len(entry) && int(entry[p]) < ed {
+			p++
+		}
+		d.ptrs[i] = p
+	})
+}
+
+// ActiveNodes returns how many nodes have entries in the current table.
+func (d *TGDiffuser) ActiveNodes() int { return len(d.active) }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+)
+
+func TestDiffuserPaperExampleFig7(t *testing.T) {
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	d := NewTGDiffuser(table, 4, 1)
+	// Figure 7(b): with Maxr = 4 and fresh pointers, node 1 and node 2 both
+	// bound the batch at event 8 (node 7 would allow 9, node 8 would allow
+	// 10); the reduction yields 8.
+	if k := d.LastTolerableEvent(nil); k != 8 {
+		t.Fatalf("last tolerable event = %d, want 8", k)
+	}
+}
+
+func TestDiffuserPaperExampleFig8StableExpansion(t *testing.T) {
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	d := NewTGDiffuser(table, 4, 1)
+	// Figure 8(b): with nodes 1, 2 and 7 stabilized, the barrier at 8
+	// disappears and the boundary expands to 10 (bounded by node 8).
+	stable := map[int32]bool{1: true, 2: true, 7: true}
+	k := d.LastTolerableEvent(func(n int32) bool { return stable[n] })
+	if k != 10 {
+		t.Fatalf("stable-expanded boundary = %d, want 10", k)
+	}
+}
+
+func TestDiffuserPointerAdvance(t *testing.T) {
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	d := NewTGDiffuser(table, 4, 1)
+	k := d.LastTolerableEvent(nil) // 8
+	d.AdvancePointers(k + 1)
+	// Node 1 consumed {0,1,2,3,8}; remaining {9,10,11} all fit in Maxr=4 →
+	// MAX_INT from node 1; the same for everyone else → whole rest fits.
+	if k2 := d.LastTolerableEvent(nil); k2 != MaxEventIndex {
+		t.Fatalf("second boundary = %d, want MaxEventIndex", k2)
+	}
+}
+
+func TestDiffuserSmallMaxrTightensBatches(t *testing.T) {
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	d := NewTGDiffuser(table, 1, 1)
+	// Maxr=1: node 1's candidate is entry[1] = 1.
+	if k := d.LastTolerableEvent(nil); k != 1 {
+		t.Fatalf("Maxr=1 boundary = %d, want 1", k)
+	}
+	d.SetMaxr(0) // floors at 1
+	if d.Maxr() != 1 {
+		t.Fatalf("Maxr floor: %d", d.Maxr())
+	}
+}
+
+func TestDiffuserSetTableResetsPointers(t *testing.T) {
+	events, n := paperExample()
+	table := BuildDependencyTable(events, n, 1)
+	d := NewTGDiffuser(table, 4, 1)
+	d.AdvancePointers(12)
+	if k := d.LastTolerableEvent(nil); k != MaxEventIndex {
+		t.Fatal("pointers not consumed")
+	}
+	d.SetTable(table)
+	if k := d.LastTolerableEvent(nil); k != 8 {
+		t.Fatalf("after SetTable boundary = %d, want 8", k)
+	}
+	if d.ActiveNodes() != 14 {
+		t.Fatalf("active nodes = %d, want 14", d.ActiveNodes())
+	}
+}
+
+// Property: walking a random stream to exhaustion with the diffuser yields
+// batch boundaries that (a) always advance, (b) partition the sequence, and
+// (c) never let a non-stable node participate in more than Maxr+1 relevant
+// events per batch.
+func TestDiffuserEnduranceInvariant(t *testing.T) {
+	f := func(seed int64, nRaw uint16, maxrRaw uint8) bool {
+		nEvents := int(nRaw)%300 + 30
+		maxr := int(maxrRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 20
+		events := make([]graph.Event, nEvents)
+		for i := range events {
+			s := int32(rng.Intn(nodes))
+			dd := int32(rng.Intn(nodes))
+			if dd == s {
+				dd = (dd + 1) % nodes
+			}
+			events[i] = graph.Event{Src: s, Dst: dd, Time: float64(i)}
+		}
+		table := BuildDependencyTable(events, nodes, 2)
+		d := NewTGDiffuser(table, maxr, 2)
+		cursor := 0
+		for cursor < nEvents {
+			k := d.LastTolerableEvent(nil)
+			ed := nEvents
+			if k != MaxEventIndex && k+1 < ed {
+				ed = k + 1
+			}
+			if ed <= cursor {
+				return false // no progress
+			}
+			// Endurance check: relevant events within [cursor, ed) per node.
+			for n := int32(0); n < nodes; n++ {
+				if table.CountInRange(n, cursor, ed) > maxr+1 {
+					return false
+				}
+			}
+			d.AdvancePointers(ed)
+			cursor = ed
+		}
+		return cursor == nEvents
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marking nodes stable can only relax the boundary.
+func TestStableNodesOnlyRelaxBoundary(t *testing.T) {
+	f := func(seed int64, stableMask uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 16
+		events := make([]graph.Event, 120)
+		for i := range events {
+			s := int32(rng.Intn(nodes))
+			dd := int32(rng.Intn(nodes))
+			if dd == s {
+				dd = (dd + 1) % nodes
+			}
+			events[i] = graph.Event{Src: s, Dst: dd, Time: float64(i)}
+		}
+		table := BuildDependencyTable(events, nodes, 1)
+		d := NewTGDiffuser(table, 3, 1)
+		base := d.LastTolerableEvent(nil)
+		withStable := d.LastTolerableEvent(func(n int32) bool {
+			return stableMask&(1<<uint(n)) != 0
+		})
+		return withStable >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

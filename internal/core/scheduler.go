@@ -1,0 +1,250 @@
+package core
+
+import (
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph"
+)
+
+// Options configures a Cascade scheduler.
+type Options struct {
+	// Name labels the scheduler in experiment output; defaults to
+	// "Cascade". The ablation and Lite variants use "Cascade-TB" /
+	// "Cascade-Lite".
+	Name string
+	// BaseBatch is the pre-defined small batch size B0 the ABS profiles
+	// against (the paper uses 900); also the lower-bound granularity the
+	// framework is calibrated to.
+	BaseBatch int
+	// ThetaSim is the SG-Filter similarity threshold (default 0.9).
+	ThetaSim float64
+	// DisableSGFilter turns temporal-independence filtering off — the
+	// paper's Cascade-TB ablation (§5.3).
+	DisableSGFilter bool
+	// ChunkSize > 0 enables the chunk-based preprocessing of §4.2
+	// (Cascade_EX); 0 builds one full-sequence table.
+	ChunkSize int
+	// Pipeline overlaps chunk-table building with training (only
+	// meaningful with ChunkSize > 0).
+	Pipeline bool
+	// Workers bounds CPU parallelism in table building and lookups
+	// (paper: 32 threads); ≤ 0 uses all cores.
+	Workers int
+	// ProfileSamples is how many base batches the ABS inspects (paper: 50).
+	ProfileSamples int
+	// Seed drives profiling batch sampling.
+	Seed int64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Name == "" {
+		o.Name = "Cascade"
+	}
+	if o.BaseBatch <= 0 {
+		o.BaseBatch = 900
+	}
+	if o.ThetaSim == 0 {
+		o.ThetaSim = 0.9
+	}
+	if o.ProfileSamples <= 0 {
+		o.ProfileSamples = 50
+	}
+}
+
+// Scheduler is Cascade's batching.Scheduler (Algorithm 1): preprocessing
+// builds the dependency table and profiles Max Endurance; each Next() call
+// asks the SG-Filter for stable nodes, has the TG-Diffuser reduce the last
+// tolerable event over non-stable nodes, and cuts the batch there; each
+// OnBatchEnd feeds memory updates to the SG-Filter and training loss to the
+// ABS, which may decay Maxr.
+type Scheduler struct {
+	opt      Options
+	events   []graph.Event
+	numNodes int
+
+	diffuser *TGDiffuser
+	filter   *SGFilter
+	abs      *ABS
+
+	chunked  *ChunkedTable // nil when unchunked
+	curChunk int
+	full     *DependencyTable // nil when chunked
+
+	cursor     int
+	maxrPinned bool
+
+	// Timing instrumentation for the Fig. 13(b)/14(c) latency breakdowns.
+	buildTime  time.Duration
+	lookupTime time.Duration
+
+	batchSizes  []int
+	maxrTrace   []int
+	stableTrace []int
+}
+
+var _ batching.Scheduler = (*Scheduler)(nil)
+
+// NewScheduler preprocesses the event sequence (dependency table + ABS
+// profiling, Algorithm 1 lines 5–7) and returns a ready scheduler.
+func NewScheduler(events []graph.Event, numNodes int, opt Options) *Scheduler {
+	opt.fillDefaults()
+	s := &Scheduler{opt: opt, events: events, numNodes: numNodes}
+	start := time.Now()
+	var profileTable *DependencyTable
+	if opt.ChunkSize > 0 {
+		s.chunked = NewChunkedTable(events, numNodes, opt.Workers, opt.ChunkSize, opt.Pipeline)
+		profileTable = s.chunked.Get(0)
+		s.diffuser = NewTGDiffuser(profileTable, 1, opt.Workers)
+	} else {
+		s.full = BuildDependencyTable(events, numNodes, opt.Workers)
+		profileTable = s.full
+		s.diffuser = NewTGDiffuser(s.full, 1, opt.Workers)
+	}
+	stats := ProfileMaxEndurance(profileTable, events, opt.BaseBatch, opt.ProfileSamples, opt.Seed)
+	s.abs = NewABS(stats)
+	s.diffuser.SetMaxr(s.abs.Maxr())
+	s.filter = NewSGFilter(numNodes, opt.ThetaSim)
+	s.buildTime = time.Since(start)
+	return s
+}
+
+// Name implements batching.Scheduler.
+func (s *Scheduler) Name() string { return s.opt.Name }
+
+// Reset implements batching.Scheduler: restart the walk, clear stable flags
+// (Algorithm 1 line 10), keep the decayed Maxr.
+func (s *Scheduler) Reset() {
+	s.cursor = 0
+	s.filter.Reset()
+	s.abs.ResetEpoch()
+	if s.chunked != nil {
+		s.curChunk = 0
+		s.diffuser.SetTable(s.chunked.Get(0))
+	} else {
+		s.diffuser.SetTable(s.full)
+	}
+	s.batchSizes = s.batchSizes[:0]
+	s.maxrTrace = s.maxrTrace[:0]
+	s.stableTrace = s.stableTrace[:0]
+}
+
+// Next implements batching.Scheduler: Algorithm 1 lines 11–14.
+func (s *Scheduler) Next() (batching.Batch, bool) {
+	n := len(s.events)
+	if s.cursor >= n {
+		return batching.Batch{}, false
+	}
+	start := time.Now()
+	// Chunk switch: the final event of a chunk bounds all dependencies.
+	chunkHi := n
+	if s.chunked != nil {
+		_, hi := s.chunked.ChunkBounds(s.curChunk)
+		for s.cursor >= hi { // crossed into the next chunk
+			s.curChunk++
+			_, hi = s.chunked.ChunkBounds(s.curChunk)
+			s.diffuser.SetTable(s.chunked.Get(s.curChunk))
+		}
+		chunkHi = hi
+	}
+
+	var stable func(int32) bool
+	if !s.opt.DisableSGFilter {
+		stable = s.filter.StableFunc()
+	}
+	k := s.diffuser.LastTolerableEvent(stable)
+
+	ed := chunkHi
+	if k != MaxEventIndex && k+1 < ed {
+		ed = k + 1
+	}
+	// Batch floor: Cascade grows batches from the pre-defined small size —
+	// the ABS calibrated that size as "small enough to ensure the training
+	// proceeds without deteriorating the model's performance" (§4.1), so a
+	// dependency boundary tighter than one base batch is never taken.
+	if floor := s.cursor + s.opt.BaseBatch; ed < floor {
+		ed = floor
+		if ed > chunkHi {
+			ed = chunkHi
+		}
+		if ed > n {
+			ed = n
+		}
+	}
+	if ed <= s.cursor { // safety: always make progress
+		ed = s.cursor + 1
+	}
+	s.diffuser.AdvancePointers(ed)
+	st := s.cursor
+	s.cursor = ed
+	s.lookupTime += time.Since(start)
+	s.batchSizes = append(s.batchSizes, ed-st)
+	s.maxrTrace = append(s.maxrTrace, s.diffuser.Maxr())
+	s.stableTrace = append(s.stableTrace, s.filter.StableCount())
+	return batching.Batch{St: st, Ed: ed}, true
+}
+
+// OnBatchEnd implements batching.Scheduler: Algorithm 1 lines 19–20 plus
+// the ABS decay loop of §4.4.
+func (s *Scheduler) OnBatchEnd(fb batching.Feedback) {
+	start := time.Now()
+	if !s.opt.DisableSGFilter && len(fb.Nodes) > 0 && fb.PreMem != nil && fb.PostMem != nil {
+		s.filter.Update(fb.Nodes, fb.PreMem, fb.PostMem)
+	}
+	if maxr, changed := s.abs.ObserveLoss(fb.Loss); changed && !s.maxrPinned {
+		s.diffuser.SetMaxr(maxr)
+	}
+	s.lookupTime += time.Since(start)
+}
+
+// Filter exposes the SG-Filter (stable-ratio accounting, Fig. 5).
+func (s *Scheduler) Filter() *SGFilter { return s.filter }
+
+// Sensor exposes the ABS (Maxr traces).
+func (s *Scheduler) Sensor() *ABS { return s.abs }
+
+// BatchSizes returns the sizes produced since the last Reset (Fig. 12a).
+func (s *Scheduler) BatchSizes() []int { return s.batchSizes }
+
+// MaxrTrace returns the endurance in force at each batch since the last
+// Reset (visualizes the ABS's decay schedule).
+func (s *Scheduler) MaxrTrace() []int { return s.maxrTrace }
+
+// StableCountTrace returns the number of stable-flagged nodes at each batch
+// since the last Reset (visualizes the SG-Filter warming up within an
+// epoch).
+func (s *Scheduler) StableCountTrace() []int { return s.stableTrace }
+
+// BuildTime returns the preprocessing latency (dependency table + ABS
+// profiling) — the "Build Table" bar of Fig. 13(b)/14(c).
+func (s *Scheduler) BuildTime() time.Duration { return s.buildTime }
+
+// LookupTime returns cumulative batching latency (last-event lookups,
+// pointer updates, flag maintenance) — the "Event_Lookup&Updating" bar.
+func (s *Scheduler) LookupTime() time.Duration { return s.lookupTime }
+
+// TableMemoryBytes reports the dependency table's resident size (Fig. 13c
+// "DT").
+func (s *Scheduler) TableMemoryBytes() int64 {
+	if s.chunked != nil {
+		return s.chunked.MemoryBytes()
+	}
+	return s.full.MemoryBytes()
+}
+
+// FlagMemoryBytes reports the stable-flag array's size (Fig. 13c "SF").
+func (s *Scheduler) FlagMemoryBytes() int64 { return s.filter.MemoryBytes() }
+
+// SensorMaxr reports the current Maxr (duck-typed by the trainer's epoch
+// statistics).
+func (s *Scheduler) SensorMaxr() int { return s.abs.Maxr() }
+
+// StableUpdateRatio proxies the SG-Filter's epoch counter (Fig. 5).
+func (s *Scheduler) StableUpdateRatio() float64 { return s.filter.StableUpdateRatio() }
+
+// PinMaxr fixes the endurance at m and bypasses ABS decay from then on —
+// the fixed-Maxr ablation harness uses this to sweep the §4.4 design point.
+func (s *Scheduler) PinMaxr(m int) {
+	s.maxrPinned = true
+	s.diffuser.SetMaxr(m)
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+func schedDataset(t testing.TB) *graph.Dataset {
+	t.Helper()
+	return datagen.Wiki.Generate(datagen.Options{Scale: 0.004, Seed: 51, FeatDimOverride: 1, MinEvents: 4000})
+}
+
+func drain(s batching.Scheduler) []batching.Batch {
+	var out []batching.Batch
+	for {
+		b, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+		s.OnBatchEnd(batching.Feedback{Loss: 1})
+	}
+}
+
+func assertRangePartition(t *testing.T, batches []batching.Batch, n int) {
+	t.Helper()
+	cursor := 0
+	for i, b := range batches {
+		if b.St != cursor {
+			t.Fatalf("batch %d starts at %d, want %d", i, b.St, cursor)
+		}
+		if b.Ed <= b.St {
+			t.Fatalf("batch %d empty [%d,%d)", i, b.St, b.Ed)
+		}
+		cursor = b.Ed
+	}
+	if cursor != n {
+		t.Fatalf("schedule covered %d of %d events", cursor, n)
+	}
+}
+
+func TestSchedulerPartitionsSequence(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1})
+	batches := drain(s)
+	assertRangePartition(t, batches, d.NumEvents())
+	if len(s.BatchSizes()) != len(batches) {
+		t.Fatal("batch size trace length mismatch")
+	}
+}
+
+func TestSchedulerResetReproducesWithoutFeedback(t *testing.T) {
+	// With no runtime feedback (no ABS decay, no stability flags), two
+	// epochs must produce identical batch boundaries.
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1})
+	noFeedback := func() []batching.Batch {
+		var out []batching.Batch
+		for {
+			b, ok := s.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, b)
+		}
+	}
+	b1 := noFeedback()
+	s.Reset()
+	b2 := noFeedback()
+	if len(b1) != len(b2) {
+		t.Fatalf("epochs differ: %d vs %d batches", len(b1), len(b2))
+	}
+	for i := range b1 {
+		if b1[i].St != b2[i].St || b1[i].Ed != b2[i].Ed {
+			t.Fatalf("batch %d differs after reset", i)
+		}
+	}
+}
+
+func TestSchedulerEnduranceRespected(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, DisableSGFilter: true})
+	table := BuildDependencyTable(d.Events, d.NumNodes, 2)
+	maxr := s.Sensor().Maxr()
+	for _, b := range drain(s) {
+		if b.Ed-b.St <= 100 {
+			// Floor batches (≤ base size) are exempt: the base batch is
+			// calibrated as safe regardless of endurance (§4.1).
+			continue
+		}
+		for n := int32(0); int(n) < d.NumNodes; n++ {
+			if c := table.CountInRange(n, b.St, b.Ed); c > maxr+1 {
+				t.Fatalf("node %d involved %d times in [%d,%d), Maxr %d", n, c, b.St, b.Ed, maxr)
+			}
+		}
+	}
+}
+
+func TestSchedulerStableFlagsGrowBatches(t *testing.T) {
+	d := schedDataset(t)
+	base := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, DisableSGFilter: true})
+	baseBatches := drain(base)
+
+	withFilter := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1})
+	// Report every touched node as perfectly stable: pre == post.
+	var filtered []batching.Batch
+	for {
+		b, ok := withFilter.Next()
+		if !ok {
+			break
+		}
+		filtered = append(filtered, b)
+		nodes := touchedNodes(d.Events[b.St:b.Ed])
+		mem := tensor.NewMatrix(len(nodes), 2)
+		for i := range mem.Data {
+			mem.Data[i] = 1
+		}
+		withFilter.OnBatchEnd(batching.Feedback{Loss: 1, Nodes: nodes, PreMem: mem, PostMem: mem.Clone()})
+	}
+	assertRangePartition(t, filtered, d.NumEvents())
+	if batching.MeanBatchSize(filtered) <= batching.MeanBatchSize(baseBatches) {
+		t.Fatalf("all-stable filtering did not grow batches: %.1f vs %.1f",
+			batching.MeanBatchSize(filtered), batching.MeanBatchSize(baseBatches))
+	}
+}
+
+func touchedNodes(events []graph.Event) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, e := range events {
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
+		}
+		if !seen[e.Dst] {
+			seen[e.Dst] = true
+			out = append(out, e.Dst)
+		}
+	}
+	return out
+}
+
+func TestSchedulerChunkedRespectsBoundaries(t *testing.T) {
+	d := schedDataset(t)
+	const chunk = 500
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, ChunkSize: chunk})
+	batches := drain(s)
+	assertRangePartition(t, batches, d.NumEvents())
+	for i, b := range batches {
+		if b.St/chunk != (b.Ed-1)/chunk {
+			t.Fatalf("batch %d [%d,%d) crosses a chunk boundary", i, b.St, b.Ed)
+		}
+	}
+}
+
+func TestSchedulerChunkedPipelinedSameBatches(t *testing.T) {
+	d := schedDataset(t)
+	a := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, ChunkSize: 700})
+	b := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, ChunkSize: 700, Pipeline: true})
+	ba, bb := drain(a), drain(b)
+	if len(ba) != len(bb) {
+		t.Fatalf("pipelining changed batch count: %d vs %d", len(ba), len(bb))
+	}
+	for i := range ba {
+		if ba[i].St != bb[i].St || ba[i].Ed != bb[i].Ed {
+			t.Fatalf("pipelining changed batch %d", i)
+		}
+	}
+}
+
+func TestSchedulerGrowsBatchesBeyondBase(t *testing.T) {
+	// The headline behaviour (Fig. 12a): on a sparse-ish stream Cascade's
+	// mean batch size exceeds the base size.
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 50, Workers: 2, Seed: 1, DisableSGFilter: true})
+	batches := drain(s)
+	if m := batching.MeanBatchSize(batches); m <= 50 {
+		t.Fatalf("mean batch %.1f not above base 50", m)
+	}
+}
+
+func TestSchedulerTimersAndMemory(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1})
+	drain(s)
+	if s.BuildTime() <= 0 {
+		t.Fatal("no build time recorded")
+	}
+	if s.LookupTime() <= 0 {
+		t.Fatal("no lookup time recorded")
+	}
+	if s.TableMemoryBytes() <= 0 || s.FlagMemoryBytes() <= 0 {
+		t.Fatal("memory accounting")
+	}
+	if s.Name() != "Cascade" {
+		t.Fatalf("default name %q", s.Name())
+	}
+}
+
+func TestSchedulerImplementsInterface(t *testing.T) {
+	var _ batching.Scheduler = (*Scheduler)(nil)
+}
+
+func TestSchedulerABSDecayNeverRaisesMaxr(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 50, Workers: 2, Seed: 1})
+	start := s.Sensor().Maxr()
+	// Several epochs of flat loss force decay.
+	for epoch := 0; epoch < 5; epoch++ {
+		s.Reset()
+		for {
+			_, ok := s.Next()
+			if !ok {
+				break
+			}
+			s.OnBatchEnd(batching.Feedback{Loss: 2.0})
+		}
+	}
+	if s.Sensor().Maxr() > start {
+		t.Fatalf("Maxr %d increased from %d under flat loss", s.Sensor().Maxr(), start)
+	}
+}
+
+func TestSchedulerTraces(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1})
+	batches := drain(s)
+	if len(s.MaxrTrace()) != len(batches) || len(s.StableCountTrace()) != len(batches) {
+		t.Fatalf("trace lengths %d/%d for %d batches",
+			len(s.MaxrTrace()), len(s.StableCountTrace()), len(batches))
+	}
+	for _, m := range s.MaxrTrace() {
+		if m < 1 {
+			t.Fatalf("Maxr trace contains %d", m)
+		}
+	}
+	s.Reset()
+	if len(s.MaxrTrace()) != 0 || len(s.StableCountTrace()) != 0 {
+		t.Fatal("traces survived Reset")
+	}
+}
+
+func TestSchedulerChunkedWithStableFeedback(t *testing.T) {
+	// Chunking and the SG-Filter must compose: all-stable feedback grows
+	// batches up to (but never across) chunk boundaries.
+	d := schedDataset(t)
+	const chunk = 600
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 50, Workers: 2, Seed: 1, ChunkSize: chunk})
+	var batches []batching.Batch
+	for {
+		b, ok := s.Next()
+		if !ok {
+			break
+		}
+		batches = append(batches, b)
+		if b.St/chunk != (b.Ed-1)/chunk {
+			t.Fatalf("batch [%d,%d) crosses chunk boundary", b.St, b.Ed)
+		}
+		nodes := touchedNodes(d.Events[b.St:b.Ed])
+		mem := tensor.NewMatrix(len(nodes), 2)
+		for i := range mem.Data {
+			mem.Data[i] = 1
+		}
+		s.OnBatchEnd(batching.Feedback{Loss: 1, Nodes: nodes, PreMem: mem, PostMem: mem.Clone()})
+	}
+	assertRangePartition(t, batches, d.NumEvents())
+	if batching.MeanBatchSize(batches) <= 50 {
+		t.Fatal("stable feedback did not grow chunked batches")
+	}
+}
+
+func TestPinMaxrBypassesABS(t *testing.T) {
+	d := schedDataset(t)
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 50, Workers: 2, Seed: 1})
+	s.PinMaxr(7)
+	if s.diffuser.Maxr() != 7 {
+		t.Fatalf("pinned Maxr %d", s.diffuser.Maxr())
+	}
+	// Flat loss for many batches: the diffuser's Maxr must stay pinned.
+	for epoch := 0; epoch < 3; epoch++ {
+		s.Reset()
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			s.OnBatchEnd(batching.Feedback{Loss: 5})
+		}
+	}
+	if s.diffuser.Maxr() != 7 {
+		t.Fatalf("ABS overrode pinned Maxr: %d", s.diffuser.Maxr())
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/parallel"
+)
+
+// Streaming extension: the paper's introduction motivates continuous
+// retraining — "training schemes that can swiftly adapt TGNNs to the
+// ever-changing landscapes of dynamic graphs". The static dependency table
+// of Algorithm 2 assumes the whole event sequence is known up front; this
+// file adds incremental appends so a deployed trainer can extend the table
+// as new events arrive instead of rebuilding from scratch.
+
+// StreamingTable wraps a DependencyTable with incremental appends that are
+// exactly equivalent to rebuilding over the extended sequence (verified by
+// property test).
+type StreamingTable struct {
+	events   []graph.Event
+	numNodes int
+	workers  int
+	table    *DependencyTable
+	// incident[n] mirrors the per-node ascending incident-event lists the
+	// builder uses, maintained incrementally.
+	incident [][]int32
+}
+
+// NewStreamingTable builds the initial table over the existing prefix.
+func NewStreamingTable(events []graph.Event, numNodes, workers int) *StreamingTable {
+	st := &StreamingTable{
+		events:   append([]graph.Event(nil), events...),
+		numNodes: numNodes,
+		workers:  workers,
+		incident: make([][]int32, numNodes),
+	}
+	for i, e := range st.events {
+		st.incident[e.Src] = append(st.incident[e.Src], int32(i))
+		st.incident[e.Dst] = append(st.incident[e.Dst], int32(i))
+	}
+	st.table = BuildDependencyTable(st.events, numNodes, workers)
+	return st
+}
+
+// Table exposes the current dependency table (valid until the next Append).
+func (s *StreamingTable) Table() *DependencyTable { return s.table }
+
+// Events exposes the current event sequence.
+func (s *StreamingTable) Events() []graph.Event { return s.events }
+
+// Append extends the stream with new chronological events and updates the
+// table incrementally. A new event e = (u, v) at index i affects:
+//
+//  1. u's and v's entries (their own incident event);
+//  2. the entry of every node n that, before i, shared an event with u or
+//     v — e is a "neighbor future event" for n (Algorithm 2 step 2).
+//
+// Returns an error if the new events violate dataset invariants relative to
+// the existing suffix.
+func (s *StreamingTable) Append(newEvents []graph.Event) error {
+	if len(newEvents) == 0 {
+		return nil
+	}
+	lastT := 0.0
+	if len(s.events) > 0 {
+		lastT = s.events[len(s.events)-1].Time
+	}
+	for _, e := range newEvents {
+		if e.Time < lastT {
+			return fmt.Errorf("core: streaming append out of order (t=%v after t=%v)", e.Time, lastT)
+		}
+		lastT = e.Time
+		if e.Src < 0 || int(e.Src) >= s.numNodes || e.Dst < 0 || int(e.Dst) >= s.numNodes {
+			return fmt.Errorf("core: streaming append node out of range (%d→%d)", e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("core: streaming append self loop on %d", e.Src)
+		}
+	}
+
+	// affected[n] accumulates the event indices to merge into n's entry.
+	affected := make(map[int32][]int32)
+	base := len(s.events)
+	for k, e := range newEvents {
+		idx := int32(base + k)
+		// Direct incidence.
+		affected[e.Src] = append(affected[e.Src], idx)
+		affected[e.Dst] = append(affected[e.Dst], idx)
+		// Neighbor-future closure: nodes connected to u or v before idx.
+		// A node n qualifies if it shares some incident event with u (or
+		// v) that precedes idx — i.e. n appears as counterpart in u's
+		// incident list. (The connecting event, being earlier, is already
+		// in both lists.)
+		for _, endpoint := range []int32{e.Src, e.Dst} {
+			for _, prior := range s.incident[endpoint] {
+				pe := s.events[prior]
+				n := pe.Dst
+				if n == endpoint {
+					n = pe.Src
+				}
+				if n != e.Src && n != e.Dst {
+					affected[n] = append(affected[n], idx)
+				}
+			}
+		}
+		// Update incidence as we go so later appended events see earlier
+		// appended ones as "prior".
+		s.events = append(s.events, e)
+		s.incident[e.Src] = append(s.incident[e.Src], idx)
+		s.incident[e.Dst] = append(s.incident[e.Dst], idx)
+	}
+
+	// Merge per node, in parallel.
+	nodes := make([]int32, 0, len(affected))
+	for n := range affected {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	parallel.For(len(nodes), s.workers, func(i int) {
+		n := nodes[i]
+		add := affected[n]
+		sort.Slice(add, func(a, b int) bool { return add[a] < add[b] })
+		entry := s.table.Entries[n]
+		merged := make([]int32, 0, len(entry)+len(add))
+		a, b := 0, 0
+		for a < len(entry) || b < len(add) {
+			switch {
+			case a == len(entry):
+				merged = appendUnique(merged, add[b])
+				b++
+			case b == len(add):
+				merged = appendUnique(merged, entry[a])
+				a++
+			case entry[a] < add[b]:
+				merged = appendUnique(merged, entry[a])
+				a++
+			case entry[a] > add[b]:
+				merged = appendUnique(merged, add[b])
+				b++
+			default:
+				merged = appendUnique(merged, entry[a])
+				a++
+				b++
+			}
+		}
+		s.table.Entries[n] = merged
+	})
+	s.table.Hi = len(s.events)
+	return nil
+}
+
+func appendUnique(dst []int32, v int32) []int32 {
+	if n := len(dst); n > 0 && dst[n-1] == v {
+		return dst
+	}
+	return append(dst, v)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+)
+
+func randomStream(seed int64, n, nodes int) []graph.Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]graph.Event, n)
+	t := 0.0
+	for i := range events {
+		t += rng.Float64()
+		s := int32(rng.Intn(nodes))
+		d := int32(rng.Intn(nodes))
+		if d == s {
+			d = (d + 1) % int32(nodes)
+		}
+		events[i] = graph.Event{Src: s, Dst: d, Time: t}
+	}
+	return events
+}
+
+// The core property: appending incrementally must equal rebuilding over the
+// whole sequence.
+func TestStreamingAppendEqualsRebuild(t *testing.T) {
+	f := func(seed int64, prefixRaw, suffixRaw uint8) bool {
+		prefix := int(prefixRaw)%120 + 5
+		suffix := int(suffixRaw)%80 + 1
+		const nodes = 18
+		all := randomStream(seed, prefix+suffix, nodes)
+
+		st := NewStreamingTable(all[:prefix], nodes, 2)
+		if err := st.Append(all[prefix:]); err != nil {
+			return false
+		}
+		want := BuildDependencyTable(all, nodes, 1)
+		for n := 0; n < nodes; n++ {
+			a, b := st.Table().Entries[n], want.Entries[n]
+			if len(a) == 0 && len(b) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return len(st.Events()) == len(all) && st.Table().Hi == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingAppendPaperExample(t *testing.T) {
+	events, n := paperExample()
+	// Build on the first 8 events, then stream the rest.
+	st := NewStreamingTable(events[:8], n, 1)
+	if err := st.Append(events[8:]); err != nil {
+		t.Fatal(err)
+	}
+	want := BuildDependencyTable(events, n, 1)
+	for node := int32(0); int(node) < n; node++ {
+		a, b := st.Table().Entry(node), want.Entry(node)
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("node %d: streamed %v, rebuilt %v", node, a, b)
+		}
+	}
+}
+
+func TestStreamingAppendMultipleRounds(t *testing.T) {
+	const nodes = 15
+	all := randomStream(9, 90, nodes)
+	st := NewStreamingTable(all[:30], nodes, 1)
+	for lo := 30; lo < 90; lo += 10 {
+		if err := st.Append(all[lo : lo+10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := BuildDependencyTable(all, nodes, 1)
+	for n := 0; n < nodes; n++ {
+		a, b := st.Table().Entries[n], want.Entries[n]
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("node %d after rounds: %v vs %v", n, a, b)
+		}
+	}
+}
+
+func TestStreamingAppendValidation(t *testing.T) {
+	events, n := paperExample()
+	st := NewStreamingTable(events, n, 1)
+	if err := st.Append([]graph.Event{{Src: 0, Dst: 1, Time: -1}}); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if err := st.Append([]graph.Event{{Src: 5, Dst: 5, Time: 99}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := st.Append([]graph.Event{{Src: 0, Dst: 99, Time: 99}}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := st.Append(nil); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+}
+
+func TestStreamingTableDrivesDiffuser(t *testing.T) {
+	// A diffuser over a streamed table behaves like one over a rebuilt
+	// table for the paper example.
+	events, n := paperExample()
+	st := NewStreamingTable(events[:6], n, 1)
+	if err := st.Append(events[6:]); err != nil {
+		t.Fatal(err)
+	}
+	d := NewTGDiffuser(st.Table(), 4, 1)
+	if k := d.LastTolerableEvent(nil); k != 8 {
+		t.Fatalf("streamed-table boundary = %d, want 8", k)
+	}
+}

@@ -1,0 +1,168 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/train"
+)
+
+func distData(t testing.TB) Config {
+	t.Helper()
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: 81, FeatDimOverride: 8, MinEvents: 1600})
+	return Config{
+		Dataset: ds, Replicas: 2, Model: "TGN", BaseBatch: 40,
+		Epochs: 3, MemoryDim: 16, TimeDim: 4, Seed: 5, Workers: 1,
+	}
+}
+
+func TestDistributedTrainsAndSyncs(t *testing.T) {
+	cfg := distData(t)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncCount != cfg.Epochs {
+		t.Fatalf("syncs %d, want %d", res.SyncCount, cfg.Epochs)
+	}
+	if len(res.ReplicaLosses) != 2 {
+		t.Fatalf("replica losses %d", len(res.ReplicaLosses))
+	}
+	for r, losses := range res.ReplicaLosses {
+		if len(losses) != cfg.Epochs {
+			t.Fatalf("replica %d: %d epochs", r, len(losses))
+		}
+		for _, l := range losses {
+			if l <= 0 || math.IsNaN(l) {
+				t.Fatalf("replica %d loss %v", r, l)
+			}
+		}
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+}
+
+func TestDistributedSingleReplicaMatchesSolo(t *testing.T) {
+	cfg := distData(t)
+	cfg.Replicas = 1
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncCount != 0 {
+		t.Fatal("single replica should not sync")
+	}
+	last := res.ReplicaLosses[0][len(res.ReplicaLosses[0])-1]
+	if last >= res.ReplicaLosses[0][0] {
+		t.Fatalf("single replica did not learn: %v", res.ReplicaLosses[0])
+	}
+}
+
+func TestDistributedWithCascadeScheduler(t *testing.T) {
+	cfg := distData(t)
+	cfg.Scheduler = SchedCascade
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := Train(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := distData(t)
+	cfg.Replicas = 0
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	cfg = distData(t)
+	cfg.BaseBatch = 0
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("zero base batch accepted")
+	}
+	cfg = distData(t)
+	cfg.Model = "Bogus"
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestShardsPartitionAndPreserveOrder(t *testing.T) {
+	cfg := distData(t)
+	tr, _ := cfg.Dataset.Split(0.8)
+	shards := shardEvents(tr, 3)
+	total := 0
+	var lastTime float64
+	for _, sh := range shards {
+		total += sh.NumEvents()
+		for _, e := range sh.Events {
+			if e.Time < lastTime {
+				t.Fatal("shards broke chronological order")
+			}
+			lastTime = e.Time
+		}
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("invalid shard: %v", err)
+		}
+	}
+	if total != tr.NumEvents() {
+		t.Fatalf("shards cover %d of %d events", total, tr.NumEvents())
+	}
+}
+
+func TestAverageParamsUnit(t *testing.T) {
+	// The invariant: averaging 2 and 4 yields 3 on both replicas, for every
+	// parameter including the predictor head.
+	cfg := distData(t)
+	repl := buildTestReplicas(t, cfg)
+	for _, r := range repl {
+		for _, p := range append(r.model.Params(), r.trainer.Predictor().Params()...) {
+			p.T.Value.Fill(2)
+		}
+	}
+	for _, p := range append(repl[1].model.Params(), repl[1].trainer.Predictor().Params()...) {
+		p.T.Value.Fill(4)
+	}
+	averageParams(repl)
+	for ri, r := range repl {
+		for _, p := range append(r.model.Params(), r.trainer.Predictor().Params()...) {
+			for _, v := range p.T.Value.Data {
+				if v != 3 {
+					t.Fatalf("replica %d param %s = %v, want 3", ri, p.Name, v)
+				}
+			}
+		}
+	}
+}
+
+// buildTestReplicas constructs replicas the way Train does, for unit tests.
+func buildTestReplicas(t *testing.T, cfg Config) []replica {
+	t.Helper()
+	tr, _ := cfg.Dataset.Split(0.8)
+	shards := shardEvents(tr, 2)
+	out := make([]replica, 2)
+	for r := range out {
+		model, err := models.New(cfg.Model, cfg.Dataset, cfg.MemoryDim, cfg.TimeDim, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainer, err := train.NewTrainer(train.Config{
+			Model: model,
+			Sched: batching.NewFixed("TGL", shards[r].NumEvents(), cfg.BaseBatch),
+			Data:  shards[r], Seed: cfg.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[r] = replica{model: model, trainer: trainer}
+	}
+	return out
+}

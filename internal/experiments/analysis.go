@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"github.com/cascade-ml/cascade"
+)
+
+// Fig13a regenerates Figure 13(a): Cascade latency and validation loss
+// under different SG-Filter similarity thresholds, normalized to TGL.
+func (r *Runner) Fig13a() error {
+	r.printf("Fig 13a: θsim sensitivity (normalized to TGL)\n")
+	r.printf("  %-9s %-6s %6s | %10s %10s\n", "dataset", "model", "θsim", "norm lat", "norm loss")
+	for _, dsName := range []string{"WIKI", "REDDIT", "WIKI-TALK"} {
+		for _, model := range fig12Models {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			for _, theta := range []float64{0.85, 0.9, 0.95} {
+				c := r.run(model, dsName, cascade.SchedCascade, 0, theta)
+				r.printf("  %-9s %-6s %6.2f | %10.3f %10.3f\n", dsName, model, theta,
+					safeDiv(c.DeviceSec, tgl.DeviceSec), safeDiv(c.ValLoss, tgl.ValLoss))
+			}
+		}
+	}
+	return nil
+}
+
+// Fig13b regenerates Figure 13(b): Cascade's latency breakdown — dependency
+// table building, event lookup & pointer updating, and model training.
+func (r *Runner) Fig13b() error {
+	r.printf("Fig 13b: Cascade latency breakdown\n")
+	r.printf("  %-9s %-6s | %11s %13s %10s\n", "dataset", "model", "build table", "lookup+update", "training")
+	for _, dsName := range []string{"WIKI", "REDDIT", "WIKI-TALK"} {
+		for _, model := range fig12Models {
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			total := c.DeviceSec
+			if total == 0 {
+				total = 1
+			}
+			train := total - c.PreprocSec - c.LookupSec
+			r.printf("  %-9s %-6s | %10.2f%% %12.2f%% %9.2f%%\n", dsName, model,
+				100*c.PreprocSec/total, 100*c.LookupSec/total, 100*train/total)
+		}
+	}
+	return nil
+}
+
+// Fig13c regenerates Figure 13(c): the space-consumption ratio of Cascade's
+// structures (dependency table DT, stable flags SF) against the training
+// state (graph adjacency, edge features, model weights, mailbox).
+func (r *Runner) Fig13c() error {
+	r.printf("Fig 13c: space breakdown (DT = dependency table, SF = stable flags)\n")
+	r.printf("  %-9s %-6s | %7s %7s %7s %9s %7s %8s\n",
+		"dataset", "model", "DT", "SF", "graph", "edgefeat", "model", "mailbox")
+	for _, dsName := range []string{"WIKI", "REDDIT", "WIKI-TALK"} {
+		ds := r.dataset(dsName)
+		for _, modelName := range fig12Models {
+			// Build the Cascade structures and model state directly; the
+			// byte accounting needs instances, not training.
+			run, err := cascade.NewRun(cascade.RunConfig{
+				Dataset: ds, Model: modelName, Scheduler: cascade.SchedCascade,
+				BaseBatch: r.baseFor(dsName), Epochs: 1,
+				MemoryDim: r.Set.MemoryDim, TimeDim: r.Set.TimeDim,
+				Workers: r.Set.Workers, Seed: r.Set.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			comp := run.Model().MemoryBytes()
+			dt := run.CascadeScheduler().TableMemoryBytes()
+			sf := run.CascadeScheduler().FlagMemoryBytes()
+			total := float64(dt + sf)
+			for _, v := range comp {
+				total += float64(v)
+			}
+			pct := func(v int64) float64 { return 100 * float64(v) / total }
+			r.printf("  %-9s %-6s | %6.2f%% %6.2f%% %6.2f%% %8.2f%% %6.2f%% %7.2f%%\n",
+				dsName, modelName, pct(dt), pct(sf),
+				pct(comp["graph"]+comp["memory"]), pct(comp["edge_feature"]),
+				pct(comp["model"]), pct(comp["mailbox"]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySettings keep every driver fast enough for `go test`.
+func tinySettings() Settings {
+	return Settings{
+		EventTarget:      600,
+		LargeEventTarget: 900,
+		BaseBatch:        40,
+		Epochs:           1,
+		MemoryDim:        8,
+		TimeDim:          4,
+		FeatDim:          4,
+		Seed:             1,
+		Workers:          2,
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	var buf bytes.Buffer
+	r := New(tinySettings(), &buf)
+	for _, id := range IDs {
+		before := buf.Len()
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() <= before {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"Table 1", "Table 2", "Fig 2", "Fig 3", "Fig 5", "Fig 10", "Fig 11",
+		"Fig 12a", "Fig 12b", "Fig 12c", "Fig 12d", "Fig 13a", "Fig 13b",
+		"Fig 13c", "Fig 14", "Fig 15", "Fig 16", "Ablation A", "Ablation B",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("output missing %q", marker)
+		}
+	}
+	// The OOM marker for APAN on MAG must appear (§5.5).
+	if !strings.Contains(out, "OOM") {
+		t.Fatal("Fig 14 missing the APAN/MAG OOM report")
+	}
+}
+
+func TestUnknownIDRejected(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(tinySettings(), &buf)
+	if err := r.Run("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(tinySettings(), &buf)
+	a := r.run("JODIE", "WIKI", "TGL", 0, 0)
+	n := len(r.runs)
+	b := r.run("JODIE", "WIKI", "TGL", 0, 0)
+	if len(r.runs) != n {
+		t.Fatal("second identical run not memoized")
+	}
+	if a != b {
+		t.Fatal("memoized result differs")
+	}
+}
+
+func TestDatasetScaling(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(tinySettings(), &buf)
+	d := r.dataset("WIKI")
+	if d.NumEvents() < 600 || d.NumEvents() > 1500 {
+		t.Fatalf("scaled WIKI has %d events, want ≈600", d.NumEvents())
+	}
+	if r.dataset("WIKI") != d {
+		t.Fatal("dataset not memoized")
+	}
+}

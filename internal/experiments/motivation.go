@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/core"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/stats"
+	"github.com/cascade-ml/cascade/internal/train"
+)
+
+// fig2Multipliers are the batch-size sweep points relative to the base
+// batch, the analog of the paper's 900 → 6000 sweep (×1 … ×6.7).
+var fig2Multipliers = []float64{1, 2, 4, 6.7}
+
+// Fig2 regenerates Figure 2: normalized training latency and validation
+// loss of TGN and JODIE across batch sizes, on all five moderate datasets,
+// plus the §3.1 device-utilization observation.
+func (r *Runner) Fig2() error {
+	r.printf("Fig 2: normalized latency & validation loss vs batch size (baseline = BS×1)\n")
+	r.printf("  %-9s %-6s %8s | %10s %10s %8s\n", "dataset", "model", "batch", "norm lat", "norm loss", "occup")
+	for _, dsName := range moderate() {
+		for _, model := range []string{"TGN", "JODIE"} {
+			var baseLat, baseLoss float64
+			for i, mult := range fig2Multipliers {
+				bs := int(float64(r.baseFor(dsName)) * mult)
+				out := r.run(model, dsName, cascade.SchedTGL, bs, 0)
+				if i == 0 {
+					baseLat, baseLoss = out.DeviceSec, out.ValLoss
+				}
+				r.printf("  %-9s %-6s %8d | %10.3f %10.3f %7.1f%%\n",
+					dsName, model, bs,
+					safeDiv(out.DeviceSec, baseLat), safeDiv(out.ValLoss, baseLoss),
+					100*out.Occupancy)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig3 regenerates Figure 3: the distribution of per-node event counts
+// within base-size batches for each dataset (buckets ≤25/≤50/≤75/≤100/>100
+// scaled to the batch ratio).
+func (r *Runner) Fig3() error {
+	r.printf("Fig 3: distribution of node degree within base-size batches\n")
+	for _, dsName := range moderate() {
+		d := r.dataset(dsName)
+		base := r.baseFor(dsName)
+		// The paper buckets per-batch node degrees at 0/25/50/75/100 for
+		// batch size 900; scale edges by each dataset's base batch so the
+		// shape reads the same, kept integer and strictly ascending.
+		edges := make([]float64, 4)
+		prev := 0.0
+		for i, paperEdge := range []float64{25, 50, 75, 100} {
+			v := float64(int(paperEdge*float64(base)/900 + 0.5))
+			if v <= prev {
+				v = prev + 1
+			}
+			edges[i] = v
+			prev = v
+		}
+		h := stats.NewHistogram(edges...)
+		maxDeg := 0
+		d.DegreeInBatches(base, func(node int32, count int) {
+			h.Add(float64(count))
+			if count > maxDeg {
+				maxDeg = count
+			}
+		})
+		r.printf("  %-9s (base %3d):", dsName, base)
+		labels := h.BucketLabels()
+		for i, f := range h.Fractions() {
+			r.printf("  %s=%5.1f%%", labels[i], 100*f)
+		}
+		r.printf("  (max in-batch degree %d)\n", maxDeg)
+	}
+	return nil
+}
+
+// Fig5 regenerates Figure 5: the ratio of stable node updates (cosine
+// similarity of pre/post memories ≥ 0.9) at increasing epochs for TGN and
+// JODIE on every dataset. Training runs under plain fixed batching — the
+// figure motivates the SG-Filter, so stability is observed, not exploited.
+func (r *Runner) Fig5() error {
+	r.printf("Fig 5: ratio of stable node updates by epoch (θsim = 0.9)\n")
+	epochs := r.Set.Epochs
+	if epochs < 3 {
+		epochs = 3
+	}
+	checkpoints := []int{0, epochs / 2, epochs - 1}
+	r.printf("  %-9s %-6s |", "dataset", "model")
+	for _, c := range checkpoints {
+		r.printf(" epoch%-3d", c)
+	}
+	r.printf("\n")
+	for _, dsName := range moderate() {
+		for _, modelName := range []string{"TGN", "JODIE"} {
+			ratios, err := r.stableRatioTrace(dsName, modelName, epochs, checkpoints)
+			if err != nil {
+				return err
+			}
+			r.printf("  %-9s %-6s |", dsName, modelName)
+			for _, v := range ratios {
+				r.printf("  %5.1f%% ", 100*v)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// stableRatioTrace trains under fixed batching while observing memory
+// updates with a standalone SG-Filter, returning the stable-update ratio at
+// the requested epochs.
+func (r *Runner) stableRatioTrace(dsName, modelName string, epochs int, checkpoints []int) ([]float64, error) {
+	ds := r.dataset(dsName)
+	tr, val := ds.Split(0.8)
+	model := models.MustNew(modelName, ds, r.Set.MemoryDim, r.Set.TimeDim, r.Set.Seed)
+	base := r.baseFor(dsName)
+	sched := &observedScheduler{
+		Scheduler: batching.NewFixed("TGL", tr.NumEvents(), base),
+		filter:    core.NewSGFilter(ds.NumNodes, 0.9),
+	}
+	trainer, err := train.NewTrainer(train.Config{
+		Model: model, Sched: sched, Data: tr, Val: val,
+		ValBatch: base, Seed: r.Set.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[int]bool, len(checkpoints))
+	for _, c := range checkpoints {
+		want[c] = true
+	}
+	var ratios []float64
+	for e := 0; e < epochs; e++ {
+		sched.filter.Reset()
+		trainer.TrainEpoch()
+		if want[e] {
+			ratios = append(ratios, sched.filter.StableUpdateRatio())
+		}
+	}
+	return ratios, nil
+}
+
+// observedScheduler wraps a static policy with a passive SG-Filter so
+// stability can be measured without influencing batching.
+type observedScheduler struct {
+	batching.Scheduler
+	filter *core.SGFilter
+}
+
+func (o *observedScheduler) OnBatchEnd(fb batching.Feedback) {
+	if len(fb.Nodes) > 0 && fb.PreMem != nil && fb.PostMem != nil {
+		o.filter.Update(fb.Nodes, fb.PreMem, fb.PostMem)
+	}
+	o.Scheduler.OnBatchEnd(fb)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/stats"
+)
+
+// Fig10 regenerates Figure 10: training speedups of Cascade over TGL and
+// Cascade-Lite over TGLite, for the five models on the five moderate
+// datasets (all latencies include scheduler preprocessing, as the paper's
+// end-to-end numbers do).
+func (r *Runner) Fig10() error {
+	r.printf("Fig 10: training speedups (Cascade vs TGL, Cascade-Lite vs TGLite)\n")
+	r.printf("  %-9s %-6s | %9s %14s\n", "dataset", "model", "Cascade", "Cascade-Lite")
+	var casc, lite []float64
+	for _, dsName := range moderate() {
+		for _, model := range models.Names {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			tglite := r.run(model, dsName, cascade.SchedTGLite, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			cl := r.run(model, dsName, cascade.SchedCascadeLite, 0, 0)
+			s1 := stats.Speedup(tgl.DeviceSec, c.DeviceSec)
+			s2 := stats.Speedup(tglite.DeviceSec, cl.DeviceSec)
+			casc = append(casc, s1)
+			lite = append(lite, s2)
+			r.printf("  %-9s %-6s | %8.2fx %13.2fx\n", dsName, model, s1, s2)
+		}
+	}
+	r.printf("  geomean speedup: Cascade %.2fx, Cascade-Lite %.2fx (paper: avg 2.3x, up to 5.1x)\n",
+		stats.GeoMean(casc), stats.GeoMean(lite))
+	return nil
+}
+
+// Fig11 regenerates Figure 11: validation losses of models trained under
+// Cascade / Cascade-Lite, normalized to TGL / TGLite respectively.
+func (r *Runner) Fig11() error {
+	r.printf("Fig 11: validation losses normalized to the fixed-batching baseline\n")
+	r.printf("  %-9s %-6s | %9s %14s\n", "dataset", "model", "Cascade", "Cascade-Lite")
+	var casc, lite []float64
+	for _, dsName := range moderate() {
+		for _, model := range models.Names {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			tglite := r.run(model, dsName, cascade.SchedTGLite, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			cl := r.run(model, dsName, cascade.SchedCascadeLite, 0, 0)
+			n1 := safeDiv(c.ValLoss, tgl.ValLoss)
+			n2 := safeDiv(cl.ValLoss, tglite.ValLoss)
+			casc = append(casc, n1)
+			lite = append(lite, n2)
+			r.printf("  %-9s %-6s | %8.1f%% %13.1f%%\n", dsName, model, 100*n1, 100*n2)
+		}
+	}
+	r.printf("  mean normalized loss: Cascade %.1f%%, Cascade-Lite %.1f%% (paper: 99.4%% / 97.9%%)\n",
+		100*stats.Summarize(casc).Mean, 100*stats.Summarize(lite).Mean)
+	return nil
+}
+
+// fig12Models are the CTDG models §5.3's ablation focuses on.
+var fig12Models = []string{"APAN", "JODIE", "TGN"}
+
+// Fig12a regenerates Figure 12(a): achieved batch sizes, TGL vs Cascade.
+func (r *Runner) Fig12a() error {
+	r.printf("Fig 12a: mean batch sizes (TGL fixed = per-dataset base)\n")
+	r.printf("  %-9s %-6s | %8s %10s\n", "dataset", "model", "TGL", "Cascade")
+	for _, dsName := range []string{"WIKI", "REDDIT", "WIKI-TALK"} {
+		for _, model := range fig12Models {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			r.printf("  %-9s %-6s | %8.0f %10.0f\n", dsName, model, tgl.MeanBatch, c.MeanBatch)
+		}
+	}
+	return nil
+}
+
+// Fig12b regenerates Figure 12(b): validation losses of TGL, TGL-LB
+// (fixed batching at Cascade's achieved size) and Cascade, normalized to
+// TGL — showing that batch growth alone hurts accuracy while Cascade's
+// dependency-aware growth does not.
+func (r *Runner) Fig12b() error {
+	r.printf("Fig 12b: normalized validation loss — TGL vs TGL-LB vs Cascade\n")
+	r.printf("  %-9s %-6s | %8s %8s %9s\n", "dataset", "model", "TGL", "TGL-LB", "Cascade")
+	for _, dsName := range []string{"WIKI", "REDDIT"} {
+		for _, model := range fig12Models {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			// TGL-LB: fixed batching at Cascade's achieved mean size.
+			lb := r.run(model, dsName, cascade.SchedTGL, int(c.MeanBatch), 0)
+			r.printf("  %-9s %-6s | %7.1f%% %7.1f%% %8.1f%%\n", dsName, model,
+				100.0, 100*safeDiv(lb.ValLoss, tgl.ValLoss), 100*safeDiv(c.ValLoss, tgl.ValLoss))
+		}
+	}
+	return nil
+}
+
+// Fig12c regenerates Figure 12(c): the ablation speedups of Cascade-TB
+// (TG-Diffuser + ABS only) and full Cascade over TGL.
+func (r *Runner) Fig12c() error {
+	r.printf("Fig 12c: ablation speedups over TGL (Cascade-TB = no SG-Filter)\n")
+	r.printf("  %-9s %-6s | %11s %9s\n", "dataset", "model", "Cascade-TB", "Cascade")
+	for _, dsName := range []string{"WIKI", "REDDIT"} {
+		for _, model := range fig12Models {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			tb := r.run(model, dsName, cascade.SchedCascadeTB, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			r.printf("  %-9s %-6s | %10.2fx %8.2fx\n", dsName, model,
+				stats.Speedup(tgl.DeviceSec, tb.DeviceSec), stats.Speedup(tgl.DeviceSec, c.DeviceSec))
+		}
+	}
+	return nil
+}
+
+// Fig12d regenerates Figure 12(d): validation losses of Cascade-TB and
+// Cascade normalized to TGL.
+func (r *Runner) Fig12d() error {
+	r.printf("Fig 12d: normalized validation loss — Cascade-TB vs Cascade\n")
+	r.printf("  %-9s %-6s | %11s %9s\n", "dataset", "model", "Cascade-TB", "Cascade")
+	for _, dsName := range []string{"WIKI", "REDDIT"} {
+		for _, model := range fig12Models {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			tb := r.run(model, dsName, cascade.SchedCascadeTB, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			r.printf("  %-9s %-6s | %10.1f%% %8.1f%%\n", dsName, model,
+				100*safeDiv(tb.ValLoss, tgl.ValLoss), 100*safeDiv(c.ValLoss, tgl.ValLoss))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/stats"
+)
+
+// Fig15 regenerates Figure 15: speedups of the prior dynamic-batching
+// systems (NeutronStream, ETC) and Cascade over TGL, all starting from the
+// same base batch size (§5.6).
+func (r *Runner) Fig15() error {
+	r.printf("Fig 15: speedups over TGL — prior dynamic batching vs Cascade\n")
+	r.printf("  %-9s %-6s | %14s %8s %9s\n", "dataset", "model", "NeutronStream", "ETC", "Cascade")
+	var ns, etc, casc []float64
+	for _, dsName := range moderate() {
+		for _, model := range models.Names {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			n := r.run(model, dsName, cascade.SchedNeutronStream, 0, 0)
+			e := r.run(model, dsName, cascade.SchedETC, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			s1 := stats.Speedup(tgl.DeviceSec, n.DeviceSec)
+			s2 := stats.Speedup(tgl.DeviceSec, e.DeviceSec)
+			s3 := stats.Speedup(tgl.DeviceSec, c.DeviceSec)
+			ns = append(ns, s1)
+			etc = append(etc, s2)
+			casc = append(casc, s3)
+			r.printf("  %-9s %-6s | %13.2fx %7.2fx %8.2fx\n", dsName, model, s1, s2, s3)
+		}
+	}
+	r.printf("  geomean: NeutronStream %.2fx, ETC %.2fx, Cascade %.2fx"+
+		" (paper: Cascade 3.8x over NeutronStream, 1.9x over ETC)\n",
+		stats.GeoMean(ns), stats.GeoMean(etc), stats.GeoMean(casc))
+	// The batch-size comparison §5.6 quotes (ETC 900→1123 vs Cascade 4255).
+	eb := r.run("TGN", "WIKI", cascade.SchedETC, 0, 0)
+	cb := r.run("TGN", "WIKI", cascade.SchedCascade, 0, 0)
+	r.printf("  mean batch (TGN/WIKI): base %d, ETC %.0f, Cascade %.0f\n",
+		r.baseFor("WIKI"), eb.MeanBatch, cb.MeanBatch)
+	return nil
+}
+
+// Fig16 regenerates Figure 16: validation losses for the Fig. 15 grid,
+// normalized to TGL.
+func (r *Runner) Fig16() error {
+	r.printf("Fig 16: normalized validation losses — prior dynamic batching vs Cascade\n")
+	r.printf("  %-9s %-6s | %14s %8s %9s\n", "dataset", "model", "NeutronStream", "ETC", "Cascade")
+	for _, dsName := range moderate() {
+		for _, model := range models.Names {
+			tgl := r.run(model, dsName, cascade.SchedTGL, 0, 0)
+			n := r.run(model, dsName, cascade.SchedNeutronStream, 0, 0)
+			e := r.run(model, dsName, cascade.SchedETC, 0, 0)
+			c := r.run(model, dsName, cascade.SchedCascade, 0, 0)
+			r.printf("  %-9s %-6s | %13.1f%% %7.1f%% %8.1f%%\n", dsName, model,
+				100*safeDiv(n.ValLoss, tgl.ValLoss),
+				100*safeDiv(e.ValLoss, tgl.ValLoss),
+				100*safeDiv(c.ValLoss, tgl.ValLoss))
+		}
+	}
+	return nil
+}

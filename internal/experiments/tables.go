@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+)
+
+// Table1 prints the model-configuration table (paper Table 1): sampling
+// strategy, module choices and output sizes for the five TGNNs, as actually
+// instantiated by the registry.
+func (r *Runner) Table1() error {
+	r.printf("Table 1: Details of TGNN models (as instantiated)\n")
+	ds := r.dataset("WIKI")
+	for _, name := range models.Names {
+		m := models.MustNew(name, ds, r.Set.MemoryDim, r.Set.TimeDim, r.Set.Seed)
+		r.printf("  %s\n", models.Table1Row(m))
+	}
+	return nil
+}
+
+// Table2 prints dataset statistics (paper Table 2): the full-scale profile
+// counts alongside the scaled instantiation this harness trains on.
+func (r *Runner) Table2() error {
+	r.printf("Table 2: Statistics of datasets (profile = paper scale, generated = this run)\n")
+	r.printf("  %-10s %12s %14s %6s | %9s %10s %8s %8s\n",
+		"dataset", "#nodes", "#edges", "#feat", "gen nodes", "gen edges", "avgdeg", "maxdeg")
+	names := append(append([]string{}, datagen.ModerateNames...), datagen.LargeNames...)
+	for _, name := range names {
+		p := datagen.ByName[name]
+		d := r.dataset(name)
+		s := d.ComputeStats()
+		r.printf("  %-10s %12d %14d %6d | %9d %10d %8.1f %8d\n",
+			name, p.Nodes, p.Events, p.FeatDim, s.NumNodes, s.NumEvents, s.AvgDegree, s.MaxDegree)
+	}
+	return nil
+}

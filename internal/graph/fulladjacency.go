@@ -1,0 +1,113 @@
+package graph
+
+import "math/rand"
+
+// NeighborStore abstracts the temporal-neighbor table models sample from:
+// the bounded ring (AdjacencyStore) trades exactness for O(1) memory per
+// node; FullAdjacencyStore keeps every interaction, which is what TGL's
+// sampler does — uniform sampling then draws from the node's entire
+// history, and most_recent is exact at any depth.
+type NeighborStore interface {
+	AddEvent(e Event)
+	Degree(node int32) int
+	SampleMostRecent(node int32, k int, out []NeighborRecord) int
+	SampleUniform(rng *rand.Rand, node int32, k int, out []NeighborRecord) int
+	Reset()
+	MemoryBytes() int64
+	// Clone deep-copies the store (state snapshots for isolated
+	// validation).
+	Clone() NeighborStore
+}
+
+// Interface checks.
+var (
+	_ NeighborStore = (*AdjacencyStore)(nil)
+	_ NeighborStore = (*FullAdjacencyStore)(nil)
+)
+
+// FullAdjacencyStore keeps each node's complete interaction history in
+// arrival order. Memory grows with the stream (the reason APAN-style
+// bounded structures exist), so it suits moderate-scale runs and exactness
+// tests.
+type FullAdjacencyStore struct {
+	hist  [][]NeighborRecord
+	total int64
+}
+
+// NewFullAdjacencyStore builds an empty store for numNodes nodes.
+func NewFullAdjacencyStore(numNodes int) *FullAdjacencyStore {
+	return &FullAdjacencyStore{hist: make([][]NeighborRecord, numNodes)}
+}
+
+// AddEvent records the interaction at both endpoints.
+func (a *FullAdjacencyStore) AddEvent(e Event) {
+	a.hist[e.Src] = append(a.hist[e.Src], NeighborRecord{Neighbor: e.Dst, Time: e.Time, FeatIdx: e.FeatIdx})
+	a.hist[e.Dst] = append(a.hist[e.Dst], NeighborRecord{Neighbor: e.Src, Time: e.Time, FeatIdx: e.FeatIdx})
+	a.total++
+}
+
+// Degree returns the node's full interaction count.
+func (a *FullAdjacencyStore) Degree(node int32) int { return len(a.hist[node]) }
+
+// TotalEvents returns how many events were added since the last Reset.
+func (a *FullAdjacencyStore) TotalEvents() int64 { return a.total }
+
+// SampleMostRecent fills out with up to k most recent neighbors, newest
+// first.
+func (a *FullAdjacencyStore) SampleMostRecent(node int32, k int, out []NeighborRecord) int {
+	h := a.hist[node]
+	n := len(h)
+	if n == 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		out[i] = h[n-1-i]
+	}
+	return k
+}
+
+// SampleUniform fills out with k neighbors drawn uniformly over the entire
+// history (with replacement), matching TGL's uniform sampler.
+func (a *FullAdjacencyStore) SampleUniform(rng *rand.Rand, node int32, k int, out []NeighborRecord) int {
+	h := a.hist[node]
+	if len(h) == 0 {
+		return 0
+	}
+	for i := 0; i < k; i++ {
+		out[i] = h[rng.Intn(len(h))]
+	}
+	return k
+}
+
+// Reset clears all history.
+func (a *FullAdjacencyStore) Reset() {
+	for i := range a.hist {
+		a.hist[i] = a.hist[i][:0]
+	}
+	a.total = 0
+}
+
+// MemoryBytes reports the resident size.
+func (a *FullAdjacencyStore) MemoryBytes() int64 {
+	var b int64
+	for _, h := range a.hist {
+		b += int64(cap(h)) * 16
+	}
+	b += int64(len(a.hist)) * 24
+	return b
+}
+
+// Clone returns a deep copy of the store.
+func (a *FullAdjacencyStore) Clone() NeighborStore {
+	out := NewFullAdjacencyStore(len(a.hist))
+	out.total = a.total
+	for n, h := range a.hist {
+		if len(h) > 0 {
+			out.hist[n] = append([]NeighborRecord(nil), h...)
+		}
+	}
+	return out
+}

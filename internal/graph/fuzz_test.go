@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzzing the two dataset parsers: any byte stream must either produce a
+// dataset passing Validate or an error — never a panic, never an invalid
+// dataset.
+
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := tinyDataset().WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("# cascade-ctdg name=x nodes=3 featdim=0\n0,1,1,-1\n")
+	f.Add("# cascade-ctdg nodes=bad\n")
+	f.Add("")
+	f.Add("# cascade-ctdg name=y nodes=2 featdim=0\n0,1,1.5,-1\n1,0,2.5,-1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid dataset: %v", verr)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := tinyDataset().WriteBinary(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CASCTDG1"))
+	trunc := seed.Bytes()
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, input []byte) {
+		d, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid dataset: %v", verr)
+		}
+	})
+}

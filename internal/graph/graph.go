@@ -1,0 +1,190 @@
+// Package graph models Continuous-Time Dynamic Graphs (CTDGs) the way the
+// paper does (§2.1): a dynamic graph is a chronologically ordered sequence of
+// events G = {e(t1), e(t2), …}, each event an edge (src → dst) with a
+// timestamp and optional edge features.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event is a single CTDG update: an edge from Src to Dst occurring at Time.
+// FeatIdx indexes into the dataset's edge-feature table (−1 when the dataset
+// carries no features).
+type Event struct {
+	Src, Dst int32
+	Time     float64
+	FeatIdx  int32
+}
+
+// Dataset is an event sequence plus its node universe and edge features.
+// Events are sorted by non-decreasing timestamp; index order is the
+// canonical processing order (§2.3).
+type Dataset struct {
+	Name     string
+	NumNodes int
+	Events   []Event
+	// EdgeFeatDim is the width of edge feature vectors (possibly 0).
+	EdgeFeatDim int
+	// EdgeFeats holds one feature row per distinct feature index, packed
+	// row-major; nil when EdgeFeatDim == 0.
+	EdgeFeats []float32
+	// Labels, when non-nil, carries one binary label per event — the
+	// dynamic node-state labels of classification benchmarks like MOOC's
+	// student drop-out (the label describes the event's source node at the
+	// event's time). len(Labels) must equal len(Events).
+	Labels []uint8
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrUnsortedTimestamps = errors.New("graph: events not sorted by timestamp")
+	ErrNodeOutOfRange     = errors.New("graph: event references node outside universe")
+	ErrSelfLoop           = errors.New("graph: self-loop event")
+	ErrBadFeatIndex       = errors.New("graph: event feature index out of range")
+	ErrBadLabels          = errors.New("graph: label count does not match event count")
+)
+
+// Validate checks the dataset invariants every consumer in this repo relies
+// on: timestamps non-decreasing, node ids within [0, NumNodes), no self
+// loops, and feature indices within the feature table. It returns a
+// descriptive error identifying the first offending event.
+func (d *Dataset) Validate() error {
+	if d.Labels != nil && len(d.Labels) != len(d.Events) {
+		return fmt.Errorf("%w: %d labels for %d events", ErrBadLabels, len(d.Labels), len(d.Events))
+	}
+	nFeatRows := 0
+	if d.EdgeFeatDim > 0 {
+		nFeatRows = len(d.EdgeFeats) / d.EdgeFeatDim
+	}
+	var prev float64
+	for i, e := range d.Events {
+		if e.Time < prev {
+			return fmt.Errorf("%w: event %d at t=%v after t=%v", ErrUnsortedTimestamps, i, e.Time, prev)
+		}
+		prev = e.Time
+		if e.Src < 0 || int(e.Src) >= d.NumNodes || e.Dst < 0 || int(e.Dst) >= d.NumNodes {
+			return fmt.Errorf("%w: event %d (%d→%d) with %d nodes", ErrNodeOutOfRange, i, e.Src, e.Dst, d.NumNodes)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("%w: event %d on node %d", ErrSelfLoop, i, e.Src)
+		}
+		if d.EdgeFeatDim > 0 {
+			if e.FeatIdx < 0 || int(e.FeatIdx) >= nFeatRows {
+				return fmt.Errorf("%w: event %d feature %d of %d", ErrBadFeatIndex, i, e.FeatIdx, nFeatRows)
+			}
+		}
+	}
+	return nil
+}
+
+// EdgeFeature returns the feature row for event e, or nil when the dataset
+// has no edge features.
+func (d *Dataset) EdgeFeature(e Event) []float32 {
+	if d.EdgeFeatDim == 0 || e.FeatIdx < 0 {
+		return nil
+	}
+	off := int(e.FeatIdx) * d.EdgeFeatDim
+	return d.EdgeFeats[off : off+d.EdgeFeatDim]
+}
+
+// NumEvents returns the event count.
+func (d *Dataset) NumEvents() int { return len(d.Events) }
+
+// Split partitions the dataset chronologically into train/val portions,
+// with trainFrac of events in the training prefix. TGNN evaluation is
+// always chronological — the model never peeks at future events.
+func (d *Dataset) Split(trainFrac float64) (train, val *Dataset) {
+	cut := int(float64(len(d.Events)) * trainFrac)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(d.Events) {
+		cut = len(d.Events)
+	}
+	train = &Dataset{
+		Name: d.Name + "/train", NumNodes: d.NumNodes,
+		Events: d.Events[:cut], EdgeFeatDim: d.EdgeFeatDim, EdgeFeats: d.EdgeFeats,
+	}
+	val = &Dataset{
+		Name: d.Name + "/val", NumNodes: d.NumNodes,
+		Events: d.Events[cut:], EdgeFeatDim: d.EdgeFeatDim, EdgeFeats: d.EdgeFeats,
+	}
+	if d.Labels != nil {
+		train.Labels = d.Labels[:cut]
+		val.Labels = d.Labels[cut:]
+	}
+	return train, val
+}
+
+// Stats summarizes a dataset in the shape of the paper's Table 2.
+type Stats struct {
+	Name        string
+	NumNodes    int
+	NumEvents   int
+	EdgeFeatDim int
+	// AvgDegree is events per node counting both endpoints, the metric the
+	// paper uses when relating speedup to graph sparsity (§5.2: WIKI≈17.5,
+	// REDDIT≈61.1, …).
+	AvgDegree float64
+	// MaxDegree is the highest per-node event count.
+	MaxDegree int
+	// TimeSpan is lastTime − firstTime.
+	TimeSpan float64
+}
+
+// ComputeStats scans the dataset once and reports Table 2-style statistics.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{Name: d.Name, NumNodes: d.NumNodes, NumEvents: len(d.Events), EdgeFeatDim: d.EdgeFeatDim}
+	if len(d.Events) == 0 {
+		return s
+	}
+	deg := make([]int, d.NumNodes)
+	for _, e := range d.Events {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	touched := 0
+	total := 0
+	for _, c := range deg {
+		if c > 0 {
+			touched++
+			total += c
+		}
+		if c > s.MaxDegree {
+			s.MaxDegree = c
+		}
+	}
+	if touched > 0 {
+		s.AvgDegree = float64(total) / float64(touched)
+	}
+	s.TimeSpan = d.Events[len(d.Events)-1].Time - d.Events[0].Time
+	return s
+}
+
+// DegreeInBatches computes, for a fixed batch size, the per-node event count
+// within each batch — the quantity Figure 3 histograms. The callback
+// receives every (node, count-in-batch) pair with count > 0.
+func (d *Dataset) DegreeInBatches(batchSize int, visit func(node int32, count int)) {
+	if batchSize <= 0 {
+		panic("graph: non-positive batch size")
+	}
+	counts := make(map[int32]int)
+	flush := func() {
+		for n, c := range counts {
+			visit(n, c)
+		}
+		clear(counts)
+	}
+	for i, e := range d.Events {
+		counts[e.Src]++
+		counts[e.Dst]++
+		if (i+1)%batchSize == 0 {
+			flush()
+		}
+	}
+	if len(counts) > 0 {
+		flush()
+	}
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		Name:     "tiny",
+		NumNodes: 4,
+		Events: []Event{
+			{Src: 0, Dst: 1, Time: 1, FeatIdx: 0},
+			{Src: 1, Dst: 2, Time: 2, FeatIdx: 1},
+			{Src: 2, Dst: 3, Time: 3, FeatIdx: 0},
+			{Src: 0, Dst: 3, Time: 4, FeatIdx: 1},
+		},
+		EdgeFeatDim: 2,
+		EdgeFeats:   []float32{1, 2, 3, 4},
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := tinyDataset().Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnsorted(t *testing.T) {
+	d := tinyDataset()
+	d.Events[2].Time = 0.5
+	if err := d.Validate(); !errors.Is(err, ErrUnsortedTimestamps) {
+		t.Fatalf("err = %v, want ErrUnsortedTimestamps", err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	d := tinyDataset()
+	d.Events[1].Dst = 9
+	if err := d.Validate(); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("err = %v, want ErrNodeOutOfRange", err)
+	}
+	d = tinyDataset()
+	d.Events[0].Src = -1
+	if err := d.Validate(); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("err = %v, want ErrNodeOutOfRange", err)
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	d := tinyDataset()
+	d.Events[0].Dst = 0
+	if err := d.Validate(); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestValidateRejectsBadFeature(t *testing.T) {
+	d := tinyDataset()
+	d.Events[3].FeatIdx = 7
+	if err := d.Validate(); !errors.Is(err, ErrBadFeatIndex) {
+		t.Fatalf("err = %v, want ErrBadFeatIndex", err)
+	}
+}
+
+func TestEdgeFeatureLookup(t *testing.T) {
+	d := tinyDataset()
+	f := d.EdgeFeature(d.Events[1])
+	if len(f) != 2 || f[0] != 3 || f[1] != 4 {
+		t.Fatalf("feature = %v", f)
+	}
+	noFeat := &Dataset{NumNodes: 2, Events: []Event{{Src: 0, Dst: 1, Time: 1, FeatIdx: -1}}}
+	if f := noFeat.EdgeFeature(noFeat.Events[0]); f != nil {
+		t.Fatalf("featureless dataset returned %v", f)
+	}
+}
+
+func TestSplitChronological(t *testing.T) {
+	d := tinyDataset()
+	train, val := d.Split(0.5)
+	if train.NumEvents() != 2 || val.NumEvents() != 2 {
+		t.Fatalf("split sizes %d/%d", train.NumEvents(), val.NumEvents())
+	}
+	if train.Events[1].Time > val.Events[0].Time {
+		t.Fatal("split not chronological")
+	}
+	// Degenerate fractions clamp.
+	tr, v := d.Split(-1)
+	if tr.NumEvents() != 0 || v.NumEvents() != 4 {
+		t.Fatal("negative fraction not clamped")
+	}
+	tr, v = d.Split(2)
+	if tr.NumEvents() != 4 || v.NumEvents() != 0 {
+		t.Fatal("fraction > 1 not clamped")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := tinyDataset()
+	s := d.ComputeStats()
+	if s.NumEvents != 4 || s.NumNodes != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	// degrees: n0=2 n1=2 n2=2 n3=2 → avg 2, max 2
+	if s.AvgDegree != 2 || s.MaxDegree != 2 {
+		t.Fatalf("degree stats %+v", s)
+	}
+	if s.TimeSpan != 3 {
+		t.Fatalf("timespan %v", s.TimeSpan)
+	}
+	empty := &Dataset{Name: "e", NumNodes: 3}
+	if s := empty.ComputeStats(); s.NumEvents != 0 || s.AvgDegree != 0 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestDegreeInBatchesCountsEveryEndpoint(t *testing.T) {
+	d := tinyDataset()
+	total := 0
+	d.DegreeInBatches(2, func(node int32, count int) { total += count })
+	if total != 8 { // 4 events × 2 endpoints
+		t.Fatalf("total endpoint count %d, want 8", total)
+	}
+}
+
+func TestAdjacencyStoreMostRecent(t *testing.T) {
+	a := NewAdjacencyStore(5, 3)
+	a.AddEvent(Event{Src: 0, Dst: 1, Time: 1})
+	a.AddEvent(Event{Src: 0, Dst: 2, Time: 2})
+	a.AddEvent(Event{Src: 0, Dst: 3, Time: 3})
+	a.AddEvent(Event{Src: 0, Dst: 4, Time: 4}) // evicts (0,1)
+	out := make([]NeighborRecord, 3)
+	n := a.SampleMostRecent(0, 3, out)
+	if n != 3 {
+		t.Fatalf("sampled %d", n)
+	}
+	if out[0].Neighbor != 4 || out[1].Neighbor != 3 || out[2].Neighbor != 2 {
+		t.Fatalf("most-recent order wrong: %+v", out)
+	}
+	if a.Degree(0) != 3 || a.Degree(1) != 1 || a.Degree(4) != 1 {
+		t.Fatalf("degrees: %d %d %d", a.Degree(0), a.Degree(1), a.Degree(4))
+	}
+}
+
+func TestAdjacencyStoreUniformWithinHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAdjacencyStore(4, 8)
+	a.AddEvent(Event{Src: 0, Dst: 1, Time: 1})
+	a.AddEvent(Event{Src: 0, Dst: 2, Time: 2})
+	out := make([]NeighborRecord, 5)
+	n := a.SampleUniform(rng, 0, 5, out)
+	if n != 5 {
+		t.Fatalf("uniform sampled %d, want 5 (with replacement)", n)
+	}
+	for _, r := range out {
+		if r.Neighbor != 1 && r.Neighbor != 2 {
+			t.Fatalf("sampled neighbor %d not in history", r.Neighbor)
+		}
+	}
+	if got := a.SampleUniform(rng, 3, 2, out); got != 0 {
+		t.Fatalf("isolated node sampled %d", got)
+	}
+}
+
+func TestAdjacencyStoreReset(t *testing.T) {
+	a := NewAdjacencyStore(3, 2)
+	a.AddEvent(Event{Src: 0, Dst: 1, Time: 1})
+	a.Reset()
+	if a.Degree(0) != 0 || a.TotalEvents() != 0 {
+		t.Fatal("reset did not clear store")
+	}
+	if a.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting broke after reset")
+	}
+}
+
+// Property: ring buffer never reports more neighbors than were added nor
+// more than its capacity, and most-recent ordering is by non-increasing time.
+func TestAdjacencyStoreProperties(t *testing.T) {
+	f := func(seed int64, nEvents uint8, capRaw uint8) bool {
+		capacity := int(capRaw)%7 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAdjacencyStore(10, capacity)
+		added := make(map[int32]int)
+		t0 := 0.0
+		for i := 0; i < int(nEvents); i++ {
+			t0 += rng.Float64()
+			src := int32(rng.Intn(10))
+			dst := int32(rng.Intn(10))
+			if src == dst {
+				continue
+			}
+			a.AddEvent(Event{Src: src, Dst: dst, Time: t0})
+			added[src]++
+			added[dst]++
+		}
+		out := make([]NeighborRecord, capacity)
+		for node := int32(0); node < 10; node++ {
+			n := a.SampleMostRecent(node, capacity, out)
+			if n > capacity || n > added[node] {
+				return false
+			}
+			for i := 1; i < n; i++ {
+				if out[i].Time > out[i-1].Time {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullAdjacencyStoreExactness(t *testing.T) {
+	a := NewFullAdjacencyStore(5)
+	for i := 0; i < 12; i++ {
+		a.AddEvent(Event{Src: 0, Dst: int32(1 + i%4), Time: float64(i)})
+	}
+	if a.Degree(0) != 12 {
+		t.Fatalf("full degree %d", a.Degree(0))
+	}
+	// most recent is exact at any depth (the ring would have evicted).
+	out := make([]NeighborRecord, 12)
+	n := a.SampleMostRecent(0, 12, out)
+	if n != 12 {
+		t.Fatalf("sampled %d", n)
+	}
+	for i := 1; i < n; i++ {
+		if out[i].Time >= out[i-1].Time {
+			t.Fatal("not newest-first")
+		}
+	}
+	if out[11].Time != 0 {
+		t.Fatal("oldest interaction lost")
+	}
+	if a.TotalEvents() != 12 {
+		t.Fatalf("total %d", a.TotalEvents())
+	}
+}
+
+func TestFullAdjacencyUniformOverWholeHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewFullAdjacencyStore(40)
+	// Node 0 interacts with 30 distinct partners; a capacity-16 ring could
+	// only ever return the last 16, the full store must reach them all.
+	for i := 0; i < 30; i++ {
+		a.AddEvent(Event{Src: 0, Dst: int32(i + 1), Time: float64(i)})
+	}
+	seen := map[int32]bool{}
+	out := make([]NeighborRecord, 1)
+	for i := 0; i < 3000; i++ {
+		a.SampleUniform(rng, 0, 1, out)
+		seen[out[0].Neighbor] = true
+	}
+	if len(seen) < 28 {
+		t.Fatalf("uniform sampling reached only %d of 30 partners", len(seen))
+	}
+	if got := a.SampleUniform(rng, 39, 1, out); got != 0 {
+		t.Fatalf("isolated node sampled %d", got)
+	}
+}
+
+func TestFullAdjacencyReset(t *testing.T) {
+	a := NewFullAdjacencyStore(2)
+	a.AddEvent(Event{Src: 0, Dst: 1, Time: 1})
+	a.Reset()
+	if a.Degree(0) != 0 || a.TotalEvents() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if a.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting")
+	}
+}

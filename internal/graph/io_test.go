@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := &Dataset{
+		Name:     "round trip", // space gets sanitized
+		NumNodes: 4,
+		Events: []Event{
+			{Src: 0, Dst: 1, Time: 1.5, FeatIdx: -1},
+			{Src: 1, Dst: 3, Time: 2.25, FeatIdx: -1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round_trip" || got.NumNodes != 4 || len(got.Events) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range d.Events {
+		if got.Events[i] != d.Events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got.Events[i], d.Events[i])
+		}
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"not a header\n0,1,1,-1\n", // bad header
+		"# cascade-ctdg nodes=x\n", // bad node count
+		"# cascade-ctdg nodes=2 featdim=0\n0,1\n",                // short line
+		"# cascade-ctdg nodes=2 featdim=0\n0,1,abc,-1\n",         // bad time
+		"# cascade-ctdg nodes=2 featdim=0\n0,9,1,-1\n",           // out of range
+		"# cascade-ctdg nodes=2 featdim=4\n0,1,1,0\n",            // features missing
+		"# cascade-ctdg nodes=2 featdim=0\n0,1,2,-1\n0,1,1,-1\n", // unsorted
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestCSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# cascade-ctdg name=x nodes=3 featdim=0\n\n# comment\n0,1,1,-1\n"
+	d, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 1 {
+		t.Fatalf("events %d", len(d.Events))
+	}
+}
+
+func TestBinaryRoundTripWithFeatures(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.NumNodes != d.NumNodes || got.EdgeFeatDim != d.EdgeFeatDim {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range d.Events {
+		if got.Events[i] != d.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	for i := range d.EdgeFeats {
+		if got.EdgeFeats[i] != d.EdgeFeats[i] {
+			t.Fatalf("feature %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncations at every prefix must fail, never panic.
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Implausible header (claims 2^40 events).
+	bad = append([]byte(nil), full...)
+	for i := 0; i < 8; i++ {
+		bad[8+3*8+i] = 0xFF
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+func TestBinaryRejectsInvalidDataset(t *testing.T) {
+	// A stream that decodes structurally but violates CTDG invariants
+	// (self loop) must be rejected by validation.
+	d := tinyDataset()
+	d.Events[0].Dst = d.Events[0].Src
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("self-loop dataset accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import "fmt"
+
+// DTDG support (§2.1): discrete-time dynamic graphs are "specific instances
+// of CTDGs, distinguished by the segmentation of events into uniform time
+// intervals". Snapshot views let DTDG-style consumers (DySAT, TGAT in their
+// original formulations) read the same event stream as a sequence of static
+// graphs.
+
+// Snapshot is one discrete-time view: the events whose timestamps fall in
+// [Start, End) plus the cumulative adjacency up to End.
+type Snapshot struct {
+	Index      int
+	Start, End float64
+	// Events are the interval's events (a subslice of the dataset).
+	Events []Event
+}
+
+// Snapshots segments the dataset into uniform time intervals of the given
+// width. The final snapshot is right-closed so the last event is included.
+func (d *Dataset) Snapshots(interval float64) ([]Snapshot, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("graph: non-positive snapshot interval %v", interval)
+	}
+	if len(d.Events) == 0 {
+		return nil, nil
+	}
+	t0 := d.Events[0].Time
+	tEnd := d.Events[len(d.Events)-1].Time
+	n := int((tEnd-t0)/interval) + 1
+	snaps := make([]Snapshot, 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		start := t0 + float64(i)*interval
+		end := start + interval
+		hi := lo
+		for hi < len(d.Events) {
+			t := d.Events[hi].Time
+			if t >= end && !(i == n-1 && t <= tEnd) {
+				break
+			}
+			hi++
+		}
+		snaps = append(snaps, Snapshot{Index: i, Start: start, End: end, Events: d.Events[lo:hi]})
+		lo = hi
+	}
+	if lo != len(d.Events) {
+		return nil, fmt.Errorf("graph: snapshot segmentation lost events (%d of %d)", lo, len(d.Events))
+	}
+	return snaps, nil
+}
+
+// SnapshotsByCount segments the dataset into count uniform intervals.
+func (d *Dataset) SnapshotsByCount(count int) ([]Snapshot, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("graph: non-positive snapshot count %d", count)
+	}
+	if len(d.Events) == 0 {
+		return nil, nil
+	}
+	span := d.Events[len(d.Events)-1].Time - d.Events[0].Time
+	if span <= 0 {
+		// All events share one timestamp: a single snapshot.
+		return []Snapshot{{Index: 0, Start: d.Events[0].Time, End: d.Events[0].Time + 1, Events: d.Events}}, nil
+	}
+	return d.Snapshots(span / float64(count))
+}
+
+// AdjacencyAt builds the static adjacency (neighbor lists) of all events up
+// to and including snapshot index, the "graph snapshot" a DTDG model would
+// consume.
+func AdjacencyAt(snaps []Snapshot, index, numNodes int) ([][]int32, error) {
+	if index < 0 || index >= len(snaps) {
+		return nil, fmt.Errorf("graph: snapshot index %d of %d", index, len(snaps))
+	}
+	adj := make([][]int32, numNodes)
+	for i := 0; i <= index; i++ {
+		for _, e := range snaps[i].Events {
+			adj[e.Src] = append(adj[e.Src], e.Dst)
+			adj[e.Dst] = append(adj[e.Dst], e.Src)
+		}
+	}
+	return adj, nil
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestSnapshotsPartitionEvents(t *testing.T) {
+	d := tinyDataset() // times 1..4
+	snaps, err := d.Snapshots(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, s := range snaps {
+		if s.Index != i {
+			t.Fatalf("index %d != %d", s.Index, i)
+		}
+		total += len(s.Events)
+		for _, e := range s.Events {
+			if i < len(snaps)-1 && (e.Time < s.Start || e.Time >= s.End) {
+				t.Fatalf("event t=%v outside [%v,%v)", e.Time, s.Start, s.End)
+			}
+		}
+	}
+	if total != d.NumEvents() {
+		t.Fatalf("snapshots cover %d of %d events", total, d.NumEvents())
+	}
+}
+
+func TestSnapshotsByCount(t *testing.T) {
+	d := tinyDataset()
+	snaps, err := d.SnapshotsByCount(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	total := 0
+	for _, s := range snaps {
+		total += len(s.Events)
+	}
+	if total != d.NumEvents() {
+		t.Fatalf("coverage %d", total)
+	}
+}
+
+func TestSnapshotsValidation(t *testing.T) {
+	d := tinyDataset()
+	if _, err := d.Snapshots(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := d.SnapshotsByCount(0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	empty := &Dataset{NumNodes: 1}
+	if snaps, err := empty.Snapshots(1); err != nil || snaps != nil {
+		t.Fatalf("empty dataset: %v %v", snaps, err)
+	}
+}
+
+func TestSnapshotsUniformTimestamp(t *testing.T) {
+	d := &Dataset{NumNodes: 3, Events: []Event{
+		{Src: 0, Dst: 1, Time: 5, FeatIdx: -1},
+		{Src: 1, Dst: 2, Time: 5, FeatIdx: -1},
+	}}
+	snaps, err := d.SnapshotsByCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || len(snaps[0].Events) != 2 {
+		t.Fatalf("degenerate span: %+v", snaps)
+	}
+}
+
+func TestAdjacencyAt(t *testing.T) {
+	d := tinyDataset()
+	snaps, err := d.SnapshotsByCount(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := AdjacencyAt(snaps, len(snaps)-1, d.NumNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 0
+	for _, ns := range adj {
+		deg += len(ns)
+	}
+	if deg != 2*d.NumEvents() {
+		t.Fatalf("cumulative adjacency has %d endpoints, want %d", deg, 2*d.NumEvents())
+	}
+	if _, err := AdjacencyAt(snaps, 99, d.NumNodes); err == nil {
+		t.Fatal("out-of-range snapshot accepted")
+	}
+}
+
+// Property: for random streams and intervals, snapshots preserve event order
+// and lose nothing.
+func TestSnapshotsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, intRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		interval := float64(intRaw%50) + 0.5
+		rng := rand.New(rand.NewSource(seed))
+		d := &Dataset{NumNodes: 10}
+		t0 := 0.0
+		for i := 0; i < n; i++ {
+			t0 += rng.Float64() * 3
+			s := int32(rng.Intn(10))
+			dd := (s + 1 + int32(rng.Intn(8))) % 10
+			if dd == s {
+				dd = (dd + 1) % 10
+			}
+			d.Events = append(d.Events, Event{Src: s, Dst: dd, Time: t0, FeatIdx: -1})
+		}
+		snaps, err := d.Snapshots(interval)
+		if err != nil {
+			return false
+		}
+		var flat []Event
+		for _, s := range snaps {
+			flat = append(flat, s.Events...)
+		}
+		if len(flat) != n {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != d.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

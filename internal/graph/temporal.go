@@ -1,0 +1,114 @@
+package graph
+
+import "sort"
+
+// Temporal statistics beyond Table 2's counts: the properties Cascade's
+// gains actually depend on (DESIGN.md §1) — repeat affinity (how often an
+// event repeats a recently seen pair, the driver of memory stabilization,
+// Fig. 5) and inter-arrival spread. The datagen tests use these to check
+// generator calibration; cascade-data reports them.
+
+// TemporalStats summarizes the stream's temporal structure.
+type TemporalStats struct {
+	// RepeatPairRatio is the fraction of events whose (src, dst) pair
+	// occurred before (in either direction).
+	RepeatPairRatio float64
+	// RecentRepeatRatio is the fraction of events repeating one of the
+	// source's last-4 destinations — the generator's repeat-affinity knob
+	// measured back from the data.
+	RecentRepeatRatio float64
+	// MeanInterArrival and P99InterArrival summarize consecutive event
+	// gaps.
+	MeanInterArrival, P99InterArrival float64
+}
+
+// ComputeTemporalStats scans the stream once.
+func (d *Dataset) ComputeTemporalStats() TemporalStats {
+	var ts TemporalStats
+	n := len(d.Events)
+	if n == 0 {
+		return ts
+	}
+	type pair struct{ a, b int32 }
+	seen := make(map[pair]bool, n)
+	recent := make(map[int32][]int32)
+	var repeats, recents int
+	gaps := make([]float64, 0, n-1)
+	var gapSum float64
+	for i, e := range d.Events {
+		a, b := e.Src, e.Dst
+		if a > b {
+			a, b = b, a
+		}
+		p := pair{a, b}
+		if seen[p] {
+			repeats++
+		}
+		seen[p] = true
+
+		r := recent[e.Src]
+		for _, dst := range r {
+			if dst == e.Dst {
+				recents++
+				break
+			}
+		}
+		if len(r) < 4 {
+			recent[e.Src] = append(r, e.Dst)
+		} else {
+			r[i%4] = e.Dst
+		}
+
+		if i > 0 {
+			g := e.Time - d.Events[i-1].Time
+			gaps = append(gaps, g)
+			gapSum += g
+		}
+	}
+	ts.RepeatPairRatio = float64(repeats) / float64(n)
+	ts.RecentRepeatRatio = float64(recents) / float64(n)
+	if len(gaps) > 0 {
+		ts.MeanInterArrival = gapSum / float64(len(gaps))
+		sort.Float64s(gaps)
+		ts.P99InterArrival = gaps[(len(gaps)-1)*99/100]
+	}
+	return ts
+}
+
+// DegreeCDF returns the sorted per-node total degrees (for percentile
+// queries and skew checks).
+func (d *Dataset) DegreeCDF() []int {
+	deg := make([]int, d.NumNodes)
+	for _, e := range d.Events {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	out := deg[:0]
+	for _, c := range deg {
+		if c > 0 {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GiniDegree computes the Gini coefficient of the (non-zero) degree
+// distribution — a single-number skew measure: 0 = uniform, →1 = all events
+// on one node.
+func (d *Dataset) GiniDegree() float64 {
+	cdf := d.DegreeCDF()
+	n := len(cdf)
+	if n == 0 {
+		return 0
+	}
+	var cum, weighted float64
+	for i, c := range cdf {
+		cum += float64(c)
+		weighted += float64(c) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTemporalStatsRepeatRatios(t *testing.T) {
+	d := &Dataset{NumNodes: 4, Events: []Event{
+		{Src: 0, Dst: 1, Time: 1, FeatIdx: -1},
+		{Src: 0, Dst: 1, Time: 2, FeatIdx: -1}, // repeat pair + recent repeat
+		{Src: 1, Dst: 0, Time: 3, FeatIdx: -1}, // repeat pair (undirected)
+		{Src: 2, Dst: 3, Time: 4, FeatIdx: -1}, // fresh
+	}}
+	ts := d.ComputeTemporalStats()
+	if ts.RepeatPairRatio != 0.5 {
+		t.Fatalf("repeat pair ratio %v, want 0.5", ts.RepeatPairRatio)
+	}
+	if ts.RecentRepeatRatio != 0.25 {
+		t.Fatalf("recent repeat ratio %v, want 0.25", ts.RecentRepeatRatio)
+	}
+	if ts.MeanInterArrival != 1 {
+		t.Fatalf("mean inter-arrival %v", ts.MeanInterArrival)
+	}
+	if ts.P99InterArrival != 1 {
+		t.Fatalf("p99 inter-arrival %v", ts.P99InterArrival)
+	}
+}
+
+func TestTemporalStatsEmpty(t *testing.T) {
+	var d Dataset
+	if ts := d.ComputeTemporalStats(); ts.RepeatPairRatio != 0 {
+		t.Fatalf("%+v", ts)
+	}
+}
+
+func TestGiniDegreeExtremes(t *testing.T) {
+	// Uniform degrees → Gini ≈ 0.
+	uniform := &Dataset{NumNodes: 4, Events: []Event{
+		{Src: 0, Dst: 1, Time: 1, FeatIdx: -1},
+		{Src: 2, Dst: 3, Time: 2, FeatIdx: -1},
+	}}
+	if g := uniform.GiniDegree(); math.Abs(g) > 1e-9 {
+		t.Fatalf("uniform gini %v", g)
+	}
+	// All events on one pair → still uniform between the two touched nodes.
+	hot := &Dataset{NumNodes: 10, Events: make([]Event, 20)}
+	for i := range hot.Events {
+		hot.Events[i] = Event{Src: 0, Dst: int32(1 + i%9), Time: float64(i), FeatIdx: -1}
+	}
+	g := hot.GiniDegree()
+	if g <= 0.2 || g > 1 {
+		t.Fatalf("skewed gini %v, want clearly positive", g)
+	}
+	if empty := (&Dataset{NumNodes: 3}).GiniDegree(); empty != 0 {
+		t.Fatalf("empty gini %v", empty)
+	}
+}
+
+func TestDegreeCDFSortedNonZero(t *testing.T) {
+	d := tinyDataset()
+	cdf := d.DegreeCDF()
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatal("CDF not sorted")
+		}
+	}
+	for _, c := range cdf {
+		if c == 0 {
+			t.Fatal("zero-degree node included")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package memstore holds the stateful per-node storage TGNNs maintain across
+// batches: the node memory matrix (§2.2), and APAN's bounded asynchronous
+// mailbox of recent messages.
+package memstore
+
+import (
+	"fmt"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// MemoryStore is the node-memory table: one Dim-wide state vector per node
+// plus its last-update timestamp (needed for the Δt term of Eq. 2).
+type MemoryStore struct {
+	NumNodes, Dim int
+	mem           *tensor.Matrix
+	lastUpdate    []float64
+}
+
+// NewMemoryStore builds a zero-initialized store (TGNNs start every epoch
+// from zero memories).
+func NewMemoryStore(numNodes, dim int) *MemoryStore {
+	if numNodes <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("memstore: store %d nodes × %d dims", numNodes, dim))
+	}
+	return &MemoryStore{
+		NumNodes:   numNodes,
+		Dim:        dim,
+		mem:        tensor.NewMatrix(numNodes, dim),
+		lastUpdate: make([]float64, numNodes),
+	}
+}
+
+// Row returns node's memory vector, aliasing the store (do not mutate
+// through it unless you are the updater).
+func (s *MemoryStore) Row(node int32) []float32 { return s.mem.Row(int(node)) }
+
+// Gather copies the memories of nodes into a fresh (len(nodes) × Dim)
+// matrix.
+func (s *MemoryStore) Gather(nodes []int32) *tensor.Matrix {
+	out := tensor.NewMatrix(len(nodes), s.Dim)
+	for i, n := range nodes {
+		copy(out.Row(i), s.mem.Row(int(n)))
+	}
+	return out
+}
+
+// Write stores vals row i into node nodes[i] and stamps its last-update
+// time.
+func (s *MemoryStore) Write(nodes []int32, vals *tensor.Matrix, t float64) {
+	if vals.Rows != len(nodes) || vals.Cols != s.Dim {
+		panic(fmt.Sprintf("memstore: write %dx%d for %d nodes × %d dims", vals.Rows, vals.Cols, len(nodes), s.Dim))
+	}
+	for i, n := range nodes {
+		copy(s.mem.Row(int(n)), vals.Row(i))
+		s.lastUpdate[n] = t
+	}
+}
+
+// LastUpdate returns the node's last memory-update timestamp.
+func (s *MemoryStore) LastUpdate(node int32) float64 { return s.lastUpdate[node] }
+
+// Reset zeroes all memories and timestamps (epoch start).
+func (s *MemoryStore) Reset() {
+	s.mem.Zero()
+	for i := range s.lastUpdate {
+		s.lastUpdate[i] = 0
+	}
+}
+
+// MemoryBytes reports the resident size for the space-breakdown experiment.
+func (s *MemoryStore) MemoryBytes() int64 {
+	return int64(len(s.mem.Data))*4 + int64(len(s.lastUpdate))*8
+}
+
+// MailEntry is one stored message in a Mailbox.
+type MailEntry struct {
+	Vec  []float32
+	Time float64
+}
+
+// Mailbox is APAN's asynchronous mailbox: a bounded ring of the K most
+// recent message vectors per node (Table 1: most_recent, num = 10). Memory
+// updates attend over the mailbox contents instead of a single message.
+type Mailbox struct {
+	NumNodes, K, Dim int
+	rings            [][]MailEntry
+	counts, heads    []int
+}
+
+// NewMailbox builds an empty mailbox keeping k messages of width dim per
+// node.
+func NewMailbox(numNodes, k, dim int) *Mailbox {
+	if k <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("memstore: mailbox k=%d dim=%d", k, dim))
+	}
+	return &Mailbox{
+		NumNodes: numNodes, K: k, Dim: dim,
+		rings:  make([][]MailEntry, numNodes),
+		counts: make([]int, numNodes),
+		heads:  make([]int, numNodes),
+	}
+}
+
+// Push appends a message for node, evicting the oldest beyond K. The vector
+// is copied.
+func (m *Mailbox) Push(node int32, vec []float32, t float64) {
+	if len(vec) != m.Dim {
+		panic(fmt.Sprintf("memstore: mailbox push %d-dim vec, want %d", len(vec), m.Dim))
+	}
+	ring := m.rings[node]
+	if ring == nil {
+		ring = make([]MailEntry, m.K)
+		m.rings[node] = ring
+	}
+	h := m.heads[node]
+	if ring[h].Vec == nil {
+		ring[h].Vec = make([]float32, m.Dim)
+	}
+	copy(ring[h].Vec, vec)
+	ring[h].Time = t
+	m.heads[node] = (h + 1) % m.K
+	if m.counts[node] < m.K {
+		m.counts[node]++
+	}
+}
+
+// Read fills out (pre-sized ≥ K entries) with the node's messages, newest
+// first, and returns the count.
+func (m *Mailbox) Read(node int32, out []MailEntry) int {
+	n := m.counts[node]
+	ring := m.rings[node]
+	for i := 0; i < n; i++ {
+		idx := (m.heads[node] - 1 - i + 2*m.K) % m.K
+		out[i] = ring[idx]
+	}
+	return n
+}
+
+// Count returns the number of stored messages for node.
+func (m *Mailbox) Count(node int32) int { return m.counts[node] }
+
+// Reset clears all messages.
+func (m *Mailbox) Reset() {
+	for i := range m.counts {
+		m.counts[i] = 0
+		m.heads[i] = 0
+	}
+}
+
+// MemoryBytes reports resident size for the space-breakdown experiment. It
+// counts allocated rings only (nodes that never received mail cost nothing).
+func (m *Mailbox) MemoryBytes() int64 {
+	var b int64
+	for _, ring := range m.rings {
+		for _, e := range ring {
+			b += int64(len(e.Vec))*4 + 8
+		}
+	}
+	b += int64(len(m.counts)+len(m.heads)) * 8
+	return b
+}
+
+// WriteEach stores vals row i into node nodes[i], stamping each node with
+// its own timestamp (events within a batch update different nodes at
+// different times).
+func (s *MemoryStore) WriteEach(nodes []int32, vals *tensor.Matrix, times []float64) {
+	if vals.Rows != len(nodes) || vals.Cols != s.Dim || len(times) != len(nodes) {
+		panic(fmt.Sprintf("memstore: WriteEach %dx%d, %d nodes, %d times", vals.Rows, vals.Cols, len(nodes), len(times)))
+	}
+	for i, n := range nodes {
+		copy(s.mem.Row(int(n)), vals.Row(i))
+		s.lastUpdate[n] = times[i]
+	}
+}
+
+// Clone returns a deep copy of the store (state snapshots for isolated
+// validation).
+func (s *MemoryStore) Clone() *MemoryStore {
+	out := NewMemoryStore(s.NumNodes, s.Dim)
+	copy(out.mem.Data, s.mem.Data)
+	copy(out.lastUpdate, s.lastUpdate)
+	return out
+}
+
+// CopyFrom overwrites this store's contents with other's (must be same
+// shape).
+func (s *MemoryStore) CopyFrom(other *MemoryStore) {
+	if s.NumNodes != other.NumNodes || s.Dim != other.Dim {
+		panic(fmt.Sprintf("memstore: CopyFrom %dx%d into %dx%d", other.NumNodes, other.Dim, s.NumNodes, s.Dim))
+	}
+	copy(s.mem.Data, other.mem.Data)
+	copy(s.lastUpdate, other.lastUpdate)
+}
+
+// Clone returns a deep copy of the mailbox.
+func (m *Mailbox) Clone() *Mailbox {
+	out := NewMailbox(m.NumNodes, m.K, m.Dim)
+	copy(out.counts, m.counts)
+	copy(out.heads, m.heads)
+	for n, ring := range m.rings {
+		if ring == nil {
+			continue
+		}
+		nr := make([]MailEntry, m.K)
+		for i, e := range ring {
+			if e.Vec != nil {
+				nr[i] = MailEntry{Vec: append([]float32(nil), e.Vec...), Time: e.Time}
+			}
+		}
+		out.rings[n] = nr
+	}
+	return out
+}

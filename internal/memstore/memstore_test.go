@@ -1,0 +1,124 @@
+package memstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+func TestMemoryStoreReadWrite(t *testing.T) {
+	s := NewMemoryStore(5, 3)
+	vals := tensor.FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	s.Write([]int32{1, 4}, vals, 7.5)
+	if got := s.Row(4); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("row 4 = %v", got)
+	}
+	if s.LastUpdate(1) != 7.5 || s.LastUpdate(0) != 0 {
+		t.Fatalf("timestamps %v %v", s.LastUpdate(1), s.LastUpdate(0))
+	}
+	g := s.Gather([]int32{4, 1, 0})
+	if g.At(0, 1) != 5 || g.At(1, 0) != 1 || g.At(2, 2) != 0 {
+		t.Fatalf("gather = %v", g.Data)
+	}
+	// Gather copies: mutating the copy must not touch the store.
+	g.Set(0, 0, 99)
+	if s.Row(4)[0] == 99 {
+		t.Fatal("gather aliases store")
+	}
+}
+
+func TestMemoryStoreReset(t *testing.T) {
+	s := NewMemoryStore(2, 2)
+	s.Write([]int32{0}, tensor.FromSlice(1, 2, []float32{1, 2}), 3)
+	s.Reset()
+	if s.Row(0)[0] != 0 || s.LastUpdate(0) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMemoryStoreValidation(t *testing.T) {
+	s := NewMemoryStore(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	s.Write([]int32{0}, tensor.NewMatrix(2, 2), 0)
+}
+
+func TestMailboxNewestFirstAndEviction(t *testing.T) {
+	mb := NewMailbox(3, 2, 2)
+	mb.Push(0, []float32{1, 1}, 1)
+	mb.Push(0, []float32{2, 2}, 2)
+	mb.Push(0, []float32{3, 3}, 3) // evicts the first
+	out := make([]MailEntry, 2)
+	n := mb.Read(0, out)
+	if n != 2 {
+		t.Fatalf("count %d", n)
+	}
+	if out[0].Vec[0] != 3 || out[1].Vec[0] != 2 {
+		t.Fatalf("order: %v %v", out[0].Vec, out[1].Vec)
+	}
+	if mb.Count(1) != 0 {
+		t.Fatal("untouched node has mail")
+	}
+}
+
+func TestMailboxPushCopies(t *testing.T) {
+	mb := NewMailbox(1, 1, 2)
+	v := []float32{1, 2}
+	mb.Push(0, v, 1)
+	v[0] = 99
+	out := make([]MailEntry, 1)
+	mb.Read(0, out)
+	if out[0].Vec[0] != 1 {
+		t.Fatal("mailbox aliased caller slice")
+	}
+}
+
+func TestMailboxReset(t *testing.T) {
+	mb := NewMailbox(2, 2, 1)
+	mb.Push(0, []float32{5}, 1)
+	mb.Reset()
+	if mb.Count(0) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if mb.MemoryBytes() <= 0 {
+		t.Fatal("memory accounting after reset")
+	}
+}
+
+// Property: mailbox count is min(pushes, K) and reads return newest-first
+// times.
+func TestMailboxProperties(t *testing.T) {
+	f := func(seed int64, pushes uint8, kRaw uint8) bool {
+		k := int(kRaw)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		mb := NewMailbox(1, k, 1)
+		t0 := 0.0
+		for i := 0; i < int(pushes); i++ {
+			t0 += rng.Float64() + 0.01
+			mb.Push(0, []float32{float32(i)}, t0)
+		}
+		want := int(pushes)
+		if want > k {
+			want = k
+		}
+		if mb.Count(0) != want {
+			return false
+		}
+		out := make([]MailEntry, k)
+		n := mb.Read(0, out)
+		for i := 1; i < n; i++ {
+			if out[i].Time >= out[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

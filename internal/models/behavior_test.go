@@ -1,0 +1,207 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Behavioral tests pinning each model's signature mechanism from Table 1.
+
+func TestJODIETimeDecayScalesEmbedding(t *testing.T) {
+	// JODIE: h = (1 + Δt·w) ⊙ s. With w forced nonzero, the embedding of
+	// the same node at two query times must differ by exactly the scalar
+	// factor ratio.
+	d := testDataset(t)
+	m := NewJODIE(d, 8, 4, 3)
+	m.decayW.Value.Data[0] = 0.001
+	m.EndBatch(d.Events[:20])
+	m.BeginBatch()
+	node := []int32{d.Events[0].Src}
+	last := m.mem.LastUpdate(node[0])
+	e1 := m.Embed(node, []float64{last + 100})
+	e2 := m.Embed(node, []float64{last + 1000})
+	f1 := 1 + 0.001*100
+	f2 := 1 + 0.001*1000
+	for j := 0; j < 8; j++ {
+		a, b := e1.Value.At(0, j), e2.Value.At(0, j)
+		if a == 0 {
+			continue
+		}
+		ratio := float64(b / a)
+		want := f2 / f1
+		if math.Abs(ratio-want) > 1e-3 {
+			t.Fatalf("decay ratio %v, want %v (dim %d)", ratio, want, j)
+		}
+	}
+}
+
+func TestTGNMemoryUpdatedOnlyForTouchedNodes(t *testing.T) {
+	d := testDataset(t)
+	m := NewTGN(d, 8, 4, 3)
+	m.EndBatch(d.Events[:10])
+	upd := m.BeginBatch()
+	touched := map[int32]bool{}
+	for _, e := range d.Events[:10] {
+		touched[e.Src] = true
+		touched[e.Dst] = true
+	}
+	if len(upd.Nodes) != len(touched) {
+		t.Fatalf("updated %d nodes, %d touched", len(upd.Nodes), len(touched))
+	}
+	for _, n := range upd.Nodes {
+		if !touched[n] {
+			t.Fatalf("untouched node %d updated", n)
+		}
+	}
+	// Untouched nodes keep zero memories.
+	for n := int32(0); int(n) < d.NumNodes; n++ {
+		if touched[n] {
+			continue
+		}
+		for _, v := range m.mem.Row(n) {
+			if v != 0 {
+				t.Fatalf("untouched node %d memory moved", n)
+			}
+		}
+	}
+}
+
+func TestAPANMailboxDrivesUpdates(t *testing.T) {
+	// APAN's update attends over the mailbox: a node whose mailbox holds
+	// different messages must update to a different memory.
+	d := testDataset(t)
+	m1 := NewAPAN(d, 8, 4, 3)
+	m2 := NewAPAN(d, 8, 4, 3)
+	// Same pending event for both, but m2's mailbox carries extra mail.
+	ev := d.Events[0]
+	m1.EndBatch(d.Events[:1])
+	m2.EndBatch(d.Events[:1])
+	extra := make([]float32, m2.mailbox.Dim)
+	for i := range extra {
+		extra[i] = 3
+	}
+	m2.mailbox.Push(ev.Src, extra, ev.Time)
+	u1 := m1.BeginBatch()
+	u2 := m2.BeginBatch()
+	row1, row2 := findNodeRow(t, u1, ev.Src), findNodeRow(t, u2, ev.Src)
+	same := true
+	for j := 0; j < 8; j++ {
+		if u1.Post.At(row1, j) != u2.Post.At(row2, j) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("mailbox contents did not influence APAN's update")
+	}
+}
+
+func findNodeRow(t *testing.T, u *MemoryUpdate, node int32) int {
+	t.Helper()
+	for i, n := range u.Nodes {
+		if n == node {
+			return i
+		}
+	}
+	t.Fatalf("node %d not in update", node)
+	return -1
+}
+
+func TestTGATIdentityUpdateHasNoParamsInPath(t *testing.T) {
+	// TGAT's memory update is Identity: the post memory must not require
+	// grad (no learned transform touched it).
+	d := testDataset(t)
+	m := NewTGAT(d, 8, 4, 3)
+	m.EndBatch(d.Events[:10])
+	m.BeginBatch()
+	if m.view.upd != nil && m.view.upd.RequiresGrad() {
+		t.Fatal("TGAT identity update produced an on-tape gradient path")
+	}
+}
+
+func TestDySATStructuralAttentionUsesNeighbors(t *testing.T) {
+	// Zeroing a trained DySAT's neighbor memories must change the update
+	// of a touched node (structural attention reads them).
+	d := testDataset(t)
+	m := NewDySAT(d, 8, 4, 3)
+	// Warm up so neighbor memories are nonzero.
+	m.EndBatch(d.Events[:60])
+	m.BeginBatch()
+	m.EndBatch(d.Events[60:80])
+	snap := m.Snapshot()
+	u1 := m.BeginBatch()
+	m.Restore(snap)
+	// Kill all memories except the pending nodes' own rows.
+	pendingSet := map[int32]bool{}
+	for _, n := range m.pendingNodes {
+		pendingSet[n] = true
+	}
+	for n := int32(0); int(n) < d.NumNodes; n++ {
+		if !pendingSet[n] {
+			row := m.mem.Row(n)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	u2 := m.BeginBatch()
+	if len(u1.Nodes) != len(u2.Nodes) {
+		t.Fatalf("node sets differ: %d vs %d", len(u1.Nodes), len(u2.Nodes))
+	}
+	same := true
+	for i := range u1.Post.Data {
+		if u1.Post.Data[i] != u2.Post.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("zeroing neighbor memories did not change DySAT's update")
+	}
+}
+
+func TestMemoryUpdateEmptyHelper(t *testing.T) {
+	var u *MemoryUpdate
+	if !u.Empty() {
+		t.Fatal("nil update not empty")
+	}
+	if !(&MemoryUpdate{}).Empty() {
+		t.Fatal("zero update not empty")
+	}
+	full := &MemoryUpdate{Nodes: []int32{1}, Pre: tensor.NewMatrix(1, 2), Post: tensor.NewMatrix(1, 2)}
+	if full.Empty() {
+		t.Fatal("populated update empty")
+	}
+}
+
+func TestSnapshotRestoreRoundTripAllModels(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 8, 4, 3)
+		m.EndBatch(d.Events[:30])
+		m.BeginBatch()
+		m.EndBatch(d.Events[30:50])
+		snap := m.Snapshot()
+		// Mutate heavily, then restore.
+		m.BeginBatch()
+		m.EndBatch(d.Events[50:90])
+		m.BeginBatch()
+		m.Restore(snap)
+		// The pending set must be exactly the pre-snapshot one.
+		upd := m.BeginBatch()
+		touched := map[int32]bool{}
+		for _, e := range d.Events[30:50] {
+			touched[e.Src] = true
+			touched[e.Dst] = true
+		}
+		if len(upd.Nodes) != len(touched) {
+			t.Fatalf("%s: restored pending %d nodes, want %d", name, len(upd.Nodes), len(touched))
+		}
+		for _, n := range upd.Nodes {
+			if !touched[n] {
+				t.Fatalf("%s: restored pending has foreign node %d", name, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package models
+
+import (
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+func testDataset(t testing.TB) *graph.Dataset {
+	t.Helper()
+	d := datagen.Wiki.Generate(datagen.Options{Scale: 0.002, Seed: 1, FeatDimOverride: 8, MinNodes: 64, MinEvents: 400})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return d
+}
+
+func runBatches(t testing.TB, m TGNN, d *graph.Dataset, batch, n int) {
+	t.Helper()
+	for b := 0; b < n; b++ {
+		lo, hi := b*batch, (b+1)*batch
+		if hi > d.NumEvents() {
+			return
+		}
+		upd := m.BeginBatch()
+		if b > 0 && upd.Empty() {
+			t.Fatalf("%s: batch %d had no memory updates", m.Name(), b)
+		}
+		events := d.Events[lo:hi]
+		nodes := make([]int32, 0, 2*len(events))
+		ts := make([]float64, 0, 2*len(events))
+		for _, e := range events {
+			nodes = append(nodes, e.Src, e.Dst)
+			ts = append(ts, e.Time, e.Time)
+		}
+		emb := m.Embed(nodes, ts)
+		if emb.Rows() != len(nodes) || emb.Cols() != m.EmbedDim() {
+			t.Fatalf("%s: embed %dx%d, want %dx%d", m.Name(), emb.Rows(), emb.Cols(), len(nodes), m.EmbedDim())
+		}
+		for _, v := range emb.Value.Data {
+			if v != v { // NaN
+				t.Fatalf("%s: NaN embedding at batch %d", m.Name(), b)
+			}
+		}
+		m.EndBatch(events)
+	}
+}
+
+func TestAllModelsRunBatches(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name, d, 16, 4, 7)
+			if m.Name() != name {
+				t.Fatalf("name %q", m.Name())
+			}
+			runBatches(t, m, d, 20, 8)
+		})
+	}
+}
+
+func TestMemoryUpdateRecordsPrePost(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 3)
+		m.EndBatch(d.Events[:50])
+		upd := m.BeginBatch()
+		if upd.Empty() {
+			t.Fatalf("%s: no updates after 50 events", name)
+		}
+		if upd.Pre.Rows != len(upd.Nodes) || upd.Post.Rows != len(upd.Nodes) {
+			t.Fatalf("%s: pre/post rows %d/%d for %d nodes", name, upd.Pre.Rows, upd.Post.Rows, len(upd.Nodes))
+		}
+		// Pre memories start at zero; at least one post memory should move
+		// (identity models blend features in, learned models transform).
+		moved := false
+		for i := range upd.Post.Data {
+			if upd.Post.Data[i] != upd.Pre.Data[i] {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.Fatalf("%s: update was a no-op", name)
+		}
+	}
+}
+
+func TestGradientsReachUpdaterWeights(t *testing.T) {
+	// For models with learned updaters, a loss over embeddings of freshly
+	// updated nodes must produce gradients in the updater parameters.
+	d := testDataset(t)
+	for _, name := range []string{"JODIE", "TGN", "APAN", "DySAT"} {
+		m := MustNew(name, d, 16, 4, 11)
+		m.EndBatch(d.Events[:40])
+		upd := m.BeginBatch()
+		ts := make([]float64, len(upd.Nodes))
+		for i := range ts {
+			ts[i] = 1e6
+		}
+		emb := m.Embed(upd.Nodes, ts)
+		loss := tensor.SumT(tensor.MulT(emb, emb))
+		loss.Backward()
+		got := false
+		for _, p := range m.Params() {
+			if p.T.Grad != nil {
+				for _, g := range p.T.Grad.Data {
+					if g != 0 {
+						got = true
+						break
+					}
+				}
+			}
+			if got {
+				break
+			}
+		}
+		if !got {
+			t.Fatalf("%s: no parameter received gradient", name)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 5)
+		m.EndBatch(d.Events[:30])
+		m.BeginBatch()
+		m.Reset()
+		upd := m.BeginBatch()
+		if !upd.Empty() {
+			t.Fatalf("%s: pending survived Reset", name)
+		}
+	}
+}
+
+func TestEmbedOnTapeForUpdatedNodes(t *testing.T) {
+	// Embeddings of nodes updated this batch must flow gradients into the
+	// on-tape post-update tensor (the lazy-update mechanism).
+	d := testDataset(t)
+	m := NewTGN(d, 16, 4, 13)
+	m.EndBatch(d.Events[:30])
+	upd := m.BeginBatch()
+	if upd.Empty() {
+		t.Fatal("no update")
+	}
+	ts := []float64{1e6}
+	emb := m.Embed(upd.Nodes[:1], ts)
+	loss := tensor.SumT(emb)
+	loss.Backward()
+	// GRU weights must have gradients because embedding consumed on-tape
+	// memories.
+	gotGRU := false
+	for _, p := range m.updater.Params() {
+		if p.T.Grad != nil {
+			for _, g := range p.T.Grad.Data {
+				if g != 0 {
+					gotGRU = true
+				}
+			}
+		}
+	}
+	if !gotGRU {
+		t.Fatal("embedding of updated node did not backprop into GRU")
+	}
+}
+
+func TestRegistryRejectsUnknown(t *testing.T) {
+	d := testDataset(t)
+	if _, err := New("GPT", d, 0, 0, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	d := testDataset(t)
+	m := MustNew("TGN", d, 0, 0, 1)
+	if m.Config().MemoryDim != DefaultMemoryDim || m.Config().TimeDim != DefaultTimeDim {
+		t.Fatalf("defaults not applied: %+v", m.Config())
+	}
+}
+
+func TestTable1Configs(t *testing.T) {
+	d := testDataset(t)
+	wantSampling := map[string]Sampling{
+		"JODIE": SampleMostRecent, "TGN": SampleMostRecent, "APAN": SampleMostRecent,
+		"DySAT": SampleUniform, "TGAT": SampleUniform,
+	}
+	wantNum := map[string]int{"JODIE": 1, "TGN": 1, "APAN": 10, "DySAT": 10, "TGAT": 10}
+	for _, name := range Names {
+		m := MustNew(name, d, 0, 0, 1)
+		c := m.Config()
+		if c.Sampling != wantSampling[name] || c.NumNeighbors != wantNum[name] {
+			t.Fatalf("%s config mismatch with Table 1: %+v", name, c)
+		}
+		if row := Table1Row(m); row == "" {
+			t.Fatalf("%s empty table row", name)
+		}
+	}
+}
+
+func TestMemoryBytesBreakdown(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 1)
+		mb := m.MemoryBytes()
+		for _, key := range []string{"model", "memory", "graph", "edge_feature"} {
+			if mb[key] <= 0 {
+				t.Fatalf("%s: component %q = %d", name, key, mb[key])
+			}
+		}
+		if name == "APAN" {
+			if _, ok := mb["mailbox"]; !ok {
+				t.Fatal("APAN missing mailbox accounting")
+			}
+		}
+		if TotalMemoryBytes(m) <= 0 {
+			t.Fatalf("%s: non-positive total", name)
+		}
+		if len(MemoryBreakdownKeys(m)) != len(mb) {
+			t.Fatalf("%s: key listing mismatch", name)
+		}
+	}
+}
+
+func TestParamsNonEmptyAndNamed(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 1)
+		ps := m.Params()
+		if len(ps) == 0 {
+			t.Fatalf("%s: no parameters", name)
+		}
+		for _, p := range ps {
+			if p.Name == "" || p.T == nil {
+				t.Fatalf("%s: anonymous or nil param", name)
+			}
+			if !p.T.RequiresGrad() {
+				t.Fatalf("%s: param %s does not require grad", name, p.Name)
+			}
+		}
+		_ = nn.NumParams(m)
+	}
+}
+
+func TestMemViewRoutesUpdatedNodes(t *testing.T) {
+	d := testDataset(t)
+	m := NewJODIE(d, 8, 4, 1)
+	m.EndBatch(d.Events[:10])
+	upd := m.BeginBatch()
+	// The view's value for an updated node must equal the committed post
+	// memory, and a never-touched node must read zeros from the store.
+	got := m.view.Gather([]int32{upd.Nodes[0]})
+	for j := 0; j < 8; j++ {
+		if got.Value.At(0, j) != upd.Post.At(0, j) {
+			t.Fatal("view row != post memory")
+		}
+	}
+	// Find an untouched node.
+	touched := map[int32]bool{}
+	for _, n := range upd.Nodes {
+		touched[n] = true
+	}
+	var cold int32 = -1
+	for n := int32(0); int(n) < d.NumNodes; n++ {
+		if !touched[n] {
+			cold = n
+			break
+		}
+	}
+	if cold >= 0 {
+		g := m.view.Gather([]int32{cold})
+		for _, v := range g.Value.Data {
+			if v != 0 {
+				t.Fatal("cold node memory not zero")
+			}
+		}
+	}
+}
+
+func TestTGAT2HopRunsAndDiffersFromStacked(t *testing.T) {
+	d := testDataset(t)
+	stacked := MustNew("TGAT", d, 16, 4, 7)
+	twoHop := MustNew("TGAT-2hop", d, 16, 4, 7)
+	if twoHop.Name() != "TGAT-2hop" {
+		t.Fatalf("name %q", twoHop.Name())
+	}
+	runBatches(t, twoHop, d, 20, 6)
+	// Same seed, same events: the variants share layer-1/-2 parameters but
+	// route differently, so embeddings of warm nodes must differ.
+	stacked.Reset()
+	twoHop.Reset()
+	for _, m := range []TGNN{stacked, twoHop} {
+		m.EndBatch(d.Events[:60])
+		m.BeginBatch()
+	}
+	nodes := []int32{d.Events[0].Src, d.Events[10].Src}
+	ts := []float64{1e6, 1e6}
+	a := stacked.Embed(nodes, ts)
+	b := twoHop.Embed(nodes, ts)
+	same := true
+	for i := range a.Value.Data {
+		if a.Value.Data[i] != b.Value.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("2-hop embedding identical to stacked variant")
+	}
+}
+
+func TestModelsDeterministicGivenSeed(t *testing.T) {
+	// Two identically seeded instances must produce bit-identical
+	// embeddings after identical event streams (models with uniform
+	// sampling draw from their own seeded rng, so this also pins the
+	// sampling path).
+	d := testDataset(t)
+	for _, name := range Names {
+		a := MustNew(name, d, 16, 4, 17)
+		b := MustNew(name, d, 16, 4, 17)
+		for _, m := range []TGNN{a, b} {
+			m.EndBatch(d.Events[:40])
+			m.BeginBatch()
+		}
+		nodes := []int32{d.Events[0].Src, d.Events[5].Dst}
+		ts := []float64{1e5, 1e5}
+		ea := a.Embed(nodes, ts)
+		eb := b.Embed(nodes, ts)
+		for i := range ea.Value.Data {
+			if ea.Value.Data[i] != eb.Value.Data[i] {
+				t.Fatalf("%s: nondeterministic embedding at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestEnableFullHistory(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 7)
+		if !EnableFullHistory(m) {
+			t.Fatalf("%s: full history not supported", name)
+		}
+		runBatches(t, m, d, 20, 5)
+	}
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+)
+
+// Defaults from the paper's configuration (Table 1: out size 100 for every
+// module).
+const (
+	DefaultMemoryDim = 100
+	DefaultTimeDim   = 16
+)
+
+// Names lists the five models in the paper's evaluation order.
+var Names = []string{"JODIE", "TGN", "APAN", "DySAT", "TGAT"}
+
+// New constructs a model by its paper name. memoryDim/timeDim ≤ 0 select the
+// defaults.
+func New(name string, ds *graph.Dataset, memoryDim, timeDim int, seed int64) (TGNN, error) {
+	if memoryDim <= 0 {
+		memoryDim = DefaultMemoryDim
+	}
+	if timeDim <= 0 {
+		timeDim = DefaultTimeDim
+	}
+	switch name {
+	case "JODIE":
+		return NewJODIE(ds, memoryDim, timeDim, seed), nil
+	case "TGN":
+		return NewTGN(ds, memoryDim, timeDim, seed), nil
+	case "APAN":
+		return NewAPAN(ds, memoryDim, timeDim, seed), nil
+	case "DySAT":
+		return NewDySAT(ds, memoryDim, timeDim, seed), nil
+	case "TGAT":
+		return NewTGAT(ds, memoryDim, timeDim, seed), nil
+	case "TGAT-2hop":
+		return NewTGAT2Hop(ds, memoryDim, timeDim, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names)
+	}
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(name string, ds *graph.Dataset, memoryDim, timeDim int, seed int64) TGNN {
+	m, err := New(name, ds, memoryDim, timeDim, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Table1Row formats a model's configuration like the paper's Table 1.
+func Table1Row(m TGNN) string {
+	c := m.Config()
+	return fmt.Sprintf("%-6s | %s (num=%d) | msg=%s | update=%s | embed=%s | out=%d",
+		c.Name, c.Sampling, c.NumNeighbors, c.Message, c.Updater, c.Embedder, c.MemoryDim)
+}
+
+// EnableFullHistory switches a model's temporal-neighbor store from the
+// bounded ring to the exact full-history store (see
+// graph.FullAdjacencyStore). Returns false if the model does not expose the
+// switch.
+func EnableFullHistory(m TGNN) bool {
+	fh, ok := m.(interface{ UseFullHistory() })
+	if ok {
+		fh.UseFullHistory()
+	}
+	return ok
+}
+
+// TotalMemoryBytes sums a model's MemoryBytes map.
+func TotalMemoryBytes(m TGNN) int64 {
+	var total int64
+	for _, v := range m.MemoryBytes() {
+		total += v
+	}
+	return total
+}
+
+// MemoryBreakdownKeys returns the model's space-accounting component names
+// in stable order.
+func MemoryBreakdownKeys(m TGNN) []string {
+	mb := m.MemoryBytes()
+	keys := make([]string, 0, len(mb))
+	for k := range mb {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

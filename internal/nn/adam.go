@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba), the optimizer the paper
+// trains every TGNN with (§2.3).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	// GradClip, when > 0, clips each parameter's gradient to the given
+	// global L2 norm before the update (standard practice for RNN-family
+	// memory updaters).
+	GradClip float32
+
+	params []Param
+	m, v   []*tensor.Matrix
+	step   int
+}
+
+// NewAdam builds an optimizer over params with the given learning rate and
+// default betas (0.9, 0.999).
+func NewAdam(params []Param, lr float32) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([]*tensor.Matrix, len(params))
+	a.v = make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.NewMatrix(p.T.Value.Rows, p.T.Value.Cols)
+		a.v[i] = tensor.NewMatrix(p.T.Value.Rows, p.T.Value.Cols)
+	}
+	return a
+}
+
+// ZeroGrad clears every parameter gradient; call before each Backward.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		if p.T.Grad != nil {
+			p.T.Grad.Zero()
+		}
+	}
+}
+
+// Step applies one Adam update using the gradients accumulated in the
+// parameters. Parameters with nil gradients (untouched this step) are
+// skipped.
+func (a *Adam) Step() {
+	a.step++
+	b1c := 1 - float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	b2c := 1 - float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for i, p := range a.params {
+		g := p.T.Grad
+		if g == nil {
+			continue
+		}
+		if a.GradClip > 0 {
+			clipGrad(g, a.GradClip)
+		}
+		m, v := a.m[i], a.v[i]
+		w := p.T.Value
+		for j := range w.Data {
+			gj := g.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mHat := m.Data[j] / b1c
+			vHat := v.Data[j] / b2c
+			w.Data[j] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+		}
+	}
+}
+
+// StepCount returns the number of optimizer steps taken so far.
+func (a *Adam) StepCount() int { return a.step }
+
+func clipGrad(g *tensor.Matrix, maxNorm float32) {
+	var sq float64
+	for _, v := range g.Data {
+		sq += float64(v) * float64(v)
+	}
+	norm := float32(math.Sqrt(sq))
+	if norm > maxNorm && norm > 0 {
+		tensor.ScaleInto(g, g, maxNorm/norm)
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Checkpointing serializes a module's parameters by name so a trained TGNN
+// (plus its predictor head) can be saved and restored. The format is
+// little-endian: magic, count, then per parameter {nameLen, name, rows,
+// cols, float32 data}.
+
+var checkpointMagic = [8]byte{'C', 'A', 'S', 'C', 'C', 'K', 'P', '1'}
+
+// SaveParams writes every parameter of params to w.
+func SaveParams(w io.Writer, params []Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		v := p.T.Value
+		if err := binary.Write(bw, binary.LittleEndian, uint32(v.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(v.Cols)); err != nil {
+			return err
+		}
+		for _, x := range v.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(x)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads a checkpoint written by SaveParams into params: every
+// stored parameter must match a live parameter by name and shape, and every
+// live parameter must be present in the checkpoint.
+func LoadParams(r io.Reader, params []Param) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading checkpoint count: %w", err)
+	}
+	byName := make(map[string]*tensor.Tensor, len(params))
+	for _, p := range params {
+		if _, dup := byName[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		byName[p.Name] = p.T
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: param %d name length: %w", i, err)
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: param %d name implausibly long (%d)", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("nn: param %d name: %w", i, err)
+		}
+		tns, ok := byName[string(name)]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in model", name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("nn: param %q rows: %w", name, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("nn: param %q cols: %w", name, err)
+		}
+		if int(rows) != tns.Value.Rows || int(cols) != tns.Value.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d, model has %dx%d", name, rows, cols, tns.Value.Rows, tns.Value.Cols)
+		}
+		for j := range tns.Value.Data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("nn: param %q data[%d]: %w", name, j, err)
+			}
+			tns.Value.Data[j] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewMLP(rng, ActReLU, 4, 8, 2)
+	dst := NewMLP(rand.New(rand.NewSource(2)), ActReLU, 4, 8, 2)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, CollectParams(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, CollectParams(dst)); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := CollectParams(src), CollectParams(dst)
+	for i := range sp {
+		for j := range sp[i].T.Value.Data {
+			if sp[i].T.Value.Data[j] != dp[i].T.Value.Data[j] {
+				t.Fatalf("param %s[%d] differs after round trip", sp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointShapeMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, CollectParams(NewLinear(rng, 4, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, CollectParams(NewLinear(rng, 4, 5))); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCheckpointCountMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, CollectParams(NewLinear(rng, 2, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, CollectParams(NewMLP(rng, ActReLU, 2, 2, 2))); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestCheckpointNameMismatchRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewLinear(rng, 2, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, []Param{{Name: "other", T: l.W}, {Name: "b", T: l.B}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, l.Params()); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}
+
+func TestCheckpointTruncationRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewLinear(rng, 3, 3)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 5 {
+		if err := LoadParams(bytes.NewReader(full[:cut]), l.Params()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointBadMagicRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewLinear(rng, 2, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, l.Params()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xFF
+	if err := LoadParams(bytes.NewReader(data), l.Params()); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCheckpointDuplicateNamesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := NewLinear(rng, 2, 2)
+	params := []Param{{Name: "w", T: l.W}, {Name: "w", T: l.B}}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, params); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}

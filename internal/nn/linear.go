@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math/rand"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	In, Out int
+	W, B    *tensor.Tensor
+}
+
+// NewLinear builds a Glorot-initialized linear layer.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   tensor.Var(xavier(rng, in, out)),
+		B:   tensor.Var(tensor.NewMatrix(1, out)),
+	}
+}
+
+// Forward applies the layer to a (batch × In) tensor.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.AddRowT(tensor.MatMulT(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []Param {
+	return []Param{{Name: "W", T: l.W}, {Name: "b", T: l.B}}
+}
+
+// Activation selects the nonlinearity applied between MLP layers.
+type Activation int
+
+// Supported activations.
+const (
+	ActReLU Activation = iota
+	ActTanh
+	ActSigmoid
+)
+
+func applyAct(a Activation, x *tensor.Tensor) *tensor.Tensor {
+	switch a {
+	case ActTanh:
+		return tensor.TanhT(x)
+	case ActSigmoid:
+		return tensor.SigmoidT(x)
+	default:
+		return tensor.ReLUT(x)
+	}
+}
+
+// MLP is a stack of Linear layers with an activation between them (none
+// after the last layer). The paper's msg(·) module and the final edge
+// predictor are MLPs (§2.2).
+type MLP struct {
+	Layers []*Linear
+	Act    Activation
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [in, hidden,
+// out].
+func NewMLP(rng *rand.Rand, act Activation, dims ...int) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{Act: act}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(rng, dims[i], dims[i+1]))
+	}
+	return m
+}
+
+// Forward applies the stack.
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for i, l := range m.Layers {
+		x = l.Forward(x)
+		if i+1 < len(m.Layers) {
+			x = applyAct(m.Act, x)
+		}
+	}
+	return x
+}
+
+// Params implements Module.
+func (m *MLP) Params() []Param {
+	var out []Param
+	for i, l := range m.Layers {
+		out = append(out, prefixed(layerName(i), l.Params())...)
+	}
+	return out
+}
+
+func layerName(i int) string {
+	return "layer" + string(rune('0'+i))
+}
+
+// Identity is a Module with no parameters whose Forward returns its input.
+// Table 1 uses Identity for JODIE/APAN node embedding and TGAT message.
+type Identity struct{}
+
+// Forward returns x unchanged.
+func (Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// Params implements Module.
+func (Identity) Params() []Param { return nil }
+
+// LayerNorm is a learnable row-normalization layer (gain initialized to 1,
+// bias to 0).
+type LayerNorm struct {
+	Dim        int
+	Gain, Bias *tensor.Tensor
+}
+
+// NewLayerNorm builds a LayerNorm over dim-wide rows.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := tensor.NewMatrix(1, dim)
+	g.Fill(1)
+	return &LayerNorm{Dim: dim, Gain: tensor.Var(g), Bias: tensor.Var(tensor.NewMatrix(1, dim))}
+}
+
+// Forward normalizes each row of x.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.LayerNormT(x, l.Gain, l.Bias)
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []Param {
+	return []Param{{Name: "gain", T: l.Gain}, {Name: "bias", T: l.Bias}}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Multi-head variants of the attention layers. The paper's Table 1
+// configurations are single-head; the original GAT and transformer papers
+// (and TGAT's reference implementation) use several heads whose outputs
+// concatenate, so the library offers both.
+
+// MultiHeadGAT runs H independent GAT heads and projects the concatenated
+// head outputs back to OutDim.
+type MultiHeadGAT struct {
+	Heads         int
+	InDim, OutDim int
+	heads         []*GATLayer
+	proj          *Linear
+}
+
+// NewMultiHeadGAT builds heads GAT layers of width outDim each plus the
+// output projection.
+func NewMultiHeadGAT(rng *rand.Rand, inDim, outDim, heads int) *MultiHeadGAT {
+	if heads <= 0 {
+		panic(fmt.Sprintf("nn: MultiHeadGAT with %d heads", heads))
+	}
+	m := &MultiHeadGAT{Heads: heads, InDim: inDim, OutDim: outDim}
+	for h := 0; h < heads; h++ {
+		m.heads = append(m.heads, NewGATLayer(rng, inDim, outDim))
+	}
+	m.proj = NewLinear(rng, heads*outDim, outDim)
+	return m
+}
+
+// Forward has GATLayer.Forward's contract.
+func (m *MultiHeadGAT) Forward(self, neigh *tensor.Tensor, k int, mask *tensor.Matrix) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, m.Heads)
+	for h, layer := range m.heads {
+		outs[h] = layer.Forward(self, neigh, k, mask)
+	}
+	if m.Heads == 1 {
+		return m.proj.Forward(outs[0])
+	}
+	return m.proj.Forward(tensor.ConcatColsT(outs...))
+}
+
+// Params implements Module.
+func (m *MultiHeadGAT) Params() []Param {
+	var out []Param
+	for h, layer := range m.heads {
+		out = append(out, prefixed(fmt.Sprintf("head%d", h), layer.Params())...)
+	}
+	return append(out, prefixed("proj", m.proj.Params())...)
+}
+
+// MultiHeadTransformer runs H independent attention heads and projects the
+// concatenation, with the same post-residual LayerNorm as TransformerLayer.
+type MultiHeadTransformer struct {
+	Heads int
+	Dim   int
+	heads []*TransformerLayer
+	proj  *Linear
+	norm  *LayerNorm
+}
+
+// NewMultiHeadTransformer builds heads transformer blocks of width dim.
+func NewMultiHeadTransformer(rng *rand.Rand, dim, heads int) *MultiHeadTransformer {
+	if heads <= 0 {
+		panic(fmt.Sprintf("nn: MultiHeadTransformer with %d heads", heads))
+	}
+	m := &MultiHeadTransformer{Heads: heads, Dim: dim}
+	for h := 0; h < heads; h++ {
+		m.heads = append(m.heads, NewTransformerLayer(rng, dim))
+	}
+	m.proj = NewLinear(rng, heads*dim, dim)
+	m.norm = NewLayerNorm(dim)
+	return m
+}
+
+// Forward has TransformerLayer.Forward's contract.
+func (m *MultiHeadTransformer) Forward(query, kv *tensor.Tensor, k int, mask *tensor.Matrix) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, m.Heads)
+	for h, layer := range m.heads {
+		outs[h] = layer.Forward(query, kv, k, mask)
+	}
+	var cat *tensor.Tensor
+	if m.Heads == 1 {
+		cat = outs[0]
+	} else {
+		cat = tensor.ConcatColsT(outs...)
+	}
+	return m.norm.Forward(tensor.AddT(query, m.proj.Forward(cat)))
+}
+
+// Params implements Module.
+func (m *MultiHeadTransformer) Params() []Param {
+	var out []Param
+	for h, layer := range m.heads {
+		out = append(out, prefixed(fmt.Sprintf("head%d", h), layer.Params())...)
+	}
+	out = append(out, prefixed("proj", m.proj.Params())...)
+	return append(out, prefixed("norm", m.norm.Params())...)
+}

@@ -1,0 +1,66 @@
+// Package nn provides the neural-network building blocks the five TGNN
+// models of Table 1 are assembled from: linear/MLP layers, RNN and GRU
+// memory updaters, graph-attention and transformer embedding modules, the
+// Bochner time encoder, and the Adam optimizer.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Param is a named trainable tensor.
+type Param struct {
+	Name string
+	T    *tensor.Tensor
+}
+
+// Module is anything owning trainable parameters.
+type Module interface {
+	Params() []Param
+}
+
+// CollectParams flattens the parameters of several modules, prefixing names.
+func CollectParams(mods ...Module) []Param {
+	var out []Param
+	for _, m := range mods {
+		if m == nil {
+			continue
+		}
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// xavier initializes a rows×cols matrix with Glorot-uniform values.
+func xavier(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	limit := float32(math.Sqrt(6.0 / float64(rows+cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return m
+}
+
+// NumParams returns the total scalar parameter count of a module.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.T.Value.Data)
+	}
+	return n
+}
+
+// ParamBytes returns the parameter memory footprint in bytes (float32).
+func ParamBytes(m Module) int { return 4 * NumParams(m) }
+
+func prefixed(prefix string, params []Param) []Param {
+	out := make([]Param, len(params))
+	for i, p := range params {
+		out[i] = Param{Name: fmt.Sprintf("%s.%s", prefix, p.Name), T: p.T}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 100, 1000} {
+		seen := make([]int32, n)
+		For(n, 4, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, n := range []int{1, 65, 128, 999} {
+		var total int64
+		ForChunks(n, 8, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		if total != int64(n) {
+			t.Fatalf("n=%d: chunks covered %d elements", n, total)
+		}
+	}
+}
+
+func TestMinIntReduce(t *testing.T) {
+	vals := []int{9, 3, 7, 1, 8}
+	got := MinIntReduce(len(vals), 2, func(i int) int { return vals[i] })
+	if got != 1 {
+		t.Fatalf("min = %d, want 1", got)
+	}
+}
+
+func TestMinIntReduceEmpty(t *testing.T) {
+	const maxInt = int(^uint(0) >> 1)
+	if got := MinIntReduce(0, 4, func(i int) int { return 0 }); got != maxInt {
+		t.Fatalf("empty reduce = %d, want MaxInt", got)
+	}
+}
+
+// Property: parallel min equals serial min for random inputs of random size.
+func TestMinIntReduceMatchesSerial(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1 << 20)
+		}
+		want := vals[0]
+		for _, v := range vals[1:] {
+			if v < want {
+				want = v
+			}
+		}
+		got := MinIntReduce(n, 8, func(i int) int { return vals[i] })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

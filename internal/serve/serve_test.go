@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/train"
+)
+
+func testServer(t *testing.T) (*Server, int) {
+	t.Helper()
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.002, Seed: 91, FeatDimOverride: 4, MinEvents: 600})
+	tr, val := ds.Split(0.8)
+	m := models.MustNew("JODIE", ds, 8, 4, 3)
+	trainer, err := train.NewTrainer(train.Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50),
+		Data: tr, Val: val, ValBatch: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.Train(2)
+	return New(m, trainer.Predictor(), ds.NumNodes), ds.NumNodes
+}
+
+func post(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIngestThenScore(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	rec := post(t, h, "/ingest", map[string]any{
+		"events": []map[string]any{
+			{"src": 0, "dst": 60, "time": 1e7},
+			{"src": 1, "dst": 61, "time": 1e7 + 1},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rec.Code, rec.Body)
+	}
+
+	rec = post(t, h, "/score", map[string]any{
+		"pairs": []map[string]any{{"src": 0, "dst": 60}, {"src": 1, "dst": 5}},
+		"time":  1e7 + 2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Scores) != 2 {
+		t.Fatalf("scores %v", resp.Scores)
+	}
+
+	req := httptest.NewRequest("GET", "/stats", nil)
+	statRec := httptest.NewRecorder()
+	h.ServeHTTP(statRec, req)
+	var stats map[string]any
+	if err := json.Unmarshal(statRec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["ingested"].(float64) != 2 || stats["scored"].(float64) != 2 {
+		t.Fatalf("stats %v", stats)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	s, n := testServer(t)
+	h := s.Handler()
+	cases := []map[string]any{
+		{},                               // no events
+		{"events": []map[string]any{{}}}, // self loop 0→0
+		{"events": []map[string]any{{"src": 0, "dst": n + 5, "time": 1}}}, // out of range
+		{"events": []map[string]any{{"src": 0, "dst": 1, "time": -5e18}}}, // before last time? time must be ≥ lastTime after training? lastTime starts 0
+	}
+	for i, c := range cases {
+		rec := post(t, h, "/ingest", c)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("case %d accepted: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	// Out-of-order within one request.
+	rec := post(t, h, "/ingest", map[string]any{"events": []map[string]any{
+		{"src": 0, "dst": 1, "time": 100}, {"src": 1, "dst": 2, "time": 50},
+	}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatal("out-of-order ingest accepted")
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	s, n := testServer(t)
+	h := s.Handler()
+	if rec := post(t, h, "/score", map[string]any{}); rec.Code != http.StatusBadRequest {
+		t.Fatal("empty score accepted")
+	}
+	rec := post(t, h, "/score", map[string]any{"pairs": []map[string]any{{"src": 0, "dst": n + 1}}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatal("out-of-range pair accepted")
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	req := httptest.NewRequest("POST", "/ingest", bytes.NewReader([]byte("{nope")))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec.Code)
+	}
+}
+
+func TestIngestMovesScores(t *testing.T) {
+	// Scores for a pair should change once fresh interactions are
+	// ingested (memories move).
+	s, _ := testServer(t)
+	h := s.Handler()
+	score := func() float64 {
+		rec := post(t, h, "/score", map[string]any{
+			"pairs": []map[string]any{{"src": 2, "dst": 55}}, "time": 2e7,
+		})
+		var resp struct {
+			Scores []float64 `json:"scores"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Scores[0]
+	}
+	before := score()
+	for i := 0; i < 5; i++ {
+		post(t, h, "/ingest", map[string]any{"events": []map[string]any{
+			{"src": 2, "dst": 55, "time": 2.1e7 + float64(i)},
+		}})
+	}
+	after := score()
+	if before == after {
+		t.Fatal("ingesting interactions did not move the score")
+	}
+}

@@ -1,0 +1,147 @@
+// Package stats provides the small statistical helpers the experiment
+// drivers share: histograms with fixed bucket edges (Fig. 3), summary
+// statistics, and baseline-normalized series (Figs. 2, 10–16 all report
+// values normalized to TGL).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts values into buckets delimited by ascending upper edges;
+// values above the last edge land in the overflow bucket.
+type Histogram struct {
+	Edges  []float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// edges (e.g. 25, 50, 75, 100 for Fig. 3's degree buckets).
+func NewHistogram(edges ...float64) *Histogram {
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("stats: histogram edges not ascending at %d", i))
+		}
+	}
+	return &Histogram{Edges: edges, Counts: make([]int64, len(edges)+1)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(v float64) {
+	i := sort.SearchFloat64s(h.Edges, v)
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fractions returns each bucket's share of observations.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// BucketLabels names the buckets ("≤25", "≤50", …, ">100").
+func (h *Histogram) BucketLabels() []string {
+	out := make([]string, len(h.Counts))
+	for i, e := range h.Edges {
+		out[i] = fmt.Sprintf("≤%g", e)
+	}
+	if len(h.Edges) > 0 {
+		out[len(h.Counts)-1] = fmt.Sprintf(">%g", h.Edges[len(h.Edges)-1])
+	}
+	return out
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	Std            float64
+}
+
+// Summarize computes descriptive statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// Normalize divides each value by base, the "normalized to baseline"
+// convention of every evaluation figure. A zero base yields zeros.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Speedup returns baseLatency/latency — how many times faster the contender
+// (latency) runs than the baseline (baseLatency).
+func Speedup(baseLatency, latency float64) float64 {
+	if latency == 0 {
+		return 0
+	}
+	return baseLatency / latency
+}
+
+// GeoMean returns the geometric mean of positive values (the conventional
+// "average speedup"); non-positive entries are skipped.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// FormatRow renders label + values as a fixed-width experiment output row.
+func FormatRow(label string, values []float64, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", label)
+	for _, v := range values {
+		fmt.Fprintf(&b, " "+format, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(25, 50, 75, 100)
+	for _, v := range []float64{0, 10, 25, 26, 60, 99, 100, 101, 500} {
+		h.Add(v)
+	}
+	// ≤25: {0,10,25}=3; ≤50: {26}=1; ≤75: {60}=1; ≤100: {99,100}=2; >100: {101,500}=2
+	want := []int64{3, 1, 1, 2, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 9 {
+		t.Fatalf("total %d", h.Total())
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum %v", sum)
+	}
+	labels := h.BucketLabels()
+	if labels[0] != "≤25" || labels[4] != ">100" {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ascending edges")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-9 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if e := Summarize(nil); e.N != 0 || e.Mean != 0 {
+		t.Fatalf("empty summary %+v", e)
+	}
+}
+
+func TestNormalizeAndSpeedup(t *testing.T) {
+	n := Normalize([]float64{2, 4, 6}, 2)
+	if n[0] != 1 || n[2] != 3 {
+		t.Fatalf("normalize %v", n)
+	}
+	if z := Normalize([]float64{1}, 0); z[0] != 0 {
+		t.Fatal("zero base")
+	}
+	if Speedup(10, 5) != 2 {
+		t.Fatal("speedup")
+	}
+	if Speedup(10, 0) != 0 {
+		t.Fatal("zero latency")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-9 {
+		t.Fatalf("geomean %v", g)
+	}
+	if g := GeoMean([]float64{2, -1, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean with skip %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("geomean empty")
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	row := FormatRow("WIKI", []float64{1.5, 2.25}, "%6.2f")
+	if row == "" || len(row) < 20 {
+		t.Fatalf("row %q", row)
+	}
+}
+
+// Property: fractions are a probability distribution for any inputs.
+func TestHistogramFractionsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(1, 2, 3)
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+		}
+		sum := 0.0
+		for _, fr := range h.Fractions() {
+			if fr < 0 || fr > 1 {
+				return false
+			}
+			sum += fr
+		}
+		return h.Total() == 0 || math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad estimates ∂f/∂param[i] by central differences, where f
+// rebuilds the scalar loss from scratch each call.
+func numericalGrad(param *Matrix, i int, f func() float32) float32 {
+	const eps = 1e-3
+	orig := param.Data[i]
+	param.Data[i] = orig + eps
+	up := f()
+	param.Data[i] = orig - eps
+	down := f()
+	param.Data[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkGrads compares autograd gradients to numerical gradients for every
+// element of every parameter.
+func checkGrads(t *testing.T, name string, params []*Tensor, build func() *Tensor, tol float32) {
+	t.Helper()
+	loss := build()
+	loss.Backward()
+	for pi, p := range params {
+		if p.Grad == nil {
+			t.Fatalf("%s: param %d got no gradient", name, pi)
+		}
+		for i := range p.Value.Data {
+			want := numericalGrad(p.Value, i, func() float32 { return build().Item() })
+			got := p.Grad.Data[i]
+			if !almostEq(got, want, tol) {
+				t.Fatalf("%s: param %d elem %d grad = %v, numerical = %v", name, pi, i, got, want)
+			}
+		}
+	}
+}
+
+func randVar(rng *rand.Rand, rows, cols int) *Tensor {
+	return Var(randMatrix(rng, rows, cols))
+}
+
+func TestGradMatMulChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	w1 := randVar(rng, 4, 3)
+	w2 := randVar(rng, 3, 2)
+	x := Const(randMatrix(rng, 5, 4))
+	checkGrads(t, "matmul-chain", []*Tensor{w1, w2}, func() *Tensor {
+		return SumT(MatMulT(MatMulT(x, w1), w2))
+	}, 2e-2)
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		name string
+		act  func(*Tensor) *Tensor
+	}{
+		{"sigmoid", SigmoidT},
+		{"tanh", TanhT},
+		{"relu", ReLUT},
+		{"leakyrelu", func(a *Tensor) *Tensor { return LeakyReLUT(a, 0.2) }},
+	}
+	for _, c := range cases {
+		w := randVar(rng, 3, 3)
+		x := Const(randMatrix(rng, 2, 3))
+		checkGrads(t, c.name, []*Tensor{w}, func() *Tensor {
+			return SumT(c.act(MatMulT(x, w)))
+		}, 3e-2)
+	}
+}
+
+func TestGradElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randVar(rng, 2, 3)
+	b := randVar(rng, 2, 3)
+	checkGrads(t, "add-mul-sub", []*Tensor{a, b}, func() *Tensor {
+		return SumT(MulT(AddT(a, b), SubT(a, b))) // (a+b)(a-b) = a²-b²
+	}, 2e-2)
+}
+
+func TestGradConcatSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randVar(rng, 2, 2)
+	b := randVar(rng, 2, 3)
+	checkGrads(t, "concat-slice", []*Tensor{a, b}, func() *Tensor {
+		cat := ConcatColsT(a, b)
+		return SumT(MulT(SliceColsT(cat, 1, 4), SliceColsT(cat, 1, 4)))
+	}, 2e-2)
+}
+
+func TestGradGatherRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randVar(rng, 4, 3)
+	idx := []int{0, 2, 2, 3, 1, 0}
+	checkGrads(t, "gather", []*Tensor{a}, func() *Tensor {
+		g := GatherRowsT(a, idx)
+		return SumT(MulT(g, g))
+	}, 2e-2)
+}
+
+func TestGradSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randVar(rng, 3, 4)
+	weights := Const(randMatrix(rng, 3, 4))
+	checkGrads(t, "softmax", []*Tensor{a}, func() *Tensor {
+		return SumT(MulT(SoftmaxRowsT(a), weights))
+	}, 3e-2)
+}
+
+func TestGradBCEWithLogits(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	logits := randVar(rng, 5, 1)
+	targets := Const(FromSlice(5, 1, []float32{1, 0, 1, 0, 1}))
+	checkGrads(t, "bce", []*Tensor{logits}, func() *Tensor {
+		return BCEWithLogitsT(logits, targets)
+	}, 2e-2)
+}
+
+func TestGradAddRowBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := randVar(rng, 3, 4)
+	bias := randVar(rng, 1, 4)
+	x := Const(randMatrix(rng, 6, 3))
+	checkGrads(t, "bias", []*Tensor{w, bias}, func() *Tensor {
+		return SumT(TanhT(AddRowT(MatMulT(x, w), bias)))
+	}, 3e-2)
+}
+
+func TestGradGroupOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	const group = 3
+	neigh := randVar(rng, 4*group, 5)
+	q := randVar(rng, 4, 5)
+	checkGrads(t, "attention-groups", []*Tensor{neigh, q}, func() *Tensor {
+		scores := RowDotGroupsT(q, neigh, group)
+		alpha := SoftmaxRowsT(scores)
+		agg := WeightedSumGroupsT(neigh, alpha, group)
+		return SumT(MulT(agg, agg))
+	}, 5e-2)
+}
+
+func TestGradRowMeanGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randVar(rng, 6, 4)
+	checkGrads(t, "rowmean", []*Tensor{a}, func() *Tensor {
+		m := RowMeanGroupsT(a, 3)
+		return SumT(MulT(m, m))
+	}, 2e-2)
+}
+
+func TestGradScaleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randVar(rng, 3, 3)
+	checkGrads(t, "scale-mean", []*Tensor{a}, func() *Tensor {
+		return MeanT(ScaleT(a, 2.5))
+	}, 2e-2)
+}
+
+func TestDetachStopsGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randVar(rng, 2, 2)
+	loss := SumT(MulT(a.Detach(), a.Detach()))
+	loss.Backward()
+	if a.Grad != nil {
+		t.Fatal("gradient flowed through Detach")
+	}
+}
+
+func TestGradAccumulatesAcrossUses(t *testing.T) {
+	// A tensor used twice must receive the sum of both paths' gradients.
+	a := Var(FromSlice(1, 1, []float32{3}))
+	loss := SumT(MulT(a, a)) // d(a²)/da = 2a = 6
+	loss.Backward()
+	if !almostEq(a.Grad.Data[0], 6, 1e-5) {
+		t.Fatalf("grad = %v, want 6", a.Grad.Data[0])
+	}
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar Backward")
+		}
+	}()
+	Var(NewMatrix(2, 2)).Backward()
+}
+
+func TestBackwardOnConstGraphIsNoop(t *testing.T) {
+	loss := SumT(Const(FromSlice(1, 2, []float32{1, 2})))
+	loss.Backward() // must not panic
+	if loss.RequiresGrad() {
+		t.Fatal("const graph should not require grad")
+	}
+}
+
+func TestItemValidation(t *testing.T) {
+	if v := Const(FromSlice(1, 1, []float32{7})).Item(); v != 7 {
+		t.Fatalf("Item = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Item of non-scalar")
+		}
+	}()
+	Const(NewMatrix(2, 1)).Item()
+}
+
+func TestSigmoidRange(t *testing.T) {
+	for _, x := range []float32{-100, -1, 0, 1, 100} {
+		y := sigmoid(x)
+		if y < 0 || y > 1 || math.IsNaN(float64(y)) {
+			t.Fatalf("sigmoid(%v) = %v out of range", x, y)
+		}
+	}
+}
+
+func TestDeepChainBackwardIterative(t *testing.T) {
+	// A deliberately deep tape must not overflow the stack: topoSort is
+	// iterative. 5000 chained scales.
+	a := Var(FromSlice(1, 1, []float32{1}))
+	cur := a
+	for i := 0; i < 5000; i++ {
+		cur = ScaleT(cur, 1.0001)
+	}
+	SumT(cur).Backward()
+	if a.Grad == nil {
+		t.Fatal("no gradient through deep chain")
+	}
+}
+
+func TestGradCos(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randVar(rng, 2, 3)
+	checkGrads(t, "cos", []*Tensor{a}, func() *Tensor {
+		return SumT(MulT(CosT(a), CosT(a)))
+	}, 3e-2)
+}
+
+func TestGradAddScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randVar(rng, 2, 2)
+	checkGrads(t, "addscalar", []*Tensor{a}, func() *Tensor {
+		x := AddScalarT(a, 2.5)
+		return SumT(MulT(x, x))
+	}, 2e-2)
+}
+
+func TestGradColBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	col := randVar(rng, 3, 1)
+	weights := Const(randMatrix(rng, 3, 4))
+	checkGrads(t, "colbroadcast", []*Tensor{col}, func() *Tensor {
+		return SumT(MulT(ColBroadcastT(col, 4), weights))
+	}, 2e-2)
+}
+
+func TestGradReshape(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := randVar(rng, 6, 1)
+	checkGrads(t, "reshape", []*Tensor{a}, func() *Tensor {
+		r := ReshapeT(a, 2, 3)
+		return SumT(MulT(r, r))
+	}, 2e-2)
+}
+
+func TestGradConcatRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a := randVar(rng, 2, 3)
+	b := randVar(rng, 3, 3)
+	checkGrads(t, "concatrows", []*Tensor{a, b}, func() *Tensor {
+		cat := ConcatRowsT(a, b)
+		return SumT(MulT(cat, cat))
+	}, 2e-2)
+}
+
+func TestReshapeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on element-count mismatch")
+		}
+	}()
+	ReshapeT(Const(NewMatrix(2, 3)), 4, 2)
+}
+
+func TestColBroadcastValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-column input")
+		}
+	}()
+	ColBroadcastT(Const(NewMatrix(2, 2)), 3)
+}
+
+func TestTapeStatsCountsOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	w := randVar(rng, 3, 3)
+	x := Const(randMatrix(rng, 4, 3))
+	loss := SumT(TanhT(MatMulT(x, w)))
+	s := StatsOf(loss)
+	if s.Kernels != 3 { // matmul, tanh, sum
+		t.Fatalf("kernels = %d, want 3", s.Kernels)
+	}
+	// matmul flops = 2·4·3·3 = 72; tanh = 8·12 = 96; sum = 1.
+	if s.Flops < 160 || s.Flops > 180 {
+		t.Fatalf("flops = %v", s.Flops)
+	}
+	if s.MaxRows != 4 {
+		t.Fatalf("max rows = %d", s.MaxRows)
+	}
+	var acc TapeStats
+	acc.Add(s)
+	acc.Add(s)
+	if acc.Kernels != 6 || acc.MaxRows != 4 {
+		t.Fatalf("accumulate: %+v", acc)
+	}
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	x := randVar(rng, 3, 5)
+	gain := randVar(rng, 1, 5)
+	bias := randVar(rng, 1, 5)
+	weights := Const(randMatrix(rng, 3, 5))
+	checkGrads(t, "layernorm", []*Tensor{x, gain, bias}, func() *Tensor {
+		return SumT(MulT(LayerNormT(x, gain, bias), weights))
+	}, 5e-2)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	x := Const(FromSlice(2, 4, []float32{1, 2, 3, 4, 10, 20, 30, 40}))
+	g := NewMatrix(1, 4)
+	g.Fill(1)
+	y := LayerNormT(x, Const(g), Const(NewMatrix(1, 4)))
+	for r := 0; r < 2; r++ {
+		var mean, sq float32
+		for _, v := range y.Value.Row(r) {
+			mean += v
+		}
+		mean /= 4
+		for _, v := range y.Value.Row(r) {
+			d := v - mean
+			sq += d * d
+		}
+		if mean > 1e-5 || mean < -1e-5 {
+			t.Fatalf("row %d mean %v", r, mean)
+		}
+		if std := sq / 4; std < 0.98 || std > 1.02 {
+			t.Fatalf("row %d var %v", r, std)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := float32(1)
+	if aa := float32(math.Abs(float64(a))); aa > scale {
+		scale = aa
+	}
+	if bb := float32(math.Abs(float64(b))); bb > scale {
+		scale = bb
+	}
+	return d <= tol*scale
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 5, 5)
+	id := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if !almostEq(c.Data[i], a.Data[i], 1e-6) {
+			t.Fatalf("A·I != A at %d: %v vs %v", i, c.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// A matmul large enough to cross the parallel threshold must agree
+	// with a naive triple loop.
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 64, 48)
+	b := randMatrix(rng, 48, 40)
+	got := MatMul(a, b)
+	want := NewMatrix(64, 40)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 40; j++ {
+			var s float32
+			for k := 0; k < 48; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-4) {
+			t.Fatalf("parallel matmul mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulTransposeKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 7, 4)
+	b := randMatrix(rng, 7, 5)
+	// aᵀ·b via kernel vs explicit transpose.
+	got := NewMatrix(4, 5)
+	MatMulTransAInto(got, a, b)
+	at := NewMatrix(4, 7)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 4; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := MatMul(at, b)
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-5) {
+			t.Fatalf("matmulTA mismatch at %d", i)
+		}
+	}
+
+	c := randMatrix(rng, 6, 4)
+	d := randMatrix(rng, 9, 4)
+	got2 := NewMatrix(6, 9)
+	MatMulTransBInto(got2, c, d)
+	dt := NewMatrix(4, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 4; j++ {
+			dt.Set(j, i, d.At(i, j))
+		}
+	}
+	want2 := MatMul(c, dt)
+	for i := range want2.Data {
+		if !almostEq(got2.Data[i], want2.Data[i], 1e-5) {
+			t.Fatalf("matmulTB mismatch at %d", i)
+		}
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{5, 6, 7, 8})
+	sum := NewMatrix(2, 2)
+	AddInto(sum, a, b)
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("add = %v", sum.Data)
+	}
+	diff := NewMatrix(2, 2)
+	SubInto(diff, b, a)
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("sub = %v", diff.Data)
+	}
+	prod := NewMatrix(2, 2)
+	MulInto(prod, a, b)
+	if prod.At(1, 0) != 21 {
+		t.Fatalf("mul = %v", prod.Data)
+	}
+	sc := NewMatrix(2, 2)
+	ScaleInto(sc, a, 2)
+	if sc.At(0, 1) != 4 {
+		t.Fatalf("scale = %v", sc.Data)
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	v := FromSlice(1, 3, []float32{10, 20, 30})
+	out := NewMatrix(2, 3)
+	AddRowInto(out, a, v)
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("addrow[%d] = %v want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := FromSlice(3, 2, []float32{1, 0, 1, 1, 0, 0})
+	b := FromSlice(3, 2, []float32{1, 0, -1, -1, 0, 0})
+	sims := CosineSimilarityRows(a, b)
+	if !almostEq(sims[0], 1, 1e-6) {
+		t.Fatalf("identical rows sim = %v", sims[0])
+	}
+	if !almostEq(sims[1], -1, 1e-6) {
+		t.Fatalf("opposite rows sim = %v", sims[1])
+	}
+	if sims[2] != 1 {
+		t.Fatalf("zero rows sim = %v, want 1 (unchanged memory)", sims[2])
+	}
+	if s := CosineSimilarityVec([]float32{0, 0}, []float32{1, 2}); s != 0 {
+		t.Fatalf("zero-vs-nonzero sim = %v, want 0", s)
+	}
+}
+
+// Property: cosine similarity is symmetric and within [-1, 1].
+func TestCosineSimilarityProperties(t *testing.T) {
+	f := func(xs [6]float32) bool {
+		a := []float32{xs[0], xs[1], xs[2]}
+		b := []float32{xs[3], xs[4], xs[5]}
+		s1 := CosineSimilarityVec(a, b)
+		s2 := CosineSimilarityVec(b, a)
+		if math.IsNaN(float64(s1)) || math.IsNaN(float64(s2)) {
+			return false
+		}
+		return almostEq(s1, s2, 1e-5) && s1 <= 1.0001 && s1 >= -1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A+B)+C == A+(B+C) elementwise for float32 within tolerance.
+func TestAddAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 50; iter++ {
+		a := randMatrix(rng, 3, 4)
+		b := randMatrix(rng, 3, 4)
+		c := randMatrix(rng, 3, 4)
+		ab := NewMatrix(3, 4)
+		AddInto(ab, a, b)
+		abc1 := NewMatrix(3, 4)
+		AddInto(abc1, ab, c)
+		bc := NewMatrix(3, 4)
+		AddInto(bc, b, c)
+		abc2 := NewMatrix(3, 4)
+		AddInto(abc2, a, bc)
+		for i := range abc1.Data {
+			if !almostEq(abc1.Data[i], abc2.Data[i], 1e-5) {
+				t.Fatalf("associativity broke at %d", i)
+			}
+		}
+	}
+}
+
+// Property: matmul distributes over addition: A·(B+C) == A·B + A·C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		a := randMatrix(rng, 4, 6)
+		b := randMatrix(rng, 6, 3)
+		c := randMatrix(rng, 6, 3)
+		bc := NewMatrix(6, 3)
+		AddInto(bc, b, c)
+		lhs := MatMul(a, bc)
+		ab := MatMul(a, b)
+		ac := MatMul(a, c)
+		rhs := NewMatrix(4, 3)
+		AddInto(rhs, ab, ac)
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-4) {
+				t.Fatalf("distributivity broke at %d: %v vs %v", i, lhs.Data[i], rhs.Data[i])
+			}
+		}
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad FromSlice length")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestDotAndAxpy(t *testing.T) {
+	a := FromSlice(1, 3, []float32{1, 2, 3})
+	b := FromSlice(1, 3, []float32{4, 5, 6})
+	if d := Dot(a, b); d != 32 {
+		t.Fatalf("dot = %v", d)
+	}
+	AxpyInto(a, b, 2)
+	if a.Data[2] != 15 {
+		t.Fatalf("axpy = %v", a.Data)
+	}
+}

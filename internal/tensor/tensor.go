@@ -1,0 +1,133 @@
+package tensor
+
+import "fmt"
+
+// Tensor is a node in a dynamically built computation graph. Forward values
+// are computed eagerly; Backward replays the tape in reverse topological
+// order. This mirrors the define-by-run autograd of the PyTorch stack the
+// paper's implementation uses, at the scale our models need (≤ a few thousand
+// rows × a few hundred columns per op).
+type Tensor struct {
+	// Value holds the forward result. It is always non-nil.
+	Value *Matrix
+	// Grad accumulates ∂loss/∂Value during Backward. It is lazily
+	// allocated for tensors that require grad.
+	Grad *Matrix
+
+	requiresGrad bool
+	op           string
+	inputs       []*Tensor
+	backFn       func()
+}
+
+// Var wraps m as a leaf tensor that participates in gradient computation
+// (i.e. a trainable parameter or an input we want gradients for).
+func Var(m *Matrix) *Tensor {
+	return &Tensor{Value: m, requiresGrad: true, op: "var"}
+}
+
+// Const wraps m as a leaf tensor with no gradient (e.g. input features,
+// detached node memories).
+func Const(m *Matrix) *Tensor {
+	return &Tensor{Value: m, op: "const"}
+}
+
+// RequiresGrad reports whether gradients flow into this tensor.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// Op returns the name of the operation that produced this tensor.
+func (t *Tensor) Op() string { return t.op }
+
+// Rows returns the row count of the tensor's value.
+func (t *Tensor) Rows() int { return t.Value.Rows }
+
+// Cols returns the column count of the tensor's value.
+func (t *Tensor) Cols() int { return t.Value.Cols }
+
+// Detach returns a constant view of t's value: gradients stop here. TGNN
+// trainers detach node memories between batches so back-propagation stays
+// within the current batch (§2.3).
+func (t *Tensor) Detach() *Tensor { return Const(t.Value) }
+
+// Item returns the single element of a 1×1 tensor.
+func (t *Tensor) Item() float32 {
+	if t.Value.Rows != 1 || t.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Item on %dx%d tensor", t.Value.Rows, t.Value.Cols))
+	}
+	return t.Value.Data[0]
+}
+
+// ensureGrad allocates the gradient buffer on demand.
+func (t *Tensor) ensureGrad() *Matrix {
+	if t.Grad == nil {
+		t.Grad = NewMatrix(t.Value.Rows, t.Value.Cols)
+	}
+	return t.Grad
+}
+
+// newNode builds a non-leaf tensor. The node requires grad iff any input
+// does; backFn is only retained in that case.
+func newNode(op string, value *Matrix, backFn func(), inputs ...*Tensor) *Tensor {
+	req := false
+	for _, in := range inputs {
+		if in.requiresGrad {
+			req = true
+			break
+		}
+	}
+	n := &Tensor{Value: value, op: op, inputs: inputs, requiresGrad: req}
+	if req {
+		n.backFn = backFn
+	}
+	return n
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a scalar
+// (1×1) tensor, typically a loss. Gradients accumulate into .Grad of every
+// tensor on the tape that requires grad. Call Optimizer.ZeroGrad (or clear
+// Grad fields) between steps.
+func (t *Tensor) Backward() {
+	if t.Value.Rows != 1 || t.Value.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Backward on non-scalar %dx%d tensor", t.Value.Rows, t.Value.Cols))
+	}
+	if !t.requiresGrad {
+		return // nothing on the tape requires grad; loss of constants
+	}
+	order := topoSort(t)
+	t.ensureGrad().Fill(1)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil && n.Grad != nil {
+			n.backFn()
+		}
+	}
+}
+
+// topoSort returns the reachable requires-grad subgraph in topological order
+// (inputs before outputs). Iterative DFS: tapes from large batches can be
+// deep, and we must not blow the goroutine stack.
+func topoSort(root *Tensor) []*Tensor {
+	visited := make(map[*Tensor]bool)
+	var order []*Tensor
+	type frame struct {
+		node *Tensor
+		next int
+	}
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.inputs) {
+			child := f.node.inputs[f.next]
+			f.next++
+			if !visited[child] && child.requiresGrad {
+				visited[child] = true
+				stack = append(stack, frame{node: child})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}

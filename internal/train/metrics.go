@@ -1,0 +1,166 @@
+package train
+
+import (
+	"math"
+	"sort"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Metrics are the standard link-prediction quality measures alongside the
+// BCE loss the paper reports: ROC-AUC and Average Precision over
+// positive-vs-negative edge scores.
+type Metrics struct {
+	Loss float64
+	AUC  float64
+	AP   float64
+	// Events is how many positive edges were scored.
+	Events int
+}
+
+// rocAUC computes the area under the ROC curve for scores with binary
+// labels, handling ties by the probabilistic definition
+// P(score⁺ > score⁻) + ½·P(score⁺ = score⁻) via the rank-sum formulation.
+func rocAUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Average ranks over tie groups.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+	var posRankSum float64
+	var nPos int
+	for i, lab := range labels {
+		if lab {
+			posRankSum += ranks[i]
+			nPos++
+		}
+	}
+	nNeg := n - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	u := posRankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// averagePrecision computes AP = Σ P(k)·rel(k) / #positives over the
+// score-descending ranking.
+func averagePrecision(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	if n == 0 {
+		return 0
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var hits int
+	var sum float64
+	for k, i := range idx {
+		if labels[i] {
+			hits++
+			sum += float64(hits) / float64(k+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(hits)
+}
+
+// ValidateMetrics scores the validation suffix like Validate but also
+// returns ROC-AUC and Average Precision of positive vs corrupted edges.
+func (t *Trainer) ValidateMetrics() Metrics {
+	if t.cfg.Val == nil || t.cfg.Val.NumEvents() == 0 {
+		return Metrics{}
+	}
+	var m Metrics
+	var lossSum float64
+	var scores []float64
+	var labels []bool
+	n := t.cfg.Val.NumEvents()
+	for lo := 0; lo < n; lo += t.cfg.ValBatch {
+		hi := lo + t.cfg.ValBatch
+		if hi > n {
+			hi = n
+		}
+		events := t.cfg.Val.Events[lo:hi]
+		loss, logits := t.scoreBatch(t.cfg.Val, events)
+		lossSum += loss * float64(len(events))
+		b := len(events)
+		for i := 0; i < 2*b; i++ {
+			scores = append(scores, float64(logits.Value.Data[i]))
+			labels = append(labels, i < b)
+		}
+		m.Events += b
+	}
+	m.Loss = lossSum / float64(m.Events)
+	m.AUC = rocAUC(scores, labels)
+	m.AP = averagePrecision(scores, labels)
+	return m
+}
+
+// scoreBatch runs the prediction step without learning and returns the loss
+// plus the raw logits ((2B × 1): positives then negatives), advancing model
+// state like a normal validation step.
+func (t *Trainer) scoreBatch(ds *graph.Dataset, events []graph.Event) (float64, *tensor.Tensor) {
+	model := t.cfg.Model
+	model.BeginBatch()
+	b := len(events)
+	nodes := make([]int32, 0, 3*b)
+	ts := make([]float64, 0, 3*b)
+	for _, e := range events {
+		nodes = append(nodes, e.Src)
+		ts = append(ts, e.Time)
+	}
+	for _, e := range events {
+		nodes = append(nodes, e.Dst)
+		ts = append(ts, e.Time)
+	}
+	for _, e := range events {
+		nodes = append(nodes, t.negativeSample(ds, e))
+		ts = append(ts, e.Time)
+	}
+	h := model.Embed(nodes, ts)
+	srcIdx := make([]int, b)
+	dstIdx := make([]int, b)
+	negIdx := make([]int, b)
+	for i := 0; i < b; i++ {
+		srcIdx[i] = i
+		dstIdx[i] = b + i
+		negIdx[i] = 2*b + i
+	}
+	hSrc := tensor.GatherRowsT(h, srcIdx)
+	posLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, dstIdx)))
+	negLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, negIdx)))
+	logits := tensor.ConcatRowsT(posLogits, negLogits)
+	targets := tensor.NewMatrix(2*b, 1)
+	for i := 0; i < b; i++ {
+		targets.Data[i] = 1
+	}
+	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
+	model.EndBatch(events)
+	if math.IsNaN(float64(loss.Item())) {
+		return math.NaN(), logits
+	}
+	return float64(loss.Item()), logits
+}

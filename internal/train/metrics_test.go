@@ -1,0 +1,128 @@
+package train
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/models"
+)
+
+func TestROCAUCKnownValues(t *testing.T) {
+	// Perfect separation → 1.
+	if auc := rocAUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false}); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	// Perfectly wrong → 0.
+	if auc := rocAUC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{true, true, false, false}); auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+	// All scores tied → 0.5 by the probabilistic tie convention.
+	if auc := rocAUC([]float64{0.5, 0.5, 0.5, 0.5}, []bool{true, false, true, false}); auc != 0.5 {
+		t.Fatalf("tied AUC = %v", auc)
+	}
+	// Degenerate label sets → 0.
+	if auc := rocAUC([]float64{1, 2}, []bool{true, true}); auc != 0 {
+		t.Fatalf("single-class AUC = %v", auc)
+	}
+	if rocAUC(nil, nil) != 0 {
+		t.Fatal("empty AUC")
+	}
+}
+
+func TestROCAUCHandComputed(t *testing.T) {
+	// scores: pos {3, 1}, neg {2, 0}. Pairs: (3>2),(3>0),(1<2),(1>0) →
+	// 3 of 4 → 0.75.
+	auc := rocAUC([]float64{3, 1, 2, 0}, []bool{true, true, false, false})
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAveragePrecisionKnownValues(t *testing.T) {
+	// Ranking (desc): pos, neg, pos, neg → AP = (1/1 + 2/3)/2 = 5/6.
+	ap := averagePrecision([]float64{4, 3, 2, 1}, []bool{true, false, true, false})
+	if math.Abs(ap-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", ap)
+	}
+	if averagePrecision([]float64{1, 2}, []bool{false, false}) != 0 {
+		t.Fatal("no-positives AP")
+	}
+	if averagePrecision(nil, nil) != 0 {
+		t.Fatal("empty AP")
+	}
+}
+
+// Property: AUC is in [0,1] and flipping all labels maps a→1−a (when both
+// classes are present and there are no ties complicating the complement).
+func TestROCAUCProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			scores = append(scores, v)
+		}
+		if len(scores) < 4 {
+			return true
+		}
+		labels := make([]bool, len(scores))
+		for i := range labels {
+			labels[i] = i%2 == 0
+		}
+		a := rocAUC(scores, labels)
+		if a < 0 || a > 1 {
+			return false
+		}
+		flipped := make([]bool, len(labels))
+		for i := range labels {
+			flipped[i] = !labels[i]
+		}
+		b := rocAUC(scores, flipped)
+		return math.Abs(a+b-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMetricsEndToEnd(t *testing.T) {
+	full, tr, val := trainValData(t)
+	sched := batching.NewFixed("TGL", tr.NumEvents(), 60)
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	trainer, err := NewTrainer(Config{Model: m, Sched: sched, Data: tr, Val: val, ValBatch: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.Train(4)
+	met := trainer.ValidateMetrics()
+	if met.Events != val.NumEvents() {
+		t.Fatalf("scored %d of %d events", met.Events, val.NumEvents())
+	}
+	if met.AUC <= 0.5 {
+		t.Fatalf("trained model AUC %.3f not above chance", met.AUC)
+	}
+	if met.AP <= 0.5 {
+		t.Fatalf("trained model AP %.3f not above chance", met.AP)
+	}
+	if met.Loss <= 0 || math.IsNaN(met.Loss) {
+		t.Fatalf("loss %v", met.Loss)
+	}
+}
+
+func TestValidateMetricsWithoutVal(t *testing.T) {
+	full, tr, _ := trainValData(t)
+	m := models.MustNew("JODIE", full, 8, 4, 1)
+	trainer, err := NewTrainer(Config{Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50), Data: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met := trainer.ValidateMetrics(); met.Events != 0 {
+		t.Fatalf("metrics without val data: %+v", met)
+	}
+}

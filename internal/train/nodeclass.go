@@ -1,0 +1,77 @@
+package train
+
+import (
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Node classification (the second CTDG task of Eq. 1, e.g. MOOC student
+// drop-out): per event, the model embeds the source node at the event time
+// and a classifier head predicts the event's binary label. The three
+// training steps of Fig. 1 are unchanged — only step 1's prediction target
+// differs from link prediction.
+
+// stepClassOn executes one node-classification batch.
+func (t *Trainer) stepClassOn(ds *graph.Dataset, events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, *tensor.Tensor) {
+	model := t.cfg.Model
+	upd := model.BeginBatch()
+	b := len(events)
+	if b == 0 {
+		return 0, upd, tensor.TapeStats{}, nil
+	}
+	nodes := make([]int32, b)
+	ts := make([]float64, b)
+	targets := tensor.NewMatrix(b, 1)
+	for i, e := range events {
+		nodes[i] = e.Src
+		ts[i] = e.Time
+		targets.Data[i] = float32(labels[i])
+	}
+	h := model.Embed(nodes, ts)
+	logits := t.predictor.Forward(h)
+	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
+	tape := tensor.StatsOf(loss)
+	if learn {
+		t.opt.ZeroGrad()
+		loss.Backward()
+		t.opt.Step()
+	}
+	model.EndBatch(events)
+	return float64(loss.Item()), upd, tape, logits
+}
+
+// ValidateClass scores the validation suffix of a node-classification run,
+// returning loss, ROC-AUC and AP over the event labels.
+func (t *Trainer) ValidateClass() Metrics {
+	if t.cfg.Task != TaskNodeClassification {
+		panic("train: ValidateClass on a link-prediction trainer")
+	}
+	if t.cfg.Val == nil || t.cfg.Val.NumEvents() == 0 {
+		return Metrics{}
+	}
+	var m Metrics
+	var lossSum float64
+	var scores []float64
+	var labels []bool
+	n := t.cfg.Val.NumEvents()
+	for lo := 0; lo < n; lo += t.cfg.ValBatch {
+		hi := lo + t.cfg.ValBatch
+		if hi > n {
+			hi = n
+		}
+		events := t.cfg.Val.Events[lo:hi]
+		evLabels := t.cfg.Val.Labels[lo:hi]
+		loss, _, _, logits := t.stepClassOn(t.cfg.Val, events, evLabels, false)
+		lossSum += loss * float64(len(events))
+		for i := range events {
+			scores = append(scores, float64(logits.Value.Data[i]))
+			labels = append(labels, evLabels[i] == 1)
+		}
+		m.Events += len(events)
+	}
+	m.Loss = lossSum / float64(m.Events)
+	m.AUC = rocAUC(scores, labels)
+	m.AP = averagePrecision(scores, labels)
+	return m
+}

@@ -1,0 +1,126 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/core"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+)
+
+func moocData(t testing.TB) (*graph.Dataset, *graph.Dataset, *graph.Dataset) {
+	t.Helper()
+	full := datagen.Mooc.Generate(datagen.Options{Scale: 0.0025, Seed: 71, FeatDimOverride: 8, MinNodes: 80, MinEvents: 1000})
+	if full.Labels == nil {
+		t.Fatal("MOOC profile generated no labels")
+	}
+	tr, val := full.Split(0.8)
+	return full, tr, val
+}
+
+func TestNodeClassificationLearns(t *testing.T) {
+	full, tr, val := moocData(t)
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 60),
+		Data: tr, Val: val, ValBatch: 100, Seed: 9, LR: 2e-3,
+		Task: TaskNodeClassification,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := trainer.Train(6)
+	first, last := epochs[0].Loss, epochs[len(epochs)-1].Loss
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("classification did not improve: %.4f → %.4f", first, last)
+	}
+	met := trainer.ValidateClass()
+	if met.Events != val.NumEvents() {
+		t.Fatalf("scored %d of %d", met.Events, val.NumEvents())
+	}
+	// Labels are driven by "risky" destinations, visible through memories
+	// and edge features: a trained model must clearly beat chance.
+	if met.AUC <= 0.6 {
+		t.Fatalf("classification AUC %.3f barely above chance", met.AUC)
+	}
+}
+
+func TestNodeClassificationUnderCascade(t *testing.T) {
+	full, tr, val := moocData(t)
+	m := models.MustNew("JODIE", full, 16, 4, 5)
+	sched := core.NewScheduler(tr.Events, full.NumNodes, core.Options{BaseBatch: 40, Workers: 2, Seed: 1})
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: sched, Data: tr, Val: val, ValBatch: 100, Seed: 9,
+		Task: TaskNodeClassification,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trainer.TrainEpoch()
+	if math.IsNaN(st.Loss) || st.Loss <= 0 {
+		t.Fatalf("loss %v", st.Loss)
+	}
+	if st.MeanBatchSize < 40 {
+		t.Fatalf("Cascade mean batch %.1f below base", st.MeanBatchSize)
+	}
+}
+
+func TestNodeClassificationRequiresLabels(t *testing.T) {
+	full, tr, _ := trainValData(t) // WIKI: no labels
+	m := models.MustNew("TGN", full, 8, 4, 1)
+	_, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50),
+		Data: tr, Task: TaskNodeClassification,
+	})
+	if err == nil {
+		t.Fatal("unlabeled dataset accepted for classification")
+	}
+}
+
+func TestValidateClassOnLinkTrainerPanics(t *testing.T) {
+	full, tr, val := trainValData(t)
+	m := models.MustNew("TGN", full, 8, 4, 1)
+	trainer, err := NewTrainer(Config{Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50), Data: tr, Val: val})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	trainer.ValidateClass()
+}
+
+func TestBatchLabelsAlignment(t *testing.T) {
+	labels := []uint8{0, 1, 0, 1, 1}
+	got := batchLabels(labels, batching.Batch{St: 1, Ed: 4})
+	if len(got) != 3 || got[0] != 1 || got[2] != 1 {
+		t.Fatalf("contiguous labels %v", got)
+	}
+	got = batchLabels(labels, batching.Batch{Indices: []int{4, 0}})
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("indexed labels %v", got)
+	}
+}
+
+func TestNodeClassificationWithNeutronStreamLayers(t *testing.T) {
+	// Indexed batches must route labels correctly.
+	full, tr, val := moocData(t)
+	m := models.MustNew("TGN", full, 8, 4, 5)
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewNeutronStream(tr.Events, 50),
+		Data: tr, Val: val, ValBatch: 100, Seed: 9,
+		Task: TaskNodeClassification,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trainer.TrainEpoch()
+	if math.IsNaN(st.Loss) || st.Loss <= 0 {
+		t.Fatalf("loss %v", st.Loss)
+	}
+}

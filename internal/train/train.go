@@ -1,0 +1,432 @@
+// Package train runs TGNN link-prediction training the way §2.3 / Figure 1
+// describe: the scheduler cuts the event sequence into batches; per batch
+// the trainer (1) embeds nodes with the pre-batch memories, predicts the
+// batch's edges against negative samples, back-propagates a BCE loss and
+// steps Adam; (2) generates messages from the batch's events; (3) updates
+// node memories — with runtime feedback (loss, memory-update similarity)
+// flowing back to adaptive schedulers.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/device"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// Task selects the prediction objective (Eq. 1 covers both).
+type Task int
+
+// Tasks.
+const (
+	// TaskLinkPrediction scores true edges against corrupted negatives
+	// (the paper's evaluation task, §5.1).
+	TaskLinkPrediction Task = iota
+	// TaskNodeClassification predicts each event's binary label from the
+	// source node's embedding (MOOC-style drop-out prediction).
+	TaskNodeClassification
+)
+
+// Config assembles one training run.
+type Config struct {
+	Model models.TGNN
+	Sched batching.Scheduler
+	Data  *graph.Dataset
+	// Val is the chronological validation suffix (may be nil).
+	Val *graph.Dataset
+	// LR is Adam's learning rate (default 1e-3).
+	LR float32
+	// Device, when non-nil, accumulates simulated accelerator cost per
+	// batch.
+	Device *device.Model
+	// ValBatch is the fixed batch size used for validation (the paper
+	// evaluates every resulting model at 900; default 900, clamped to the
+	// validation set).
+	ValBatch int
+	// Seed drives negative sampling.
+	Seed int64
+	// Task selects the objective (default link prediction).
+	Task Task
+	// OnBatch, when non-nil, receives a trace record after every training
+	// batch (convergence curves, schedulers' behaviour over time).
+	OnBatch func(BatchTrace)
+}
+
+// BatchTrace is the per-batch instrumentation record.
+type BatchTrace struct {
+	// Epoch and Index locate the batch (1-based epoch, 0-based batch).
+	Epoch, Index int
+	// Size is the event count of the batch.
+	Size int
+	// Loss is the batch training loss.
+	Loss float64
+	// DeviceTime is the batch's simulated accelerator cost (zero without a
+	// device model).
+	DeviceTime time.Duration
+	// CumEvents counts events processed so far this epoch.
+	CumEvents int
+}
+
+// EpochStats reports one epoch of training.
+type EpochStats struct {
+	Epoch         int
+	Batches       int
+	MeanBatchSize float64
+	// Loss is the event-weighted mean training loss.
+	Loss float64
+	// WallTime is the measured host time for the epoch (model compute +
+	// scheduler work).
+	WallTime time.Duration
+	// DeviceTime is the simulated accelerator time (zero without a device
+	// model).
+	DeviceTime time.Duration
+	// MeanOccupancy is the batch-weighted simulated device occupancy.
+	MeanOccupancy float64
+	// MaxrEnd is Cascade's endurance at epoch end (0 for other schedulers).
+	MaxrEnd int
+	// StableRatio is the SG-Filter's stable-update ratio (0 for other
+	// schedulers).
+	StableRatio float64
+	// ValLoss is the isolated per-epoch validation loss (only filled by
+	// TrainWithValidation).
+	ValLoss float64
+}
+
+// Trainer owns the predictor head and optimizer for one (model, scheduler,
+// dataset) combination.
+type Trainer struct {
+	cfg       Config
+	predictor *nn.MLP
+	opt       *nn.Adam
+	rng       *rand.Rand
+
+	epoch int
+}
+
+// maxrReporter and stableReporter are implemented by Cascade's scheduler;
+// the trainer duck-types so it does not depend on internal/core.
+type maxrReporter interface{ SensorMaxr() int }
+type stableReporter interface{ StableUpdateRatio() float64 }
+
+// NewTrainer validates the configuration and builds the predictor head
+// (the final MLP of §2.2 scoring [h_src ‖ h_dst]) and the Adam optimizer
+// over model + head parameters.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	if cfg.Model == nil || cfg.Sched == nil || cfg.Data == nil {
+		return nil, fmt.Errorf("train: config needs Model, Sched and Data")
+	}
+	if err := cfg.Data.Validate(); err != nil {
+		return nil, fmt.Errorf("train: invalid training data: %w", err)
+	}
+	if cfg.Val != nil {
+		if err := cfg.Val.Validate(); err != nil {
+			return nil, fmt.Errorf("train: invalid validation data: %w", err)
+		}
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.ValBatch <= 0 {
+		cfg.ValBatch = 900
+	}
+	if cfg.Task == TaskNodeClassification && cfg.Data.Labels == nil {
+		return nil, fmt.Errorf("train: node classification needs a labeled dataset")
+	}
+	if cfg.Task == TaskNodeClassification && cfg.Val != nil && cfg.Val.NumEvents() > 0 && cfg.Val.Labels == nil {
+		return nil, fmt.Errorf("train: node classification needs labeled validation data")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	embDim := cfg.Model.EmbedDim()
+	predIn := 2 * embDim // link prediction scores [h_src ‖ h_dst]
+	if cfg.Task == TaskNodeClassification {
+		predIn = embDim // classification scores h_src alone
+	}
+	predictor := nn.NewMLP(rng, nn.ActReLU, predIn, embDim, 1)
+	params := append(cfg.Model.Params(), predictor.Params()...)
+	opt := nn.NewAdam(params, cfg.LR)
+	opt.GradClip = 5
+	return &Trainer{cfg: cfg, predictor: predictor, opt: opt, rng: rng}, nil
+}
+
+// Predictor exposes the scoring head (examples use it for inference).
+func (t *Trainer) Predictor() *nn.MLP { return t.predictor }
+
+// TrainEpoch resets model memories and the scheduler, then runs one pass
+// over the training events.
+func (t *Trainer) TrainEpoch() EpochStats {
+	t.epoch++
+	st := EpochStats{Epoch: t.epoch}
+	t.cfg.Model.Reset()
+	t.cfg.Sched.Reset()
+
+	start := time.Now()
+	var lossSum float64
+	var eventSum int
+	var occSum float64
+	for {
+		b, ok := t.cfg.Sched.Next()
+		if !ok {
+			break
+		}
+		events := b.Events(t.cfg.Data.Events)
+		var labels []uint8
+		if t.cfg.Task == TaskNodeClassification {
+			labels = batchLabels(t.cfg.Data.Labels, b)
+		}
+		loss, upd, tape := t.step(events, labels, true)
+		lossSum += loss * float64(len(events))
+		eventSum += len(events)
+		st.Batches++
+		if t.cfg.Device != nil {
+			cost := t.cfg.Device.BatchCost(tape, true)
+			st.DeviceTime += cost.Time
+			occSum += cost.Occupancy
+		}
+		fb := batching.Feedback{Loss: loss}
+		if !upd.Empty() {
+			fb.Nodes, fb.PreMem, fb.PostMem = upd.Nodes, upd.Pre, upd.Post
+		}
+		t.cfg.Sched.OnBatchEnd(fb)
+		if t.cfg.OnBatch != nil {
+			var dt time.Duration
+			if t.cfg.Device != nil {
+				dt = t.cfg.Device.BatchCost(tape, true).Time
+			}
+			t.cfg.OnBatch(BatchTrace{
+				Epoch: t.epoch, Index: st.Batches - 1, Size: len(events),
+				Loss: loss, DeviceTime: dt, CumEvents: eventSum,
+			})
+		}
+	}
+	st.WallTime = time.Since(start)
+	if eventSum > 0 {
+		st.Loss = lossSum / float64(eventSum)
+		st.MeanBatchSize = float64(eventSum) / float64(st.Batches)
+	}
+	if st.Batches > 0 {
+		st.MeanOccupancy = occSum / float64(st.Batches)
+	}
+	if r, ok := t.cfg.Sched.(maxrReporter); ok {
+		st.MaxrEnd = r.SensorMaxr()
+	}
+	if r, ok := t.cfg.Sched.(stableReporter); ok {
+		st.StableRatio = r.StableUpdateRatio()
+	}
+	return st
+}
+
+// Train runs epochs and returns per-epoch statistics.
+func (t *Trainer) Train(epochs int) []EpochStats {
+	out := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		out = append(out, t.TrainEpoch())
+	}
+	return out
+}
+
+// Validate scores the validation suffix at the fixed evaluation batch size
+// (for the link-prediction task; ValidateClass covers node classification),
+// continuing chronologically from the trained state (memories keep
+// updating; weights do not). Returns the event-weighted mean BCE loss.
+func (t *Trainer) Validate() float64 {
+	if t.cfg.Val == nil || t.cfg.Val.NumEvents() == 0 {
+		return 0
+	}
+	var lossSum float64
+	var eventSum int
+	n := t.cfg.Val.NumEvents()
+	for lo := 0; lo < n; lo += t.cfg.ValBatch {
+		hi := lo + t.cfg.ValBatch
+		if hi > n {
+			hi = n
+		}
+		events := t.cfg.Val.Events[lo:hi]
+		var loss float64
+		if t.cfg.Task == TaskNodeClassification {
+			loss, _, _, _ = t.stepClassOn(t.cfg.Val, events, t.cfg.Val.Labels[lo:hi], false)
+		} else {
+			loss, _, _ = t.stepOn(t.cfg.Val, events, false)
+		}
+		lossSum += loss * float64(len(events))
+		eventSum += len(events)
+	}
+	return lossSum / float64(eventSum)
+}
+
+// step runs one batch on the training dataset, dispatching on the task.
+func (t *Trainer) step(events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats) {
+	if t.cfg.Task == TaskNodeClassification {
+		loss, upd, tape, _ := t.stepClassOn(t.cfg.Data, events, labels, learn)
+		return loss, upd, tape
+	}
+	return t.stepOn(t.cfg.Data, events, learn)
+}
+
+// batchLabels aligns the dataset's labels with a batch: contiguous batches
+// slice, indexed batches (NeutronStream layers) gather.
+func batchLabels(labels []uint8, b batching.Batch) []uint8 {
+	if b.Indices == nil {
+		return labels[b.St:b.Ed]
+	}
+	out := make([]uint8, len(b.Indices))
+	for i, idx := range b.Indices {
+		out[i] = labels[idx]
+	}
+	return out
+}
+
+// stepOn executes the three training steps of Figure 1 on one batch.
+func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats) {
+	model := t.cfg.Model
+	// Step 0 (lazy message application, see internal/models): previous
+	// batch's messages update memories on the tape.
+	upd := model.BeginBatch()
+
+	b := len(events)
+	if b == 0 {
+		return 0, upd, tensor.TapeStats{}
+	}
+	// Step 1: embed, predict, learn. Positive pairs are the batch's edges;
+	// negatives corrupt the destination.
+	nodes := make([]int32, 0, 3*b)
+	ts := make([]float64, 0, 3*b)
+	for _, e := range events {
+		nodes = append(nodes, e.Src)
+		ts = append(ts, e.Time)
+	}
+	for _, e := range events {
+		nodes = append(nodes, e.Dst)
+		ts = append(ts, e.Time)
+	}
+	for _, e := range events {
+		nodes = append(nodes, t.negativeSample(ds, e))
+		ts = append(ts, e.Time)
+	}
+	h := model.Embed(nodes, ts)
+	srcIdx := make([]int, b)
+	dstIdx := make([]int, b)
+	negIdx := make([]int, b)
+	for i := 0; i < b; i++ {
+		srcIdx[i] = i
+		dstIdx[i] = b + i
+		negIdx[i] = 2*b + i
+	}
+	hSrc := tensor.GatherRowsT(h, srcIdx)
+	hDst := tensor.GatherRowsT(h, dstIdx)
+	hNeg := tensor.GatherRowsT(h, negIdx)
+	posLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, hDst))
+	negLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, hNeg))
+	logits := tensor.ConcatRowsT(posLogits, negLogits)
+	targets := tensor.NewMatrix(2*b, 1)
+	for i := 0; i < b; i++ {
+		targets.Data[i] = 1
+	}
+	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
+	tape := tensor.StatsOf(loss)
+	if learn {
+		t.opt.ZeroGrad()
+		loss.Backward()
+		t.opt.Step()
+	}
+
+	// Steps 2 and 3: generate this batch's messages and queue the memory
+	// updates (applied on the tape at the next BeginBatch).
+	model.EndBatch(events)
+	return float64(loss.Item()), upd, tape
+}
+
+// negativeSample draws a corrupted destination ≠ src, ≠ the true dst.
+func (t *Trainer) negativeSample(ds *graph.Dataset, e graph.Event) int32 {
+	for {
+		n := int32(t.rng.Intn(ds.NumNodes))
+		if n != e.Src && n != e.Dst {
+			return n
+		}
+	}
+}
+
+// MeanLoss averages the Loss field of epoch stats.
+func MeanLoss(epochs []EpochStats) float64 {
+	if len(epochs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range epochs {
+		s += e.Loss
+	}
+	return s / float64(len(epochs))
+}
+
+// TotalWall sums epoch wall times.
+func TotalWall(epochs []EpochStats) time.Duration {
+	var s time.Duration
+	for _, e := range epochs {
+		s += e.WallTime
+	}
+	return s
+}
+
+// TotalDevice sums simulated device times.
+func TotalDevice(epochs []EpochStats) time.Duration {
+	var s time.Duration
+	for _, e := range epochs {
+		s += e.DeviceTime
+	}
+	return s
+}
+
+// TrainWithEarlyStop trains up to maxEpochs, stopping once the epoch train
+// loss fails to improve for `patience` consecutive epochs. Returns the
+// per-epoch statistics and whether the run stopped early.
+func (t *Trainer) TrainWithEarlyStop(maxEpochs, patience int) ([]EpochStats, bool) {
+	if patience <= 0 {
+		patience = 3
+	}
+	var out []EpochStats
+	best := math.Inf(1)
+	since := 0
+	for e := 0; e < maxEpochs; e++ {
+		st := t.TrainEpoch()
+		out = append(out, st)
+		if st.Loss < best-1e-9 {
+			best = st.Loss
+			since = 0
+			continue
+		}
+		since++
+		if since >= patience {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// ValidateIsolated runs Validate against a snapshot of the model's stream
+// state and restores it afterwards, so mid-training validation does not
+// perturb the training stream (validation otherwise advances memories and
+// adjacency). Weights are untouched either way.
+func (t *Trainer) ValidateIsolated() float64 {
+	snap := t.cfg.Model.Snapshot()
+	v := t.Validate()
+	t.cfg.Model.Restore(snap)
+	return v
+}
+
+// TrainWithValidation runs epochs like Train but records an isolated
+// validation loss after each epoch in EpochStats.ValLoss.
+func (t *Trainer) TrainWithValidation(epochs int) []EpochStats {
+	out := make([]EpochStats, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		st := t.TrainEpoch()
+		st.ValLoss = t.ValidateIsolated()
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+GO ?= go
+
+# Packages whose tests exercise real concurrency; they get a second pass
+# under the race detector.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/...
+
+.PHONY: check build test vet race bench clean
+
+# check is the tier-1 gate: everything a PR must keep green.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -35,6 +35,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/graph/datagen"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 	"github.com/cascade-ml/cascade/internal/train"
 )
@@ -127,6 +128,11 @@ type RunConfig struct {
 	// SimulateDevice attaches the accelerator cost model (on by default
 	// for NewRun; set SkipDevice to disable).
 	SkipDevice bool
+	// Obs, when non-nil, receives metrics from every layer of the run —
+	// trainer (per-batch loss/timing), Cascade scheduler (maxr, stable
+	// ratio, cut reasons) and simulated device (occupancy) — for Prometheus
+	// export via obs.Registry.WritePrometheus.
+	Obs *obs.Registry
 }
 
 // Result summarizes a finished run.
@@ -199,7 +205,7 @@ func NewRun(cfg RunConfig) (*Run, error) {
 	r := &Run{cfg: cfg, model: model}
 	coreOpts := core.Options{
 		BaseBatch: cfg.BaseBatch, ThetaSim: cfg.ThetaSim,
-		Workers: cfg.Workers, Seed: cfg.Seed,
+		Workers: cfg.Workers, Seed: cfg.Seed, Obs: cfg.Obs,
 	}
 	switch cfg.Scheduler {
 	case SchedTGL, SchedTGLite:
@@ -235,10 +241,11 @@ func NewRun(cfg RunConfig) (*Run, error) {
 	tc := train.Config{
 		Model: model, Sched: r.sched, Data: tr, Val: val,
 		LR: cfg.LR, ValBatch: cfg.ValBatch, Seed: cfg.Seed,
-		Task: cfg.Task, OnBatch: cfg.OnBatch,
+		Task: cfg.Task, OnBatch: cfg.OnBatch, Obs: cfg.Obs,
 	}
 	if !cfg.SkipDevice {
 		dev := DevicePreset(cfg.Scheduler)
+		dev.Obs = cfg.Obs
 		tc.Device = &dev
 	}
 	r.trainer, err = train.NewTrainer(tc)
@@ -298,6 +305,14 @@ func (r *Run) Execute() (*Result, error) {
 // BatchTrace re-exports the per-batch instrumentation record delivered to
 // RunConfig.OnBatch.
 type BatchTrace = train.BatchTrace
+
+// Registry re-exports the metrics registry so callers can pass one via
+// RunConfig.Obs and render it with WritePrometheus without importing
+// internal packages.
+type Registry = obs.Registry
+
+// NewMetricsRegistry builds an empty metrics registry for RunConfig.Obs.
+func NewMetricsRegistry() *Registry { return obs.NewRegistry() }
 
 // TaskKind re-exports the training objective selector.
 type TaskKind = train.Task

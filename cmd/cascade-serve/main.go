@@ -1,11 +1,12 @@
 // Command cascade-serve trains a TGNN on a synthetic stream (or restores a
 // checkpoint) and serves it for online inference: fresh events stream in
 // via POST /ingest, candidate edges are scored via POST /score, counters at
-// GET /stats — the continuous-deployment scenario the paper's introduction
-// motivates.
+// GET /stats, Prometheus metrics at GET /metrics — the continuous-deployment
+// scenario the paper's introduction motivates.
 //
 //	cascade-serve -dataset WIKI -model TGN -epochs 5 -addr :8080
 //	curl -X POST localhost:8080/score -d '{"pairs":[{"src":1,"dst":2}],"time":1e6}'
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/serve"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	memdim := flag.Int("memdim", 32, "node memory width")
 	addr := flag.String("addr", ":8080", "listen address")
 	loadPath := flag.String("load", "", "restore a checkpoint instead of pre-training from scratch")
+	tracePath := flag.String("trace", "", "append one JSONL record per request (route, status, latency) here")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
@@ -44,9 +47,14 @@ func main() {
 	if base < 10 {
 		base = 10
 	}
+	// One registry spans the whole process: pre-training metrics (train_*,
+	// cascade_*, device_*) and serving metrics (serve_*) both land on
+	// GET /metrics.
+	reg := cascade.NewMetricsRegistry()
 	run, err := cascade.NewRun(cascade.RunConfig{
 		Dataset: ds, Model: *model, Scheduler: cascade.SchedCascade,
 		BaseBatch: base, Epochs: *epochs, MemoryDim: *memdim, TimeDim: 8, Seed: *seed,
+		Obs: reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
@@ -73,8 +81,20 @@ func main() {
 		fmt.Printf("pre-trained: val loss %.4f, mean batch %.0f\n", res.FinalValLoss, res.MeanBatchSize)
 	}
 
-	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes)
-	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats)\n", *addr)
+	opts := []serve.Option{serve.WithRegistry(reg)}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink := obs.NewTrace(f)
+		defer sink.Close()
+		opts = append(opts, serve.WithTrace(sink))
+	}
+	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes, opts...)
+	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
 		os.Exit(1)

@@ -31,6 +31,7 @@ func main() {
 	savePath := flag.String("save", "", "write a model checkpoint here after training")
 	loadPath := flag.String("load", "", "restore a model checkpoint before training")
 	tracePath := flag.String("trace", "", "write per-batch JSONL trace records here")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump here after training (\"-\" for stdout)")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -91,6 +92,23 @@ func main() {
 			}
 		}
 	}
+	var reg *cascade.Registry
+	metricsFile := os.Stdout
+	if *metricsOut != "" {
+		// Open the dump target up front: failing after hours of training
+		// would lose the run's metrics.
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			metricsFile = f
+		}
+		reg = cascade.NewMetricsRegistry()
+		cfg.Obs = reg
+	}
 	run, err := cascade.NewRun(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
@@ -144,6 +162,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+	if reg != nil {
+		if err := reg.WritePrometheus(metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
 	}
 	if cs := run.CascadeScheduler(); cs != nil {
 		stats := cs.Sensor().Stats()

@@ -5,6 +5,7 @@ import (
 
 	"github.com/cascade-ml/cascade/internal/batching"
 	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/obs"
 )
 
 // Options configures a Cascade scheduler.
@@ -35,6 +36,11 @@ type Options struct {
 	ProfileSamples int
 	// Seed drives profiling batch sampling.
 	Seed int64
+	// Obs, when non-nil, receives scheduler metrics: Maxr evolution
+	// (`cascade_maxr`), SG-Filter stable counts/ratio, the batch-size
+	// histogram, and counters for which bound cut each batch
+	// (`cascade_cut_{dependency,floor,chunk,end,safety}_total`).
+	Obs *obs.Registry
 }
 
 func (o *Options) fillDefaults() {
@@ -106,6 +112,10 @@ func NewScheduler(events []graph.Event, numNodes int, opt Options) *Scheduler {
 	s.diffuser.SetMaxr(s.abs.Maxr())
 	s.filter = NewSGFilter(numNodes, opt.ThetaSim)
 	s.buildTime = time.Since(start)
+	if r := opt.Obs; r != nil {
+		r.Gauge("cascade_build_seconds").Set(s.buildTime.Seconds())
+		r.Gauge("cascade_maxr").Set(float64(s.abs.Maxr()))
+	}
 	return s
 }
 
@@ -154,9 +164,17 @@ func (s *Scheduler) Next() (batching.Batch, bool) {
 	}
 	k := s.diffuser.LastTolerableEvent(stable)
 
+	// cut names which bound decided the batch boundary (observability:
+	// `cascade_cut_*_total` counters distinguish dependency-limited batches
+	// from floor-, chunk- and sequence-end-limited ones).
+	cut := "chunk"
+	if chunkHi == n {
+		cut = "end"
+	}
 	ed := chunkHi
 	if k != MaxEventIndex && k+1 < ed {
 		ed = k + 1
+		cut = "dependency"
 	}
 	// Batch floor: Cascade grows batches from the pre-defined small size —
 	// the ABS calibrated that size as "small enough to ensure the training
@@ -164,15 +182,19 @@ func (s *Scheduler) Next() (batching.Batch, bool) {
 	// dependency boundary tighter than one base batch is never taken.
 	if floor := s.cursor + s.opt.BaseBatch; ed < floor {
 		ed = floor
+		cut = "floor"
 		if ed > chunkHi {
 			ed = chunkHi
+			cut = "chunk"
 		}
 		if ed > n {
 			ed = n
+			cut = "end"
 		}
 	}
 	if ed <= s.cursor { // safety: always make progress
 		ed = s.cursor + 1
+		cut = "safety"
 	}
 	s.diffuser.AdvancePointers(ed)
 	st := s.cursor
@@ -181,6 +203,13 @@ func (s *Scheduler) Next() (batching.Batch, bool) {
 	s.batchSizes = append(s.batchSizes, ed-st)
 	s.maxrTrace = append(s.maxrTrace, s.diffuser.Maxr())
 	s.stableTrace = append(s.stableTrace, s.filter.StableCount())
+	if r := s.opt.Obs; r != nil {
+		r.Counter("cascade_batches_total").Inc()
+		r.Counter("cascade_cut_" + cut + "_total").Inc()
+		r.Histogram("cascade_batch_size", obs.SizeEdges...).Observe(float64(ed - st))
+		r.Gauge("cascade_maxr").Set(float64(s.diffuser.Maxr()))
+		r.Gauge("cascade_stable_nodes").Set(float64(s.filter.StableCount()))
+	}
 	return batching.Batch{St: st, Ed: ed}, true
 }
 
@@ -193,6 +222,13 @@ func (s *Scheduler) OnBatchEnd(fb batching.Feedback) {
 	}
 	if maxr, changed := s.abs.ObserveLoss(fb.Loss); changed && !s.maxrPinned {
 		s.diffuser.SetMaxr(maxr)
+		if r := s.opt.Obs; r != nil {
+			r.Counter("cascade_maxr_decays_total").Inc()
+			r.Gauge("cascade_maxr").Set(float64(maxr))
+		}
+	}
+	if r := s.opt.Obs; r != nil {
+		r.Gauge("cascade_stable_ratio").Set(s.filter.StableUpdateRatio())
 	}
 	s.lookupTime += time.Since(start)
 }

@@ -6,6 +6,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/batching"
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
@@ -292,5 +293,32 @@ func TestPinMaxrBypassesABS(t *testing.T) {
 	}
 	if s.diffuser.Maxr() != 7 {
 		t.Fatalf("ABS overrode pinned Maxr: %d", s.diffuser.Maxr())
+	}
+}
+
+func TestSchedulerObsMetrics(t *testing.T) {
+	d := schedDataset(t)
+	r := obs.NewRegistry()
+	s := NewScheduler(d.Events, d.NumNodes, Options{BaseBatch: 100, Workers: 2, Seed: 1, Obs: r})
+	batches := drain(s)
+	if got := r.Counter("cascade_batches_total").Value(); got != int64(len(batches)) {
+		t.Fatalf("cascade_batches_total = %d, want %d", got, len(batches))
+	}
+	if got := r.Histogram("cascade_batch_size").Count(); got != int64(len(batches)) {
+		t.Fatalf("batch size histogram count = %d, want %d", got, len(batches))
+	}
+	// Every batch is attributed to exactly one cut reason.
+	var cuts int64
+	for _, c := range []string{"dependency", "floor", "chunk", "end", "safety"} {
+		cuts += r.Counter("cascade_cut_" + c + "_total").Value()
+	}
+	if cuts != int64(len(batches)) {
+		t.Fatalf("cut counters sum to %d, want %d", cuts, len(batches))
+	}
+	if got := r.Gauge("cascade_maxr").Value(); got != float64(s.SensorMaxr()) {
+		t.Fatalf("cascade_maxr gauge = %v, want %v", got, s.SensorMaxr())
+	}
+	if r.Gauge("cascade_build_seconds").Value() < 0 {
+		t.Fatal("negative build time")
 	}
 }

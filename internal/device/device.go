@@ -21,12 +21,18 @@ package device
 import (
 	"time"
 
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
 // Model is an accelerator cost model.
 type Model struct {
 	Name string
+	// Obs, when non-nil, receives per-BatchCost metrics (occupancy and
+	// simulated-latency histograms plus a call counter — the counter also
+	// backs the regression test pinning one cost-model evaluation per
+	// training batch).
+	Obs *obs.Registry
 	// LaunchOverhead is the fixed cost per kernel launch.
 	LaunchOverhead time.Duration
 	// KernelFusion scales the effective kernel count (<1 for frameworks
@@ -78,7 +84,15 @@ func A100TGLite() Model {
 
 // BatchCost converts one batch's tape statistics into simulated time and
 // occupancy. train selects whether backward-pass work is included.
-func (m Model) BatchCost(s tensor.TapeStats, train bool) Cost {
+func (m Model) BatchCost(s tensor.TapeStats, train bool) (c Cost) {
+	if m.Obs != nil {
+		m.Obs.Counter("device_batch_cost_calls_total").Inc()
+		defer func() {
+			m.Obs.Histogram("device_batch_occupancy", obs.RatioEdges...).Observe(c.Occupancy)
+			m.Obs.Histogram("device_batch_seconds", obs.LatencyEdges...).Observe(c.Time.Seconds())
+			m.Obs.Gauge("device_occupancy").Set(c.Occupancy)
+		}()
+	}
 	if s.Kernels == 0 {
 		return Cost{}
 	}

@@ -3,6 +3,7 @@ package device
 import (
 	"testing"
 
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
@@ -86,5 +87,24 @@ func TestOccupancyCapped(t *testing.T) {
 	huge := tensor.TapeStats{Kernels: 10, Flops: 1e9, RowSum: 10 * 1e6, MaxRows: 1e6}
 	if c := m.BatchCost(huge, false); c.Occupancy != 1 {
 		t.Fatalf("occupancy %v, want capped at 1", c.Occupancy)
+	}
+}
+
+func TestBatchCostRecordsObs(t *testing.T) {
+	m := A100TGL()
+	m.Obs = obs.NewRegistry()
+	s := tensor.TapeStats{Kernels: 100, Flops: 1e8, RowSum: 100 * 500, MaxRows: 500}
+	c := m.BatchCost(s, true)
+	if got := m.Obs.Counter("device_batch_cost_calls_total").Value(); got != 1 {
+		t.Fatalf("calls counter = %d, want 1", got)
+	}
+	if got := m.Obs.Histogram("device_batch_occupancy").Count(); got != 1 {
+		t.Fatalf("occupancy histogram count = %d, want 1", got)
+	}
+	if got := m.Obs.Gauge("device_occupancy").Value(); got != c.Occupancy {
+		t.Fatalf("occupancy gauge = %v, want %v", got, c.Occupancy)
+	}
+	if got := m.Obs.Histogram("device_batch_seconds").Sum(); got != c.Time.Seconds() {
+		t.Fatalf("seconds sum = %v, want %v", got, c.Time.Seconds())
 	}
 }

@@ -1,0 +1,278 @@
+// Package obs is the observability substrate of the repo's deployment
+// story: a small, dependency-free metrics registry (atomic counters,
+// gauges, fixed-bucket histograms and wall-clock timers) plus a JSONL
+// trace sink. The training loop, the Cascade scheduler, the simulated
+// device and the serving layer all publish into a Registry; the serving
+// layer exposes it in Prometheus text format at GET /metrics, and the
+// cmd binaries can dump it after a run.
+//
+// Design constraints, in order:
+//
+//   - Standard library only (ROADMAP rule: no external dependencies).
+//   - Cheap on the hot path: counters and gauges are single atomics;
+//     histograms take one short mutex for a binary search over fixed
+//     bucket edges (reusing internal/stats' bucketing convention).
+//   - Safe under concurrency: every type here may be hammered from the
+//     serving handlers and read by /metrics at the same time (covered by
+//     the package's -race tests).
+//
+// Metric names follow the Prometheus convention (snake_case,
+// `_total` suffix for counters, base-unit `_seconds` histograms).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/stats"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can move in both directions (occupancy,
+// Maxr, stable ratio).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set assigns the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by v (CAS loop; used for float accumulators
+// such as total simulated flops).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets delimited by ascending
+// upper edges — it wraps internal/stats.Histogram (the bucketing the
+// paper figures use) behind a mutex and additionally tracks the
+// observation sum so Prometheus clients can derive means. The final +Inf
+// bucket is implicit.
+type Histogram struct {
+	mu  sync.Mutex
+	h   *stats.Histogram
+	sum float64
+}
+
+func newHistogram(edges []float64) *Histogram {
+	return &Histogram{h: stats.NewHistogram(edges...)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Time starts a wall-clock timer; the returned stop function observes the
+// elapsed seconds. Usage: defer h.Time()().
+func (h *Histogram) Time() func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Total()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns a consistent copy for exposition.
+func (h *Histogram) snapshot() (edges []float64, counts []int64, sum float64, total int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Edges, append([]int64(nil), h.h.Counts...), h.sum, h.h.Total()
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use; getters
+// create the metric on first access so instrumented code never nil-checks.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil registry
+// returns a throwaway counter so instrumentation can be unconditional.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil-safe like
+// Counter).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// edges if needed; later calls may omit the edges. Nil-safe like Counter.
+func (r *Registry) Histogram(name string, edges ...float64) *Histogram {
+	if r == nil {
+		return newHistogram(edges)
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(edges)
+	r.hists[name] = h
+	return h
+}
+
+// Standard bucket edge sets.
+var (
+	// LatencyEdges covers request/stage latencies from 100µs to 10s.
+	LatencyEdges = []float64{1e-4, 2.5e-4, 1e-3, 2.5e-3, 1e-2, 2.5e-2, 0.1, 0.25, 1, 2.5, 10}
+	// SizeEdges covers batch/request sizes on a coarse log scale.
+	SizeEdges = []float64{1, 10, 50, 100, 500, 1000, 5000, 10000, 50000}
+	// RatioEdges covers [0, 1] quantities (occupancy, stable ratio).
+	RatioEdges = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (one family per metric; histograms expand to cumulative
+// `_bucket{le=…}`, `_sum` and `_count` series), names sorted for stable
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		edges, counts, sum, total := hists[name].snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, e := range edges {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, e, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n", name, total, name, sum, name, total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceSink writes one JSON record per line (JSONL) to an underlying
+// writer. Emit is safe for concurrent use; records are never interleaved.
+// The training loop emits one record per batch, the serving layer one per
+// request — downstream tooling (jq, pandas) consumes the files directly.
+type TraceSink struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	closer  io.Closer
+	records atomic.Int64
+	err     error
+}
+
+// NewTrace wraps w in a trace sink. If w also implements io.Closer,
+// Close will close it.
+func NewTrace(w io.Writer) *TraceSink {
+	t := &TraceSink{enc: json.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	return t
+}
+
+// Emit appends one record. A nil sink is a no-op, so call sites can emit
+// unconditionally. The first write error sticks and is returned by every
+// later Emit and by Close.
+func (t *TraceSink) Emit(v any) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.enc.Encode(v); err != nil {
+		t.err = err
+		return err
+	}
+	t.records.Add(1)
+	return nil
+}
+
+// Records returns how many records were emitted successfully.
+func (t *TraceSink) Records() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.records.Load()
+}
+
+// Close closes the underlying writer when it is closable and returns the
+// sticky write error, if any.
+func (t *TraceSink) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); cerr != nil && t.err == nil {
+			t.err = cerr
+		}
+		t.closer = nil
+	}
+	return t.err
+}

@@ -9,15 +9,25 @@
 //	POST /ingest  {"events":[{"src":1,"dst":2,"time":42.5}]}  → {"ingested":N}
 //	POST /score   {"pairs":[{"src":1,"dst":2}],"time":43}     → {"scores":[…]}
 //	GET  /stats                                               → server counters
+//	GET  /metrics                                             → Prometheus text format
 //
 // A single goroutine owns the model (TGNN state is not concurrent); requests
 // serialize through a mutex. Ingested events apply the same BeginBatch /
 // EndBatch cycle as training, so memories evolve exactly as during training.
+// Scoring is read-only: it embeds against a snapshot of the stream state and
+// restores it, so a /score request never perturbs the model.
+//
+// Request hardening: bodies are capped at MaxBodyBytes (413 beyond), and a
+// present Content-Type must be a JSON media type (415 otherwise). Every
+// route is wrapped in metrics middleware recording request counts, error
+// counts and latency histograms into the server's obs.Registry.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sync"
 	"time"
@@ -25,8 +35,14 @@ import (
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
+
+// MaxBodyBytes caps request bodies; larger requests get 413. One million
+// float-bearing JSON events sit far below this, so the cap only stops
+// abuse, not legitimate traffic.
+const MaxBodyBytes = 1 << 20
 
 // Server wraps a trained model + predictor head for online use.
 type Server struct {
@@ -39,13 +55,41 @@ type Server struct {
 	ingested int64
 	scored   int64
 	started  time.Time
+
+	metrics *obs.Registry
+	trace   *obs.TraceSink
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithRegistry uses an external metrics registry (e.g. one shared with a
+// trainer) instead of a private one.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) { s.metrics = r }
+}
+
+// WithTrace emits one JSONL record per request (route, status, duration,
+// item count) into the sink.
+func WithTrace(t *obs.TraceSink) Option {
+	return func(s *Server) { s.trace = t }
 }
 
 // New builds a server around a trained model and its predictor head (the
 // trainer's head; see train.Trainer.Predictor).
-func New(model models.TGNN, predictor *nn.MLP, numNodes int) *Server {
-	return &Server{model: model, predictor: predictor, numNodes: numNodes, started: time.Now()}
+func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Server {
+	s := &Server{model: model, predictor: predictor, numNodes: numNodes, started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	return s
 }
+
+// Metrics exposes the server's registry (what GET /metrics renders).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // EventIn is the wire form of one ingested event.
 type EventIn struct {
@@ -72,16 +116,79 @@ type scoreRequest struct {
 // Handler returns the HTTP mux for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /score", s.handleScore)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("POST /ingest", s.instrument("ingest", s.jsonBody(s.handleIngest)))
+	mux.Handle("POST /score", s.instrument("score", s.jsonBody(s.handleScore)))
+	mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
+}
+
+// statusWriter remembers the response code for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with request counting, error counting and a
+// latency histogram (`serve_<route>_seconds`), plus optional per-request
+// trace records.
+func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.Counter("serve_" + route + "_requests_total").Inc()
+		if sw.status >= 400 {
+			s.metrics.Counter("serve_" + route + "_errors_total").Inc()
+		}
+		s.metrics.Histogram("serve_"+route+"_seconds", obs.LatencyEdges...).Observe(elapsed.Seconds())
+		_ = s.trace.Emit(map[string]any{
+			"route": route, "status": sw.status, "duration_ns": elapsed.Nanoseconds(),
+		})
+	})
+}
+
+// jsonBody enforces the request-body contract shared by the POST routes:
+// a JSON media type when Content-Type is present, and a MaxBodyBytes cap.
+func (s *Server) jsonBody(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			mt, _, err := mime.ParseMediaType(ct)
+			if err != nil || (mt != "application/json" && mt != "text/json") {
+				httpError(w, http.StatusUnsupportedMediaType, "content type %q not supported; use application/json", ct)
+				return
+			}
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		next(w, r)
+	}
+}
+
+// decode unmarshals the request body into v, translating an exceeded body
+// cap into 413 and malformed JSON into 400. Returns false when a response
+// was already written.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decode(w, r, &req) {
 		return
 	}
 	if len(req.Events) == 0 {
@@ -114,13 +221,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.model.EndBatch(events)
 	s.lastTime = last
 	s.ingested += int64(len(events))
+	s.metrics.Counter("serve_events_ingested_total").Add(int64(len(events)))
+	s.metrics.Histogram("serve_ingest_batch_size", obs.SizeEdges...).Observe(float64(len(events)))
+	s.metrics.Gauge("serve_stream_time").Set(last)
 	writeJSON(w, map[string]any{"ingested": len(events)})
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req scoreRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !decode(w, r, &req) {
 		return
 	}
 	if len(req.Pairs) == 0 {
@@ -148,8 +257,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		nodes = append(nodes, p.Dst)
 		ts = append(ts, at)
 	}
+	// Scoring is read-only: embed against the freshest state (pending
+	// messages applied) but on a snapshot, so the BeginBatch side effects —
+	// memory writes, drained message queue, RNG draws — never leak into the
+	// served stream state. Previously /score applied pending updates
+	// permanently, silently advancing the model as a side effect of a read.
+	snap := s.model.Snapshot()
 	s.model.BeginBatch()
 	emb := s.model.Embed(nodes, ts)
+	s.model.Restore(snap)
 	srcIdx := make([]int, n)
 	dstIdx := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -159,6 +275,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	pair := tensor.ConcatColsT(tensor.GatherRowsT(emb, srcIdx), tensor.GatherRowsT(emb, dstIdx))
 	logits := s.predictor.Forward(pair)
 	s.scored += int64(n)
+	s.metrics.Counter("serve_pairs_scored_total").Add(int64(n))
 	writeJSON(w, map[string]any{"scores": logits.Value.Data})
 }
 
@@ -172,6 +289,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"num_nodes":      s.numNodes,
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,38 @@
+package tensor
+
+import "sync/atomic"
+
+// Allocation accounting: NewMatrix is the single allocation point of the
+// tensor substrate (every op output, gradient buffer and gather result
+// goes through it), so two atomic counters there give an exact picture of
+// tape memory churn. The trainer snapshots the counters around each batch
+// and publishes the delta to the observability layer — the pure-Go analog
+// of torch.cuda.memory_allocated() deltas.
+var (
+	allocMatrices atomic.Int64
+	allocFloats   atomic.Int64
+)
+
+// AllocStats is a snapshot of cumulative matrix allocations.
+type AllocStats struct {
+	// Matrices counts NewMatrix calls.
+	Matrices int64
+	// Floats counts float32 elements allocated (×4 for bytes).
+	Floats int64
+}
+
+// AllocSnapshot returns the cumulative allocation counters. Subtract two
+// snapshots (Sub) to get a per-phase delta.
+func AllocSnapshot() AllocStats {
+	return AllocStats{Matrices: allocMatrices.Load(), Floats: allocFloats.Load()}
+}
+
+// Sub returns the component-wise difference a - b.
+func (a AllocStats) Sub(b AllocStats) AllocStats {
+	return AllocStats{Matrices: a.Matrices - b.Matrices, Floats: a.Floats - b.Floats}
+}
+
+func noteAlloc(elems int) {
+	allocMatrices.Add(1)
+	allocFloats.Add(int64(elems))
+}

@@ -1,0 +1,16 @@
+package tensor
+
+import "testing"
+
+func TestAllocSnapshotDelta(t *testing.T) {
+	before := AllocSnapshot()
+	NewMatrix(3, 4)
+	NewMatrix(2, 5)
+	d := AllocSnapshot().Sub(before)
+	if d.Matrices != 2 {
+		t.Fatalf("matrices delta = %d, want 2", d.Matrices)
+	}
+	if d.Floats != 3*4+2*5 {
+		t.Fatalf("floats delta = %d, want %d", d.Floats, 3*4+2*5)
+	}
+}

@@ -24,6 +24,7 @@ func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
 	}
+	noteAlloc(rows * cols)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 

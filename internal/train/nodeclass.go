@@ -1,6 +1,8 @@
 package train
 
 import (
+	"time"
+
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/tensor"
@@ -13,13 +15,17 @@ import (
 // differs from link prediction.
 
 // stepClassOn executes one node-classification batch.
-func (t *Trainer) stepClassOn(ds *graph.Dataset, events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, *tensor.Tensor) {
+func (t *Trainer) stepClassOn(ds *graph.Dataset, events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming, *tensor.Tensor) {
+	var tm stageTiming
 	model := t.cfg.Model
+	mark := time.Now()
 	upd := model.BeginBatch()
+	tm.Begin = time.Since(mark)
 	b := len(events)
 	if b == 0 {
-		return 0, upd, tensor.TapeStats{}, nil
+		return 0, upd, tensor.TapeStats{}, tm, nil
 	}
+	mark = time.Now()
 	nodes := make([]int32, b)
 	ts := make([]float64, b)
 	targets := tensor.NewMatrix(b, 1)
@@ -32,13 +38,18 @@ func (t *Trainer) stepClassOn(ds *graph.Dataset, events []graph.Event, labels []
 	logits := t.predictor.Forward(h)
 	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
 	tape := tensor.StatsOf(loss)
+	tm.Embed = time.Since(mark)
 	if learn {
+		mark = time.Now()
 		t.opt.ZeroGrad()
 		loss.Backward()
 		t.opt.Step()
+		tm.Backward = time.Since(mark)
 	}
+	mark = time.Now()
 	model.EndBatch(events)
-	return float64(loss.Item()), upd, tape, logits
+	tm.End = time.Since(mark)
+	return float64(loss.Item()), upd, tape, tm, logits
 }
 
 // ValidateClass scores the validation suffix of a node-classification run,
@@ -62,7 +73,7 @@ func (t *Trainer) ValidateClass() Metrics {
 		}
 		events := t.cfg.Val.Events[lo:hi]
 		evLabels := t.cfg.Val.Labels[lo:hi]
-		loss, _, _, logits := t.stepClassOn(t.cfg.Val, events, evLabels, false)
+		loss, _, _, _, logits := t.stepClassOn(t.cfg.Val, events, evLabels, false)
 		lossSum += loss * float64(len(events))
 		for i := range events {
 			scores = append(scores, float64(logits.Value.Data[i]))

@@ -18,6 +18,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
@@ -57,21 +58,50 @@ type Config struct {
 	// OnBatch, when non-nil, receives a trace record after every training
 	// batch (convergence curves, schedulers' behaviour over time).
 	OnBatch func(BatchTrace)
+	// Obs, when non-nil, receives per-batch training metrics (loss and
+	// batch-size histograms, per-stage latency histograms, tape and
+	// allocation counters) — see DESIGN.md §8 for the metric inventory.
+	Obs *obs.Registry
 }
 
-// BatchTrace is the per-batch instrumentation record.
+// BatchTrace is the per-batch instrumentation record. It is what
+// `cascade-train --trace` serializes, one JSON object per line; the json
+// tags below are that file format (durations are nanoseconds).
 type BatchTrace struct {
 	// Epoch and Index locate the batch (1-based epoch, 0-based batch).
-	Epoch, Index int
+	Epoch int `json:"epoch"`
+	Index int `json:"batch"`
 	// Size is the event count of the batch.
-	Size int
+	Size int `json:"size"`
 	// Loss is the batch training loss.
-	Loss float64
+	Loss float64 `json:"loss"`
 	// DeviceTime is the batch's simulated accelerator cost (zero without a
 	// device model).
-	DeviceTime time.Duration
+	DeviceTime time.Duration `json:"device_ns"`
 	// CumEvents counts events processed so far this epoch.
-	CumEvents int
+	CumEvents int `json:"cum_events"`
+	// Per-stage host latencies (the Figure-1 stages): BeginTime covers the
+	// pending-message memory update, EmbedTime the embedding + prediction
+	// forward pass, BackwardTime backprop + optimizer step, EndTime message
+	// generation + adjacency append.
+	BeginTime    time.Duration `json:"begin_ns"`
+	EmbedTime    time.Duration `json:"embed_ns"`
+	BackwardTime time.Duration `json:"backward_ns"`
+	EndTime      time.Duration `json:"end_ns"`
+	// Occupancy is the simulated device occupancy (zero without a device
+	// model).
+	Occupancy float64 `json:"occupancy"`
+	// Maxr and StableRatio are the Cascade scheduler's runtime signals as
+	// of this batch (zero for feedback-free schedulers).
+	Maxr        int     `json:"maxr"`
+	StableRatio float64 `json:"stable_ratio"`
+	// TapeKernels / TapeFlops summarize the batch's autograd tape.
+	TapeKernels int     `json:"tape_kernels"`
+	TapeFlops   float64 `json:"tape_flops"`
+	// AllocMatrices / AllocFloats count tensor allocations during the
+	// batch (floats ×4 = bytes).
+	AllocMatrices int64 `json:"alloc_matrices"`
+	AllocFloats   int64 `json:"alloc_floats"`
 }
 
 // EpochStats reports one epoch of training.
@@ -139,6 +169,12 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Task == TaskNodeClassification && cfg.Data.Labels == nil {
 		return nil, fmt.Errorf("train: node classification needs a labeled dataset")
 	}
+	// Negative sampling corrupts the destination to a node distinct from
+	// both endpoints; with fewer than 3 nodes no such node exists, so
+	// reject early instead of letting the sampler spin.
+	if cfg.Task == TaskLinkPrediction && cfg.Data.NumNodes < 3 {
+		return nil, fmt.Errorf("train: link prediction needs ≥ 3 nodes for negative sampling, dataset has %d", cfg.Data.NumNodes)
+	}
 	if cfg.Task == TaskNodeClassification && cfg.Val != nil && cfg.Val.NumEvents() > 0 && cfg.Val.Labels == nil {
 		return nil, fmt.Errorf("train: node classification needs labeled validation data")
 	}
@@ -180,12 +216,17 @@ func (t *Trainer) TrainEpoch() EpochStats {
 		if t.cfg.Task == TaskNodeClassification {
 			labels = batchLabels(t.cfg.Data.Labels, b)
 		}
-		loss, upd, tape := t.step(events, labels, true)
+		allocBefore := tensor.AllocSnapshot()
+		loss, upd, tape, tm := t.step(events, labels, true)
+		alloc := tensor.AllocSnapshot().Sub(allocBefore)
 		lossSum += loss * float64(len(events))
 		eventSum += len(events)
 		st.Batches++
+		// One cost-model evaluation per batch; the trace record below
+		// reuses it rather than re-running the model.
+		var cost device.Cost
 		if t.cfg.Device != nil {
-			cost := t.cfg.Device.BatchCost(tape, true)
+			cost = t.cfg.Device.BatchCost(tape, true)
 			st.DeviceTime += cost.Time
 			occSum += cost.Occupancy
 		}
@@ -194,14 +235,28 @@ func (t *Trainer) TrainEpoch() EpochStats {
 			fb.Nodes, fb.PreMem, fb.PostMem = upd.Nodes, upd.Pre, upd.Post
 		}
 		t.cfg.Sched.OnBatchEnd(fb)
+		// Scheduler signals are sampled after the feedback call so the
+		// trace reflects any ABS decay this batch triggered.
+		var maxr int
+		var stableRatio float64
+		if r, ok := t.cfg.Sched.(maxrReporter); ok {
+			maxr = r.SensorMaxr()
+		}
+		if r, ok := t.cfg.Sched.(stableReporter); ok {
+			stableRatio = r.StableUpdateRatio()
+		}
+		if t.cfg.Obs != nil {
+			t.recordBatchObs(loss, len(events), tape, alloc, tm)
+		}
 		if t.cfg.OnBatch != nil {
-			var dt time.Duration
-			if t.cfg.Device != nil {
-				dt = t.cfg.Device.BatchCost(tape, true).Time
-			}
 			t.cfg.OnBatch(BatchTrace{
 				Epoch: t.epoch, Index: st.Batches - 1, Size: len(events),
-				Loss: loss, DeviceTime: dt, CumEvents: eventSum,
+				Loss: loss, DeviceTime: cost.Time, CumEvents: eventSum,
+				BeginTime: tm.Begin, EmbedTime: tm.Embed,
+				BackwardTime: tm.Backward, EndTime: tm.End,
+				Occupancy: cost.Occupancy, Maxr: maxr, StableRatio: stableRatio,
+				TapeKernels: tape.Kernels, TapeFlops: tape.Flops,
+				AllocMatrices: alloc.Matrices, AllocFloats: alloc.Floats,
 			})
 		}
 	}
@@ -250,9 +305,9 @@ func (t *Trainer) Validate() float64 {
 		events := t.cfg.Val.Events[lo:hi]
 		var loss float64
 		if t.cfg.Task == TaskNodeClassification {
-			loss, _, _, _ = t.stepClassOn(t.cfg.Val, events, t.cfg.Val.Labels[lo:hi], false)
+			loss, _, _, _, _ = t.stepClassOn(t.cfg.Val, events, t.cfg.Val.Labels[lo:hi], false)
 		} else {
-			loss, _, _ = t.stepOn(t.cfg.Val, events, false)
+			loss, _, _, _ = t.stepOn(t.cfg.Val, events, false)
 		}
 		lossSum += loss * float64(len(events))
 		eventSum += len(events)
@@ -260,11 +315,37 @@ func (t *Trainer) Validate() float64 {
 	return lossSum / float64(eventSum)
 }
 
+// stageTiming breaks one batch's host latency into the Figure-1 stages.
+type stageTiming struct {
+	Begin    time.Duration // BeginBatch: apply pending memory updates
+	Embed    time.Duration // embed + predict + loss forward pass
+	Backward time.Duration // backprop + optimizer step
+	End      time.Duration // EndBatch: message generation + adjacency
+}
+
+// recordBatchObs publishes one training batch into the metrics registry.
+func (t *Trainer) recordBatchObs(loss float64, size int, tape tensor.TapeStats, alloc tensor.AllocStats, tm stageTiming) {
+	r := t.cfg.Obs
+	r.Counter("train_batches_total").Inc()
+	r.Counter("train_events_total").Add(int64(size))
+	r.Gauge("train_last_loss").Set(loss)
+	r.Histogram("train_batch_loss", 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1, 1.5, 2, 3).Observe(loss)
+	r.Histogram("train_batch_size", obs.SizeEdges...).Observe(float64(size))
+	r.Histogram("train_begin_seconds", obs.LatencyEdges...).Observe(tm.Begin.Seconds())
+	r.Histogram("train_embed_seconds", obs.LatencyEdges...).Observe(tm.Embed.Seconds())
+	r.Histogram("train_backward_seconds", obs.LatencyEdges...).Observe(tm.Backward.Seconds())
+	r.Histogram("train_end_seconds", obs.LatencyEdges...).Observe(tm.End.Seconds())
+	r.Counter("train_tape_kernels_total").Add(int64(tape.Kernels))
+	r.Gauge("train_tape_flops_total").Add(tape.Flops)
+	r.Counter("train_alloc_matrices_total").Add(alloc.Matrices)
+	r.Counter("train_alloc_floats_total").Add(alloc.Floats)
+}
+
 // step runs one batch on the training dataset, dispatching on the task.
-func (t *Trainer) step(events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats) {
+func (t *Trainer) step(events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming) {
 	if t.cfg.Task == TaskNodeClassification {
-		loss, upd, tape, _ := t.stepClassOn(t.cfg.Data, events, labels, learn)
-		return loss, upd, tape
+		loss, upd, tape, tm, _ := t.stepClassOn(t.cfg.Data, events, labels, learn)
+		return loss, upd, tape, tm
 	}
 	return t.stepOn(t.cfg.Data, events, learn)
 }
@@ -283,18 +364,22 @@ func batchLabels(labels []uint8, b batching.Batch) []uint8 {
 }
 
 // stepOn executes the three training steps of Figure 1 on one batch.
-func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats) {
+func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming) {
+	var tm stageTiming
 	model := t.cfg.Model
 	// Step 0 (lazy message application, see internal/models): previous
 	// batch's messages update memories on the tape.
+	mark := time.Now()
 	upd := model.BeginBatch()
+	tm.Begin = time.Since(mark)
 
 	b := len(events)
 	if b == 0 {
-		return 0, upd, tensor.TapeStats{}
+		return 0, upd, tensor.TapeStats{}, tm
 	}
 	// Step 1: embed, predict, learn. Positive pairs are the batch's edges;
 	// negatives corrupt the destination.
+	mark = time.Now()
 	nodes := make([]int32, 0, 3*b)
 	ts := make([]float64, 0, 3*b)
 	for _, e := range events {
@@ -330,26 +415,45 @@ func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (f
 	}
 	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
 	tape := tensor.StatsOf(loss)
+	tm.Embed = time.Since(mark)
 	if learn {
+		mark = time.Now()
 		t.opt.ZeroGrad()
 		loss.Backward()
 		t.opt.Step()
+		tm.Backward = time.Since(mark)
 	}
 
 	// Steps 2 and 3: generate this batch's messages and queue the memory
 	// updates (applied on the tape at the next BeginBatch).
+	mark = time.Now()
 	model.EndBatch(events)
-	return float64(loss.Item()), upd, tape
+	tm.End = time.Since(mark)
+	return float64(loss.Item()), upd, tape, tm
 }
 
 // negativeSample draws a corrupted destination ≠ src, ≠ the true dst.
+// Rejection sampling is bounded: with the ≥ 3 nodes NewTrainer enforces,
+// each draw succeeds with probability ≥ 1/3, so the loop almost never
+// reaches the deterministic scan — which guarantees termination on any
+// input rather than spinning forever when no valid candidate exists.
 func (t *Trainer) negativeSample(ds *graph.Dataset, e graph.Event) int32 {
-	for {
+	for i := 0; i < 32; i++ {
 		n := int32(t.rng.Intn(ds.NumNodes))
 		if n != e.Src && n != e.Dst {
 			return n
 		}
 	}
+	start := int32(t.rng.Intn(ds.NumNodes))
+	for i := 0; i < ds.NumNodes; i++ {
+		n := (start + int32(i)) % int32(ds.NumNodes)
+		if n != e.Src && n != e.Dst {
+			return n
+		}
+	}
+	// No node differs from both endpoints (< 3 nodes): fall back to the
+	// true destination so even a malformed caller terminates.
+	return e.Dst
 }
 
 // MeanLoss averages the Loss field of epoch stats.

@@ -10,6 +10,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/graph/datagen"
 	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/obs"
 )
 
 func trainValData(t testing.TB) (*graph.Dataset, *graph.Dataset, *graph.Dataset) {
@@ -299,5 +300,142 @@ func TestTrainWithValidationFillsValLoss(t *testing.T) {
 		if e.ValLoss <= 0 || math.IsNaN(e.ValLoss) {
 			t.Fatalf("epoch %d val loss %v", i, e.ValLoss)
 		}
+	}
+}
+
+func TestNewTrainerRejectsTooFewNodes(t *testing.T) {
+	// Regression: negativeSample needs a node distinct from both endpoints;
+	// with < 3 nodes it used to spin forever. NewTrainer now rejects such
+	// datasets for link prediction.
+	tiny := &graph.Dataset{Name: "tiny", NumNodes: 2, Events: []graph.Event{
+		{Src: 0, Dst: 1, Time: 1, FeatIdx: -1},
+		{Src: 1, Dst: 0, Time: 2, FeatIdx: -1},
+	}}
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := models.MustNew("JODIE", tiny, 8, 4, 1)
+	_, err := NewTrainer(Config{Model: m, Sched: batching.NewFixed("TGL", 2, 1), Data: tiny})
+	if err == nil {
+		t.Fatal("2-node link-prediction dataset accepted")
+	}
+}
+
+func TestNegativeSampleTerminates(t *testing.T) {
+	// Three nodes: the only valid negative for edge 0→1 is node 2, so the
+	// bounded rejection loop must fall through to the deterministic scan
+	// whenever the RNG streaks — and always terminate.
+	three := &graph.Dataset{Name: "three", NumNodes: 3, Events: []graph.Event{
+		{Src: 0, Dst: 1, Time: 1, FeatIdx: -1},
+		{Src: 1, Dst: 2, Time: 2, FeatIdx: -1},
+		{Src: 0, Dst: 2, Time: 3, FeatIdx: -1},
+	}}
+	m := models.MustNew("JODIE", three, 8, 4, 1)
+	trainer, err := NewTrainer(Config{Model: m, Sched: batching.NewFixed("TGL", 3, 1), Data: three})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if n := trainer.negativeSample(three, three.Events[0]); n != 2 {
+			t.Fatalf("draw %d: negative %d for edge 0→1", i, n)
+		}
+	}
+	// Even a malformed 2-node call (bypassing NewTrainer's guard) must
+	// terminate via the fallback instead of spinning.
+	two := &graph.Dataset{NumNodes: 2}
+	if n := trainer.negativeSample(two, graph.Event{Src: 0, Dst: 1}); n != 1 {
+		t.Fatalf("2-node fallback returned %d, want the destination 1", n)
+	}
+}
+
+func TestBatchCostEvaluatedOncePerBatch(t *testing.T) {
+	// Regression: with OnBatch set, TrainEpoch used to run the device cost
+	// model twice per batch. The device's obs call counter pins it to one.
+	full, tr, val := trainValData(t)
+	dev := device.A100TGL()
+	dev.Obs = obs.NewRegistry()
+	m := models.MustNew("JODIE", full, 8, 4, 1)
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 60),
+		Data: tr, Val: val, Device: &dev, Seed: 9,
+		OnBatch: func(BatchTrace) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trainer.TrainEpoch()
+	calls := dev.Obs.Counter("device_batch_cost_calls_total").Value()
+	if calls != int64(st.Batches) {
+		t.Fatalf("cost model evaluated %d times for %d batches", calls, st.Batches)
+	}
+}
+
+func TestBatchTraceCarriesStageAndSchedulerSignals(t *testing.T) {
+	full, tr, val := trainValData(t)
+	cascade := core.NewScheduler(tr.Events, full.NumNodes, core.Options{BaseBatch: 50, Workers: 2, Seed: 1})
+	dev := device.A100TGL()
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	var traces []BatchTrace
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: cascade, Data: tr, Val: val, Device: &dev, Seed: 9,
+		OnBatch: func(bt BatchTrace) { traces = append(traces, bt) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.TrainEpoch()
+	if len(traces) == 0 {
+		t.Fatal("no traces")
+	}
+	for i, bt := range traces {
+		if bt.EmbedTime <= 0 || bt.BackwardTime <= 0 {
+			t.Fatalf("trace %d: stage timings %+v", i, bt)
+		}
+		if bt.Maxr <= 0 {
+			t.Fatalf("trace %d: Maxr %d not reported for Cascade", i, bt.Maxr)
+		}
+		if bt.StableRatio < 0 || bt.StableRatio > 1 {
+			t.Fatalf("trace %d: stable ratio %v", i, bt.StableRatio)
+		}
+		if bt.TapeKernels <= 0 || bt.TapeFlops <= 0 {
+			t.Fatalf("trace %d: tape stats %+v", i, bt)
+		}
+		if bt.AllocMatrices <= 0 || bt.AllocFloats <= 0 {
+			t.Fatalf("trace %d: alloc stats %+v", i, bt)
+		}
+		if bt.Occupancy <= 0 || bt.Occupancy > 1 {
+			t.Fatalf("trace %d: occupancy %v", i, bt.Occupancy)
+		}
+	}
+}
+
+func TestTrainObsMetrics(t *testing.T) {
+	full, tr, val := trainValData(t)
+	r := obs.NewRegistry()
+	m := models.MustNew("JODIE", full, 8, 4, 1)
+	trainer, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 60),
+		Data: tr, Val: val, Seed: 9, Obs: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trainer.TrainEpoch()
+	if got := r.Counter("train_batches_total").Value(); got != int64(st.Batches) {
+		t.Fatalf("train_batches_total = %d, want %d", got, st.Batches)
+	}
+	if got := r.Counter("train_events_total").Value(); got != int64(tr.NumEvents()) {
+		t.Fatalf("train_events_total = %d, want %d", got, tr.NumEvents())
+	}
+	for _, h := range []string{"train_batch_loss", "train_batch_size", "train_begin_seconds", "train_embed_seconds", "train_backward_seconds", "train_end_seconds"} {
+		if got := r.Histogram(h).Count(); got != int64(st.Batches) {
+			t.Fatalf("%s count = %d, want %d", h, got, st.Batches)
+		}
+	}
+	if r.Counter("train_tape_kernels_total").Value() <= 0 {
+		t.Fatal("no tape kernels recorded")
+	}
+	if r.Counter("train_alloc_matrices_total").Value() <= 0 {
+		t.Fatal("no allocations recorded")
 	}
 }

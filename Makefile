@@ -1,13 +1,20 @@
 GO ?= go
 
 # Packages whose tests exercise real concurrency; they get a second pass
-# under the race detector.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/...
+# under the race detector. tensor covers the parallel GEMM kernels, train
+# the batch-prep prefetch pipeline.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/...
 
-.PHONY: check build test vet race bench clean
+# Hot-path micro-benchmarks captured in BENCH_pr2.json: the GEMM variants
+# (plain / ᵀA / ᵀB, ragged shapes), the GRU training step, one full
+# TrainEpoch, and the dependency-table build.
+BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStepTGN|BenchmarkDependencyTableBuild)
+BENCH_PKGS = . ./internal/tensor ./internal/nn
+
+.PHONY: check build test vet race bench benchsmoke benchall clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race
+check: vet build test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +28,21 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# bench regenerates BENCH_pr2.json: ns/op, B/op, allocs/op per hot-path op,
+# joined with the committed pre-optimization baseline as before/after.
 bench:
+	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=2s -run=^$$ $(BENCH_PKGS) \
+		| $(GO) run ./tools/benchjson -baseline BENCH_baseline.json -o BENCH_pr2.json \
+			-note "make bench: blocked GEMM + tensor arena + prefetch pipeline"
+
+# benchsmoke runs every captured benchmark once so check catches bit-rot in
+# the harness (and the benchjson parser) without paying measurement time.
+benchsmoke:
+	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=1x -run=^$$ $(BENCH_PKGS) \
+		| $(GO) run ./tools/benchjson -o /dev/null
+
+# benchall runs the full experiment suite (every paper table/figure) once.
+benchall:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:

@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/cascade-ml/cascade"
@@ -32,6 +34,8 @@ func main() {
 	loadPath := flag.String("load", "", "restore a model checkpoint before training")
 	tracePath := flag.String("trace", "", "write per-batch JSONL trace records here")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump here after training (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of training+validation here (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile here (go tool pprof)")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -127,6 +131,21 @@ func main() {
 		fmt.Printf("restored checkpoint %s\n", *loadPath)
 	}
 
+	// The CPU profile brackets exactly the hot path (training epochs +
+	// validation), not dataset generation or model construction.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+
 	fmt.Printf("%5s %8s %10s %12s %12s %8s %8s %8s\n",
 		"epoch", "batches", "meanbatch", "trainloss", "wall", "device", "occ", "stable")
 	for e := 0; e < *epochs; e++ {
@@ -148,6 +167,27 @@ func main() {
 		fmt.Printf("validation (batch %d): loss %.5f  AUC %.4f  AP %.4f\n", *base, m.Loss, m.AUC, m.AP)
 	} else {
 		fmt.Printf("validation loss (batch %d): %.5f\n", *base, run.Trainer().Validate())
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Printf("cpu profile written to %s\n", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush dead objects so the profile shows live bytes
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("heap profile written to %s\n", *memProfile)
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

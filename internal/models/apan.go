@@ -73,7 +73,7 @@ func (m *APAN) BeginBatch() *MemoryUpdate {
 			mask.Set(i, j, 1)
 		}
 	}
-	proj := m.inProj.Forward(tensor.ConcatColsT(tensor.Const(kv), m.timeEnc.Forward(dts)))
+	proj := m.inProj.Forward(tensor.ConcatColsT(tensor.ConstScratch(kv), m.timeEnc.Forward(dts)))
 	pre := m.mem.Gather(nodes)
 	post := m.updater.Forward(tensor.Const(pre), proj, k, mask)
 	return m.commit(nodes, pre, post, times)

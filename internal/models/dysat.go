@@ -79,10 +79,10 @@ func (m *DySAT) BeginBatch() *MemoryUpdate {
 
 	pre := m.mem.Gather(nodes)
 	selfParts := []*tensor.Tensor{tensor.Const(pre), m.timeEnc.Forward(selfDts)}
-	neighParts := []*tensor.Tensor{tensor.Const(m.mem.Gather(neighNodes)), m.timeEnc.Forward(neighDts)}
+	neighParts := []*tensor.Tensor{tensor.ConstScratch(m.mem.Gather(neighNodes)), m.timeEnc.Forward(neighDts)}
 	if featDim > 0 {
-		selfParts = append(selfParts, tensor.Const(selfFeats))
-		neighParts = append(neighParts, tensor.Const(neighFeats))
+		selfParts = append(selfParts, tensor.ConstScratch(selfFeats))
+		neighParts = append(neighParts, tensor.ConstScratch(neighFeats))
 	}
 	post := m.structural.Forward(tensor.ConcatColsT(selfParts...), tensor.ConcatColsT(neighParts...), k, mask)
 	return m.commit(nodes, pre, post, times)

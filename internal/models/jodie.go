@@ -75,11 +75,11 @@ func (m *JODIE) buildMessageInput(nodes []int32, msgs []pendingMsg) (*tensor.Ten
 		}
 	}
 	parts := []*tensor.Tensor{
-		tensor.Const(m.mem.Gather(others)),
+		tensor.ConstScratch(m.mem.Gather(others)),
 		m.timeEnc.Forward(dts),
 	}
 	if featDim > 0 {
-		parts = append(parts, tensor.Const(feats))
+		parts = append(parts, tensor.ConstScratch(feats))
 	}
 	return tensor.ConcatColsT(parts...), times
 }
@@ -92,7 +92,7 @@ func (m *JODIE) Embed(nodes []int32, ts []float64) *tensor.Tensor {
 	for i, n := range nodes {
 		dts.Data[i] = float32(ts[i] - m.mem.LastUpdate(n))
 	}
-	factor := tensor.AddScalarT(tensor.MatMulT(tensor.Const(dts), m.decayW), 1)
+	factor := tensor.AddScalarT(tensor.MatMulT(tensor.ConstScratch(dts), m.decayW), 1)
 	return tensor.MulT(mem, tensor.ColBroadcastT(factor, m.cfg.MemoryDim))
 }
 

@@ -102,7 +102,7 @@ func (m *TGAT) BeginBatch() *MemoryUpdate {
 			row[j] = 0.7*row[j] + 0.3*prev[j]
 		}
 	}
-	post := tensor.Const(postM)
+	post := tensor.ConstScratch(postM)
 	return m.commit(nodes, pre, post, times)
 }
 

@@ -69,11 +69,11 @@ func (m *TGN) BeginBatch() *MemoryUpdate {
 		}
 	}
 	parts := []*tensor.Tensor{
-		tensor.Const(m.mem.Gather(others)),
+		tensor.ConstScratch(m.mem.Gather(others)),
 		m.timeEnc.Forward(dts),
 	}
 	if featDim > 0 {
-		parts = append(parts, tensor.Const(feats))
+		parts = append(parts, tensor.ConstScratch(feats))
 	}
 	x := tensor.ConcatColsT(parts...)
 	pre := m.mem.Gather(nodes)

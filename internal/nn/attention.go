@@ -50,7 +50,7 @@ func (g *GATLayer) Forward(self, neigh *tensor.Tensor, k int, mask *tensor.Matri
 	sNeighB := reshapeColumn(sNeigh, b, k)     // (B × K)
 	scores := tensor.LeakyReLUT(tensor.AddT(sSelfB, sNeighB), 0.2)
 	if mask != nil {
-		scores = tensor.AddT(scores, tensor.Const(maskToNegInf(mask)))
+		scores = tensor.AddT(scores, tensor.ConstScratch(maskToNegInf(mask)))
 	}
 	alpha := tensor.SoftmaxRowsT(scores)               // (B × K)
 	agg := tensor.WeightedSumGroupsT(hNeigh, alpha, k) // (B × Out)
@@ -98,7 +98,7 @@ func (t *TransformerLayer) Forward(query, kv *tensor.Tensor, k int, mask *tensor
 	scale := float32(1 / math.Sqrt(float64(t.Dim)))
 	scores := tensor.ScaleT(tensor.RowDotGroupsT(q, keys, k), scale) // (B × K)
 	if mask != nil {
-		scores = tensor.AddT(scores, tensor.Const(maskToNegInf(mask)))
+		scores = tensor.AddT(scores, tensor.ConstScratch(maskToNegInf(mask)))
 	}
 	alpha := tensor.SoftmaxRowsT(scores)
 	agg := tensor.WeightedSumGroupsT(vals, alpha, k) // (B × Dim)

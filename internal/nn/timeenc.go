@@ -41,7 +41,9 @@ func NewTimeEncoder(rng *rand.Rand, dim int) *TimeEncoder {
 
 // Forward encodes a batch of deltas (length B) into a (B × Dim) tensor.
 func (te *TimeEncoder) Forward(deltas []float32) *tensor.Tensor {
-	col := tensor.Const(tensor.FromSlice(len(deltas), 1, append([]float32(nil), deltas...)))
+	cm := tensor.NewMatrix(len(deltas), 1)
+	copy(cm.Data, deltas)
+	col := tensor.ConstScratch(cm)
 	// (B×1)·(1×D) = outer product Δt_i · ω_j, then add phase and take cos.
 	return tensor.CosT(tensor.AddRowT(tensor.MatMulT(col, te.Omega), te.Phase))
 }

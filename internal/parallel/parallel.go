@@ -95,13 +95,13 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MinIntReduce computes the minimum of fn(i) over [0, n) in parallel.
-// It is the reduction step of Algorithm 3 (batch boundary = min over nodes
-// of the last tolerable event).
-func MinIntReduce(n, workers int, fn func(i int) int) int {
-	const maxInt = int(^uint(0) >> 1)
+// Workers returns the worker count actually used for a loop over n items:
+// workers (or DefaultWorkers when non-positive), capped at n. Callers that
+// pre-size per-worker scratch for ForChunksWorker use it to agree with the
+// fan-out on the slot count.
+func Workers(n, workers int) int {
 	if n <= 0 {
-		return maxInt
+		return 0
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -109,18 +109,25 @@ func MinIntReduce(n, workers int, fn func(i int) int) int {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 || n < 256 {
-		best := maxInt
-		for i := 0; i < n; i++ {
-			if v := fn(i); v < best {
-				best = v
-			}
-		}
-		return best
+	return workers
+}
+
+// ForChunksWorker runs fn(w, lo, hi) over contiguous chunks of [0, n), where
+// w < Workers(n, workers) identifies the worker and is stable for the call:
+// each w sees exactly one chunk, so fn may write to per-worker scratch slot w
+// without synchronization. Unlike ForChunks there is no small-n inline
+// shortcut beyond the single-worker case — callers opt into chunked fan-out
+// deliberately (e.g. GEMM k-splitting with per-worker accumulators).
+func ForChunksWorker(n, workers int, fn func(w, lo, hi int)) {
+	workers = Workers(n, workers)
+	if workers == 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
 	}
 	chunk := (n + workers - 1) / workers
-	partial := make([]int, 0, workers)
-	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -132,20 +139,46 @@ func MinIntReduce(n, workers int, fn func(i int) int) int {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			best := maxInt
-			for i := lo; i < hi; i++ {
-				if v := fn(i); v < best {
-					best = v
-				}
-			}
-			mu.Lock()
-			partial = append(partial, best)
-			mu.Unlock()
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// MinIntReduce computes the minimum of fn(i) over [0, n) in parallel.
+// It is the reduction step of Algorithm 3 (batch boundary = min over nodes
+// of the last tolerable event). Each worker owns a preallocated partial slot,
+// so the reduction is lock-free.
+func MinIntReduce(n, workers int, fn func(i int) int) int {
+	const maxInt = int(^uint(0) >> 1)
+	if n <= 0 {
+		return maxInt
+	}
+	workers = Workers(n, workers)
+	if workers == 1 || n < 256 {
+		best := maxInt
+		for i := 0; i < n; i++ {
+			if v := fn(i); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	partial := make([]int, workers)
+	for w := range partial {
+		partial[w] = maxInt // ceil-division chunking may leave trailing slots unused
+	}
+	ForChunksWorker(n, workers, func(w, lo, hi int) {
+		best := maxInt
+		for i := lo; i < hi; i++ {
+			if v := fn(i); v < best {
+				best = v
+			}
+		}
+		partial[w] = best
+	})
 	best := maxInt
 	for _, v := range partial {
 		if v < best {

@@ -77,3 +77,54 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatal("DefaultWorkers < 1")
 	}
 }
+
+func TestWorkersCaps(t *testing.T) {
+	if got := Workers(0, 8); got != 0 {
+		t.Fatalf("Workers(0,8) = %d, want 0", got)
+	}
+	if got := Workers(3, 8); got != 3 {
+		t.Fatalf("Workers(3,8) = %d, want 3", got)
+	}
+	if got := Workers(100, 4); got != 4 {
+		t.Fatalf("Workers(100,4) = %d, want 4", got)
+	}
+	if got := Workers(100, 0); got != DefaultWorkers() {
+		t.Fatalf("Workers(100,0) = %d, want DefaultWorkers", got)
+	}
+}
+
+func TestForChunksWorkerPartition(t *testing.T) {
+	for _, n := range []int{1, 5, 65, 128, 999} {
+		for _, workers := range []int{1, 3, 4, 8} {
+			seen := make([]int32, n)
+			slotHit := make([]int32, Workers(n, workers))
+			ForChunksWorker(n, workers, func(w, lo, hi int) {
+				atomic.AddInt32(&slotHit[w], 1)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+			for w, c := range slotHit {
+				if c > 1 {
+					t.Fatalf("n=%d workers=%d: slot %d used %d times", n, workers, w, c)
+				}
+			}
+		}
+	}
+}
+
+// Regression for the unused-trailing-slot case: ceil-division chunking can
+// leave the last worker without a chunk (n=5, workers=4 → chunks of 2 cover
+// [0,6)), and its partial slot must not poison the reduction.
+func TestMinIntReduceUnusedSlot(t *testing.T) {
+	n := 300 // above the serial cutoff
+	got := MinIntReduce(n, 299, func(i int) int { return 1000 + i })
+	if got != 1000 {
+		t.Fatalf("min = %d, want 1000", got)
+	}
+}

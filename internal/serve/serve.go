@@ -216,9 +216,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		events[i] = graph.Event{Src: e.Src, Dst: e.Dst, Time: e.Time, FeatIdx: -1}
 	}
 	// Apply pending messages, then queue this batch's — the same cycle the
-	// trainer runs, so the online memory matches training semantics.
-	s.model.BeginBatch()
+	// trainer runs, so the online memory matches training semantics. The
+	// memory-update tape is dead as soon as EndBatch returns (serving never
+	// backprops), so recycle it into the tensor arena.
+	upd := s.model.BeginBatch()
 	s.model.EndBatch(events)
+	upd.FreeTape()
 	s.lastTime = last
 	s.ingested += int64(len(events))
 	s.metrics.Counter("serve_events_ingested_total").Add(int64(len(events)))
@@ -263,7 +266,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	// served stream state. Previously /score applied pending updates
 	// permanently, silently advancing the model as a side effect of a read.
 	snap := s.model.Snapshot()
-	s.model.BeginBatch()
+	upd := s.model.BeginBatch()
 	emb := s.model.Embed(nodes, ts)
 	s.model.Restore(snap)
 	srcIdx := make([]int, n)
@@ -277,6 +280,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	s.scored += int64(n)
 	s.metrics.Counter("serve_pairs_scored_total").Add(int64(n))
 	writeJSON(w, map[string]any{"scores": logits.Value.Data})
+	// The response is serialized; the whole scoring tape (memory update,
+	// embeddings, predictor intermediates) can go back to the arena.
+	upd.FreeTape(logits)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

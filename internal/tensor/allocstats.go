@@ -5,9 +5,12 @@ import "sync/atomic"
 // Allocation accounting: NewMatrix is the single allocation point of the
 // tensor substrate (every op output, gradient buffer and gather result
 // goes through it), so two atomic counters there give an exact picture of
-// tape memory churn. The trainer snapshots the counters around each batch
-// and publishes the delta to the observability layer — the pure-Go analog
-// of torch.cuda.memory_allocated() deltas.
+// tape memory churn. Requests served from the tensor arena (pool.go) do
+// not count — AllocStats measures fresh heap allocations, the quantity the
+// arena exists to eliminate; recycled traffic shows up in PoolStats
+// instead. The trainer snapshots both around each batch and publishes the
+// deltas to the observability layer — the pure-Go analog of
+// torch.cuda.memory_allocated() deltas.
 var (
 	allocMatrices atomic.Int64
 	allocFloats   atomic.Int64
@@ -15,9 +18,9 @@ var (
 
 // AllocStats is a snapshot of cumulative matrix allocations.
 type AllocStats struct {
-	// Matrices counts NewMatrix calls.
+	// Matrices counts NewMatrix calls that hit the heap (pool misses).
 	Matrices int64
-	// Floats counts float32 elements allocated (×4 for bytes).
+	// Floats counts float32 elements freshly allocated (×4 for bytes).
 	Floats int64
 }
 

@@ -3,6 +3,9 @@ package tensor
 import "testing"
 
 func TestAllocSnapshotDelta(t *testing.T) {
+	// AllocStats counts pool misses only; drain the arena so both NewMatrix
+	// calls below are guaranteed misses regardless of test order.
+	PoolDrain()
 	before := AllocSnapshot()
 	NewMatrix(3, 4)
 	NewMatrix(2, 5)

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// GEMM micro-benchmarks for the three kernel variants the autograd engine
+// runs (forward a·b, weight-grad aᵀ·b, input-grad a·bᵀ), each at
+// GOMAXPROCS 1 and at the machine's parallelism. The p1/pN pair is the
+// scaling regression harness: on a multicore machine pN must beat p1 for
+// all three variants, not just the forward kernel.
+
+func benchMatrix(rows, cols int, seed float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = seed * float32(i%13) * 0.25
+	}
+	return m
+}
+
+func withProcs(b *testing.B, procs int, fn func(b *testing.B)) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn(b)
+}
+
+func benchGemmVariant(b *testing.B, dim int, kernel func(dst, a, bm *Matrix)) {
+	a := benchMatrix(dim, dim, 1)
+	bm := benchMatrix(dim, dim, 2)
+	dst := NewMatrix(dim, dim)
+	procsList := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		procsList = procsList[:1]
+	}
+	for _, procs := range procsList {
+		b.Run(fmt.Sprintf("p%d", procs), func(b *testing.B) {
+			withProcs(b, procs, func(b *testing.B) {
+				b.SetBytes(int64(4 * dim * dim))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					kernel(dst, a, bm)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	benchGemmVariant(b, 256, func(dst, a, bm *Matrix) { MatMulInto(dst, a, bm) })
+}
+
+func BenchmarkMatMulTransA256(b *testing.B) {
+	benchGemmVariant(b, 256, func(dst, a, bm *Matrix) { MatMulTransAInto(dst, a, bm) })
+}
+
+func BenchmarkMatMulTransB256(b *testing.B) {
+	benchGemmVariant(b, 256, func(dst, a, bm *Matrix) { MatMulTransBInto(dst, a, bm) })
+}
+
+// BenchmarkMatMulRagged covers the shapes the models actually emit (tall
+// activation × small weight), where tile remainders dominate.
+func BenchmarkMatMulRagged(b *testing.B) {
+	a := benchMatrix(900, 100, 1)
+	w := benchMatrix(100, 300, 2)
+	dst := NewMatrix(900, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, w)
+	}
+}

@@ -1,0 +1,57 @@
+package tensor
+
+// FreeGraph returns every tape-scoped matrix reachable from roots to the
+// tensor arena: the Value and Grad of each non-leaf node, any scratch
+// matrices ops retained for backward (Tensor.retainScratch), and the Value
+// of ConstScratch leaves. Var and plain Const leaves — parameters, input
+// features, anything with caller-owned storage — are never touched, and
+// neither are their Grads (optimizers zero and reuse parameter gradients
+// across steps).
+//
+// Call it once per tape, after Backward and the optimizer step have consumed
+// the gradients and after every reader of intermediate values (metrics,
+// feedback filters, response writers) is done. Freeing is idempotent per
+// node, so overlapping graphs that share subtrees may be freed through
+// multiple roots. After FreeGraph, touching a freed tensor's data panics on
+// nil storage — the use-after-free tripwire.
+func FreeGraph(roots ...*Tensor) {
+	// Iterative DFS over ALL inputs — unlike topoSort this must not stop at
+	// requiresGrad boundaries, because const subtrees (time encodings feeding
+	// detached memories, scratch masks) also hold tape storage.
+	var stack []*Tensor
+	for _, r := range roots {
+		if r != nil && !r.freed {
+			r.freed = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.inputs {
+			if !in.freed {
+				in.freed = true
+				stack = append(stack, in)
+			}
+		}
+		leaf := len(n.inputs) == 0
+		if !leaf || n.scratch {
+			if n.Value != nil && !n.Value.Released() {
+				n.Value.Release()
+			}
+			if n.Grad != nil && !n.Grad.Released() {
+				n.Grad.Release()
+			}
+		}
+		for _, m := range n.scratchBufs {
+			if m != nil && !m.Released() {
+				m.Release()
+			}
+		}
+		// Drop tape edges so the GC can collect node headers even if the
+		// caller keeps a reference to the root.
+		n.inputs = nil
+		n.backFn = nil
+		n.scratchBufs = nil
+	}
+}

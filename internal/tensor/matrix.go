@@ -7,8 +7,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-
-	"github.com/cascade-ml/cascade/internal/parallel"
 )
 
 // Matrix is a dense, row-major float32 matrix. A Matrix with Rows == 1 acts
@@ -17,15 +15,27 @@ import (
 type Matrix struct {
 	Rows, Cols int
 	Data       []float32
+
+	// state tracks arena bookkeeping (pool.go): whether Data was minted by
+	// the pool and whether Release has been called.
+	state uint8
 }
 
-// NewMatrix allocates a zeroed rows×cols matrix.
+// NewMatrix returns a zeroed rows×cols matrix, recycling storage from the
+// tensor arena when a released buffer of a fitting size class is available
+// (fresh heap allocations are counted by AllocStats, pool hits by
+// PoolStats).
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative matrix dims %dx%d", rows, cols))
 	}
-	noteAlloc(rows * cols)
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+	n := rows * cols
+	buf, recyclable := poolGet(n)
+	m := &Matrix{Rows: rows, Cols: cols, Data: buf}
+	if recyclable {
+		m.state = matrixPooled
+	}
+	return m
 }
 
 // FromSlice wraps data (row-major) as a rows×cols matrix. The slice is used
@@ -74,95 +84,12 @@ func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 }
 
-// matmulParallelThreshold is the flop count above which MatMulInto fans out
-// across cores. Below it the goroutine overhead outweighs the win.
-const matmulParallelThreshold = 1 << 16
-
-// MatMulInto computes dst = a·b. dst must be pre-shaped (a.Rows × b.Cols) and
-// must not alias a or b.
-func MatMulInto(dst, a, b *Matrix) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	dst.Zero()
-	work := a.Rows * a.Cols * b.Cols
-	rowKernel := func(lo, hi int) {
-		// ikj loop order: streams through b rows, friendly to the cache.
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	}
-	if work >= matmulParallelThreshold {
-		parallel.ForChunks(a.Rows, 0, rowKernel)
-	} else {
-		rowKernel(0, a.Rows)
-	}
-}
-
-// MatMul allocates and returns a·b.
+// MatMul allocates and returns a·b. (The GEMM kernels behind MatMulInto and
+// the transpose variants live in gemm.go.)
 func MatMul(a, b *Matrix) *Matrix {
 	dst := NewMatrix(a.Rows, b.Cols)
 	MatMulInto(dst, a, b)
 	return dst
-}
-
-// MatMulTransAInto computes dst = aᵀ·b, used by autograd for weight grads.
-func MatMulTransAInto(dst, a, b *Matrix) {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulTA shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulTA dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
-	}
-	dst.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulTransBInto computes dst = a·bᵀ, used by autograd for input grads.
-func MatMulTransBInto(dst, a, b *Matrix) {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulTB shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulTB dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
-	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float32
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			drow[j] = sum
-		}
-	}
 }
 
 // AddInto computes dst = a + b elementwise; dst may alias a or b.

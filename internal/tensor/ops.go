@@ -23,20 +23,6 @@ func MatMulT(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTransBAccum computes dst += a·bᵀ.
-func MatMulTransBAccum(dst, a, b *Matrix) {
-	tmp := NewMatrix(a.Rows, b.Rows)
-	MatMulTransBInto(tmp, a, b)
-	AxpyInto(dst, tmp, 1)
-}
-
-// MatMulTransAAccum computes dst += aᵀ·b.
-func MatMulTransAAccum(dst, a, b *Matrix) {
-	tmp := NewMatrix(a.Cols, b.Cols)
-	MatMulTransAInto(tmp, a, b)
-	AxpyInto(dst, tmp, 1)
-}
-
 // AddT returns a + b elementwise.
 func AddT(a, b *Tensor) *Tensor {
 	val := NewMatrix(a.Value.Rows, a.Value.Cols)
@@ -360,11 +346,16 @@ func SumT(a *Tensor) *Tensor {
 	for _, v := range a.Value.Data {
 		s += v
 	}
-	val := FromSlice(1, 1, []float32{s})
+	val := NewMatrix(1, 1)
+	val.Data[0] = s
 	var out *Tensor
 	out = newNode("sum", val, func() {
 		if a.requiresGrad {
-			AxpyInto(a.ensureGrad(), onesLike(a.Value), out.Grad.Data[0])
+			g := out.Grad.Data[0]
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += g
+			}
 		}
 	}, a)
 	return out
@@ -377,11 +368,16 @@ func MeanT(a *Tensor) *Tensor {
 	for _, v := range a.Value.Data {
 		s += v
 	}
-	val := FromSlice(1, 1, []float32{s / n})
+	val := NewMatrix(1, 1)
+	val.Data[0] = s / n
 	var out *Tensor
 	out = newNode("mean", val, func() {
 		if a.requiresGrad {
-			AxpyInto(a.ensureGrad(), onesLike(a.Value), out.Grad.Data[0]/n)
+			g := out.Grad.Data[0] / n
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += g
+			}
 		}
 	}, a)
 	return out
@@ -560,7 +556,8 @@ func BCEWithLogitsT(logits, targets *Tensor) *Tensor {
 		}
 		total += m - x*y + float32(math.Log1p(math.Exp(float64(-ax))))
 	}
-	val := FromSlice(1, 1, []float32{total / n})
+	val := NewMatrix(1, 1)
+	val.Data[0] = total / n
 	var out *Tensor
 	out = newNode("bcelogits", val, func() {
 		if logits.requiresGrad {
@@ -577,12 +574,6 @@ func BCEWithLogitsT(logits, targets *Tensor) *Tensor {
 
 func sigmoid(x float32) float32 {
 	return float32(1 / (1 + math.Exp(float64(-x))))
-}
-
-func onesLike(m *Matrix) *Matrix {
-	o := NewMatrix(m.Rows, m.Cols)
-	o.Fill(1)
-	return o
 }
 
 // CosT applies cos elementwise. Together with a learnable frequency row this
@@ -659,7 +650,8 @@ func ReshapeT(a *Tensor, rows, cols int) *Tensor {
 	if rows*cols != len(a.Value.Data) {
 		panic(fmt.Sprintf("tensor: Reshape %dx%d of %d elements", rows, cols, len(a.Value.Data)))
 	}
-	val := FromSlice(rows, cols, append([]float32(nil), a.Value.Data...))
+	val := NewMatrix(rows, cols)
+	copy(val.Data, a.Value.Data)
 	var out *Tensor
 	out = newNode("reshape", val, func() {
 		if a.requiresGrad {
@@ -750,6 +742,7 @@ func LayerNormT(x, gain, bias *Tensor) *Tensor {
 	var out *Tensor
 	out = newNode("layernorm", val, func() {
 		g := out.Grad
+		var dy []float32
 		if gain.requiresGrad {
 			gg := gain.ensureGrad()
 			for r := 0; r < rows; r++ {
@@ -775,7 +768,9 @@ func LayerNormT(x, gain, bias *Tensor) *Tensor {
 				grow, hrow := g.Row(r), xhat.Row(r)
 				// dŷ = dy ⊙ g; dx = (dŷ − mean(dŷ) − x̂·mean(dŷ⊙x̂))·invStd
 				var sumDy, sumDyH float32
-				dy := make([]float32, cols)
+				if dy == nil {
+					dy = make([]float32, cols)
+				}
 				for j := range grow {
 					dy[j] = grow[j] * gain.Value.Data[j]
 					sumDy += dy[j]
@@ -789,5 +784,6 @@ func LayerNormT(x, gain, bias *Tensor) *Tensor {
 			}
 		}
 	}, x, gain, bias)
+	out.retainScratch(xhat)
 	return out
 }

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolRecyclesReleasedStorage(t *testing.T) {
+	PoolDrain()
+	before := PoolSnapshot()
+	m := NewMatrix(16, 16) // 256 elems → class for 256
+	m.Fill(7)
+	m.Release()
+	n := NewMatrix(10, 20) // 200 elems → same 256-elem class
+	d := PoolSnapshot().Sub(before)
+	if d.Hits != 1 {
+		t.Fatalf("pool hits = %d, want 1", d.Hits)
+	}
+	if d.FloatsRecycled != 200 {
+		t.Fatalf("floats recycled = %d, want 200", d.FloatsRecycled)
+	}
+	for i, v := range n.Data {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestPoolMissCountsAlloc(t *testing.T) {
+	PoolDrain()
+	beforeAlloc := AllocSnapshot()
+	beforePool := PoolSnapshot()
+	NewMatrix(8, 8)
+	da := AllocSnapshot().Sub(beforeAlloc)
+	dp := PoolSnapshot().Sub(beforePool)
+	if dp.Misses != 1 || dp.Hits != 0 {
+		t.Fatalf("pool misses/hits = %d/%d, want 1/0", dp.Misses, dp.Hits)
+	}
+	if da.Matrices != 1 || da.Floats != 64 {
+		t.Fatalf("alloc delta = %+v, want 1 matrix / 64 floats", da)
+	}
+	// A pool hit must NOT move AllocStats.
+	m := NewMatrix(8, 8)
+	m.Release()
+	beforeAlloc = AllocSnapshot()
+	NewMatrix(8, 8)
+	if d := AllocSnapshot().Sub(beforeAlloc); d.Matrices != 0 {
+		t.Fatalf("pool hit moved AllocStats: %+v", d)
+	}
+}
+
+func TestPoolOversizeBypasses(t *testing.T) {
+	PoolDrain()
+	huge := poolClassSize(poolNumClasses-1) + 1
+	m := NewMatrix(1, huge)
+	before := PoolSnapshot()
+	m.Release() // must not land in any class
+	n := NewMatrix(1, huge)
+	if d := PoolSnapshot().Sub(before); d.Hits != 0 {
+		t.Fatalf("oversize buffer was recycled: %+v", d)
+	}
+	_ = n
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	m := NewMatrix(4, 4)
+	m.Release()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic")
+		}
+		if !strings.Contains(r.(string), "double release") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m.Release()
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	m := NewMatrix(4, 4)
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("element access after Release did not panic")
+		}
+	}()
+	_ = m.At(0, 0)
+}
+
+func TestFreeGraphReleasesIntermediates(t *testing.T) {
+	PoolDrain()
+	w := Var(benchMatrix(8, 8, 1))
+	x := ConstScratch(benchMatrix(4, 8, 2))
+	h := MatMulT(x, w)
+	y := ReLUT(h)
+	loss := MeanT(y)
+	loss.Backward()
+
+	before := PoolSnapshot()
+	FreeGraph(loss)
+	d := PoolSnapshot().Sub(before)
+	// Intermediate values (h, y, loss), their grads, and the scratch input
+	// must all have been returned.
+	if d.Releases < 6 {
+		t.Fatalf("FreeGraph returned %d buffers, want >= 6", d.Releases)
+	}
+	if !h.Value.Released() || !y.Value.Released() || !x.Value.Released() {
+		t.Fatal("intermediate or scratch values not released")
+	}
+	if w.Value.Released() {
+		t.Fatal("parameter value was released")
+	}
+	if w.Grad == nil || w.Grad.Released() {
+		t.Fatal("parameter grad must survive FreeGraph")
+	}
+	// Idempotent: freeing again (or via a second root) must not panic.
+	FreeGraph(loss, y)
+}
+
+func TestFreeGraphSharedSubtree(t *testing.T) {
+	w := Var(benchMatrix(6, 6, 1))
+	x := ConstScratch(benchMatrix(3, 6, 2))
+	h := MatMulT(x, w)
+	a := ReLUT(h)
+	b := SigmoidT(h) // shares h
+	loss := MeanT(AddT(a, b))
+	loss.Backward()
+	FreeGraph(loss)
+	if !h.Value.Released() || !a.Value.Released() || !b.Value.Released() {
+		t.Fatal("shared subtree not fully released")
+	}
+}

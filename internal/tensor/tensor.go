@@ -18,6 +18,18 @@ type Tensor struct {
 	op           string
 	inputs       []*Tensor
 	backFn       func()
+
+	// scratch marks a const leaf whose Value is tape-scoped (minted per batch,
+	// e.g. an attention mask or a gathered-memory copy) and may be released by
+	// FreeGraph. Ordinary Const leaves wrap caller-owned storage and are left
+	// alone.
+	scratch bool
+	// scratchBufs holds auxiliary matrices an op retained for its backward
+	// pass (e.g. LayerNorm's normalized activations); FreeGraph releases them
+	// with the node.
+	scratchBufs []*Matrix
+	// freed makes FreeGraph idempotent per node.
+	freed bool
 }
 
 // Var wraps m as a leaf tensor that participates in gradient computation
@@ -30,6 +42,19 @@ func Var(m *Matrix) *Tensor {
 // detached node memories).
 func Const(m *Matrix) *Tensor {
 	return &Tensor{Value: m, op: "const"}
+}
+
+// ConstScratch wraps m as a constant leaf whose storage belongs to the tape:
+// FreeGraph will release it along with the intermediate nodes. Use it for
+// matrices minted fresh each batch (masks, time-delta columns, gathered
+// memories) and never for caller-owned or long-lived storage.
+func ConstScratch(m *Matrix) *Tensor {
+	return &Tensor{Value: m, op: "const", scratch: true}
+}
+
+// retainScratch attaches aux to t so FreeGraph releases it with the node.
+func (t *Tensor) retainScratch(aux ...*Matrix) {
+	t.scratchBufs = append(t.scratchBufs, aux...)
 }
 
 // RequiresGrad reports whether gradients flow into this tensor.

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"github.com/cascade-ml/cascade/internal/graph"
-	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
 // Metrics are the standard link-prediction quality measures alongside the
@@ -104,11 +103,11 @@ func (t *Trainer) ValidateMetrics() Metrics {
 			hi = n
 		}
 		events := t.cfg.Val.Events[lo:hi]
-		loss, logits := t.scoreBatch(t.cfg.Val, events)
+		loss, batchScores := t.scoreBatch(t.cfg.Val, events)
 		lossSum += loss * float64(len(events))
 		b := len(events)
 		for i := 0; i < 2*b; i++ {
-			scores = append(scores, float64(logits.Value.Data[i]))
+			scores = append(scores, float64(batchScores[i]))
 			labels = append(labels, i < b)
 		}
 		m.Events += b
@@ -120,47 +119,19 @@ func (t *Trainer) ValidateMetrics() Metrics {
 }
 
 // scoreBatch runs the prediction step without learning and returns the loss
-// plus the raw logits ((2B × 1): positives then negatives), advancing model
-// state like a normal validation step.
-func (t *Trainer) scoreBatch(ds *graph.Dataset, events []graph.Event) (float64, *tensor.Tensor) {
-	model := t.cfg.Model
-	model.BeginBatch()
-	b := len(events)
-	nodes := make([]int32, 0, 3*b)
-	ts := make([]float64, 0, 3*b)
-	for _, e := range events {
-		nodes = append(nodes, e.Src)
-		ts = append(ts, e.Time)
+// plus a copy of the raw scores (2B: positives then negatives), advancing
+// model state like a normal validation step. The copy is taken before
+// finishStep recycles the batch's tape into the arena.
+func (t *Trainer) scoreBatch(ds *graph.Dataset, events []graph.Event) (float64, []float32) {
+	prep := t.prepareLink(ds, events)
+	lossT, logits, upd, _, _ := t.forwardPrepared(prep)
+	var scores []float32
+	if logits != nil {
+		scores = append([]float32(nil), logits.Value.Data...)
 	}
-	for _, e := range events {
-		nodes = append(nodes, e.Dst)
-		ts = append(ts, e.Time)
+	loss := t.finishStep(lossT, upd, events, false)
+	if math.IsNaN(loss) {
+		return math.NaN(), scores
 	}
-	for _, e := range events {
-		nodes = append(nodes, t.negativeSample(ds, e))
-		ts = append(ts, e.Time)
-	}
-	h := model.Embed(nodes, ts)
-	srcIdx := make([]int, b)
-	dstIdx := make([]int, b)
-	negIdx := make([]int, b)
-	for i := 0; i < b; i++ {
-		srcIdx[i] = i
-		dstIdx[i] = b + i
-		negIdx[i] = 2*b + i
-	}
-	hSrc := tensor.GatherRowsT(h, srcIdx)
-	posLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, dstIdx)))
-	negLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, negIdx)))
-	logits := tensor.ConcatRowsT(posLogits, negLogits)
-	targets := tensor.NewMatrix(2*b, 1)
-	for i := 0; i < b; i++ {
-		targets.Data[i] = 1
-	}
-	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
-	model.EndBatch(events)
-	if math.IsNaN(float64(loss.Item())) {
-		return math.NaN(), logits
-	}
-	return float64(loss.Item()), logits
+	return loss, scores
 }

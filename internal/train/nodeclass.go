@@ -1,11 +1,7 @@
 package train
 
 import (
-	"time"
-
 	"github.com/cascade-ml/cascade/internal/graph"
-	"github.com/cascade-ml/cascade/internal/models"
-	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
 // Node classification (the second CTDG task of Eq. 1, e.g. MOOC student
@@ -14,42 +10,18 @@ import (
 // training steps of Fig. 1 are unchanged — only step 1's prediction target
 // differs from link prediction.
 
-// stepClassOn executes one node-classification batch.
-func (t *Trainer) stepClassOn(ds *graph.Dataset, events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming, *tensor.Tensor) {
-	var tm stageTiming
-	model := t.cfg.Model
-	mark := time.Now()
-	upd := model.BeginBatch()
-	tm.Begin = time.Since(mark)
-	b := len(events)
-	if b == 0 {
-		return 0, upd, tensor.TapeStats{}, tm, nil
+// stepClassOn executes one node-classification batch serially and returns
+// the loss plus a copy of the per-event scores (raw logits). The copy is
+// taken before finishStep recycles the batch's tape into the arena.
+func (t *Trainer) stepClassOn(events []graph.Event, labels []uint8, learn bool) (float64, []float32) {
+	prep := t.prepareClass(events, labels)
+	lossT, logits, upd, _, _ := t.forwardPrepared(prep)
+	var scores []float32
+	if logits != nil {
+		scores = append([]float32(nil), logits.Value.Data[:len(events)]...)
 	}
-	mark = time.Now()
-	nodes := make([]int32, b)
-	ts := make([]float64, b)
-	targets := tensor.NewMatrix(b, 1)
-	for i, e := range events {
-		nodes[i] = e.Src
-		ts[i] = e.Time
-		targets.Data[i] = float32(labels[i])
-	}
-	h := model.Embed(nodes, ts)
-	logits := t.predictor.Forward(h)
-	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
-	tape := tensor.StatsOf(loss)
-	tm.Embed = time.Since(mark)
-	if learn {
-		mark = time.Now()
-		t.opt.ZeroGrad()
-		loss.Backward()
-		t.opt.Step()
-		tm.Backward = time.Since(mark)
-	}
-	mark = time.Now()
-	model.EndBatch(events)
-	tm.End = time.Since(mark)
-	return float64(loss.Item()), upd, tape, tm, logits
+	loss := t.finishStep(lossT, upd, events, learn)
+	return loss, scores
 }
 
 // ValidateClass scores the validation suffix of a node-classification run,
@@ -73,10 +45,10 @@ func (t *Trainer) ValidateClass() Metrics {
 		}
 		events := t.cfg.Val.Events[lo:hi]
 		evLabels := t.cfg.Val.Labels[lo:hi]
-		loss, _, _, _, logits := t.stepClassOn(t.cfg.Val, events, evLabels, false)
+		loss, batchScores := t.stepClassOn(events, evLabels, false)
 		lossSum += loss * float64(len(events))
 		for i := range events {
-			scores = append(scores, float64(logits.Value.Data[i]))
+			scores = append(scores, float64(batchScores[i]))
 			labels = append(labels, evLabels[i] == 1)
 		}
 		m.Events += len(events)

@@ -1,0 +1,64 @@
+package train
+
+import (
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/core"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/models"
+)
+
+// runTraced trains two epochs and returns the per-batch loss sequence plus
+// the final validation loss.
+func runTraced(t *testing.T, sched batching.Scheduler, full, tr, val *graph.Dataset, disablePrefetch bool) ([]float64, float64) {
+	t.Helper()
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	var losses []float64
+	tt, err := NewTrainer(Config{
+		Model: m, Sched: sched, Data: tr, Val: val,
+		LR: 2e-3, ValBatch: 100, Seed: 9,
+		DisablePrefetch: disablePrefetch,
+		OnBatch:         func(bt BatchTrace) { losses = append(losses, bt.Loss) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.Train(2)
+	return losses, tt.Validate()
+}
+
+// TestPrefetchMatchesSerial pins the pipeline's determinism contract: with
+// the prefetch goroutine preparing batch k+1 under batch k's backward pass,
+// every per-batch loss (and the validation loss) must be bitwise identical
+// to the serial schedule — the rng is owned by one goroutine at a time and
+// draws in the same order. The adaptive Cascade scheduler is the strongest
+// check because its batch boundaries react to the loss feedback.
+func TestPrefetchMatchesSerial(t *testing.T) {
+	full, tr, val := trainValData(t)
+	for _, tc := range []struct {
+		name  string
+		sched func() batching.Scheduler
+	}{
+		{"fixed", func() batching.Scheduler { return batching.NewFixed("TGL", tr.NumEvents(), 60) }},
+		{"cascade", func() batching.Scheduler {
+			return core.NewScheduler(tr.Events, full.NumNodes, core.Options{BaseBatch: 50, Workers: 2, Seed: 1})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, serialVal := runTraced(t, tc.sched(), full, tr, val, true)
+			piped, pipedVal := runTraced(t, tc.sched(), full, tr, val, false)
+			if len(serial) != len(piped) {
+				t.Fatalf("batch counts differ: serial %d, pipelined %d", len(serial), len(piped))
+			}
+			for i := range serial {
+				if serial[i] != piped[i] {
+					t.Fatalf("batch %d loss diverged: serial %v, pipelined %v", i, serial[i], piped[i])
+				}
+			}
+			if serialVal != pipedVal {
+				t.Fatalf("validation loss diverged: serial %v, pipelined %v", serialVal, pipedVal)
+			}
+		})
+	}
+}

@@ -60,8 +60,16 @@ type Config struct {
 	OnBatch func(BatchTrace)
 	// Obs, when non-nil, receives per-batch training metrics (loss and
 	// batch-size histograms, per-stage latency histograms, tape and
-	// allocation counters) — see DESIGN.md §8 for the metric inventory.
+	// allocation and arena counters) — see README.md's Observability
+	// section for the metric inventory.
 	Obs *obs.Registry
+	// DisablePrefetch turns off the batch-preparation pipeline: batch k+1's
+	// negative sampling and input vectors are then built on the main
+	// goroutine after batch k completes, instead of overlapping its
+	// backward pass. Results are bitwise-identical either way (the rng is
+	// owned by exactly one goroutine at a time, in the serial draw order);
+	// the switch exists for debugging and the equivalence test.
+	DisablePrefetch bool
 }
 
 // BatchTrace is the per-batch instrumentation record. It is what
@@ -98,10 +106,22 @@ type BatchTrace struct {
 	// TapeKernels / TapeFlops summarize the batch's autograd tape.
 	TapeKernels int     `json:"tape_kernels"`
 	TapeFlops   float64 `json:"tape_flops"`
-	// AllocMatrices / AllocFloats count tensor allocations during the
-	// batch (floats ×4 = bytes).
+	// AllocMatrices / AllocFloats count fresh tensor heap allocations during
+	// the batch (floats ×4 = bytes). Arena hits do not count; with the
+	// prefetch pipeline the window also covers batch k+1's preparation.
 	AllocMatrices int64 `json:"alloc_matrices"`
 	AllocFloats   int64 `json:"alloc_floats"`
+	// PrepTime is the host time spent building the batch's inputs (negative
+	// sampling, node/timestamp vectors, targets); under the prefetch
+	// pipeline it overlaps the previous batch's backward pass and so mostly
+	// vanishes from the critical path.
+	PrepTime time.Duration `json:"prep_ns"`
+	// PoolHits / PoolMisses / PoolFloatsRecycled are the tensor arena's
+	// counters over the batch window: hits were served from the free list,
+	// misses fell through to the Go heap.
+	PoolHits           int64 `json:"pool_hits"`
+	PoolMisses         int64 `json:"pool_misses"`
+	PoolFloatsRecycled int64 `json:"pool_floats_recycled"`
 }
 
 // EpochStats reports one epoch of training.
@@ -206,19 +226,29 @@ func (t *Trainer) TrainEpoch() EpochStats {
 	var lossSum float64
 	var eventSum int
 	var occSum float64
-	for {
-		b, ok := t.cfg.Sched.Next()
-		if !ok {
-			break
-		}
-		events := b.Events(t.cfg.Data.Events)
-		var labels []uint8
-		if t.cfg.Task == TaskNodeClassification {
-			labels = batchLabels(t.cfg.Data.Labels, b)
-		}
+	// The loop is software-pipelined: while batch k's backward pass and
+	// message generation run on this goroutine, batch k+1's host-side
+	// preparation (negative sampling, node/timestamp vectors, targets)
+	// proceeds on a prefetch goroutine. The prefetch touches only the
+	// trainer rng and immutable dataset slices; model, optimizer and
+	// scheduler state never leave this goroutine. The rng is owned by
+	// exactly one goroutine at a time — handed to the prefetch at spawn,
+	// reclaimed at the join — and prep k+1 still starts after prep k
+	// finished, so the draw order (and every result) is identical to the
+	// serial schedule.
+	var prep *preparedBatch
+	if b, ok := t.cfg.Sched.Next(); ok {
+		prep = t.prepareSched(b)
+	}
+	for prep != nil {
 		allocBefore := tensor.AllocSnapshot()
-		loss, upd, tape, tm := t.step(events, labels, true)
-		alloc := tensor.AllocSnapshot().Sub(allocBefore)
+		poolBefore := tensor.PoolSnapshot()
+		events := prep.events
+		lossT, _, upd, tape, tm := t.forwardPrepared(prep)
+		var loss float64
+		if lossT != nil {
+			loss = float64(lossT.Item())
+		}
 		lossSum += loss * float64(len(events))
 		eventSum += len(events)
 		st.Batches++
@@ -230,6 +260,11 @@ func (t *Trainer) TrainEpoch() EpochStats {
 			st.DeviceTime += cost.Time
 			occSum += cost.Occupancy
 		}
+		// Feedback runs ahead of the backward pass: loss and memory update
+		// are fully determined by the forward pass, and feeding the
+		// scheduler now lets Next() — and with it the next batch's prep —
+		// overlap backprop. The SG-Filter consumes Pre/Post synchronously
+		// inside OnBatchEnd, before FreeTape below recycles them.
 		fb := batching.Feedback{Loss: loss}
 		if !upd.Empty() {
 			fb.Nodes, fb.PreMem, fb.PostMem = upd.Nodes, upd.Pre, upd.Post
@@ -245,8 +280,38 @@ func (t *Trainer) TrainEpoch() EpochStats {
 		if r, ok := t.cfg.Sched.(stableReporter); ok {
 			stableRatio = r.StableUpdateRatio()
 		}
+		// Kick off batch k+1's preparation, then run batch k's backward
+		// pass and message generation under it.
+		var next *preparedBatch
+		var prepCh chan *preparedBatch
+		if nb, ok := t.cfg.Sched.Next(); ok {
+			if t.cfg.DisablePrefetch {
+				next = t.prepareSched(nb)
+			} else {
+				ch := make(chan *preparedBatch, 1)
+				go func() { ch <- t.prepareSched(nb) }()
+				prepCh = ch
+			}
+		}
+		if lossT != nil {
+			mark := time.Now()
+			t.opt.ZeroGrad()
+			lossT.Backward()
+			t.opt.Step()
+			tm.Backward = time.Since(mark)
+		}
+		if len(events) > 0 {
+			mark := time.Now()
+			t.cfg.Model.EndBatch(events)
+			tm.End = time.Since(mark)
+		}
+		// The batch's tape — loss graph plus the BeginBatch memory update —
+		// is dead: recycle every intermediate into the arena.
+		upd.FreeTape(lossT)
+		alloc := tensor.AllocSnapshot().Sub(allocBefore)
+		pool := tensor.PoolSnapshot().Sub(poolBefore)
 		if t.cfg.Obs != nil {
-			t.recordBatchObs(loss, len(events), tape, alloc, tm)
+			t.recordBatchObs(loss, len(events), tape, alloc, pool, tm, prep.prep)
 		}
 		if t.cfg.OnBatch != nil {
 			t.cfg.OnBatch(BatchTrace{
@@ -257,7 +322,14 @@ func (t *Trainer) TrainEpoch() EpochStats {
 				Occupancy: cost.Occupancy, Maxr: maxr, StableRatio: stableRatio,
 				TapeKernels: tape.Kernels, TapeFlops: tape.Flops,
 				AllocMatrices: alloc.Matrices, AllocFloats: alloc.Floats,
+				PrepTime: prep.prep, PoolHits: pool.Hits,
+				PoolMisses: pool.Misses, PoolFloatsRecycled: pool.FloatsRecycled,
 			})
+		}
+		if prepCh != nil {
+			prep = <-prepCh
+		} else {
+			prep = next
 		}
 	}
 	st.WallTime = time.Since(start)
@@ -305,9 +377,9 @@ func (t *Trainer) Validate() float64 {
 		events := t.cfg.Val.Events[lo:hi]
 		var loss float64
 		if t.cfg.Task == TaskNodeClassification {
-			loss, _, _, _, _ = t.stepClassOn(t.cfg.Val, events, t.cfg.Val.Labels[lo:hi], false)
+			loss, _ = t.stepClassOn(events, t.cfg.Val.Labels[lo:hi], false)
 		} else {
-			loss, _, _, _ = t.stepOn(t.cfg.Val, events, false)
+			loss = t.stepOn(t.cfg.Val, events, false)
 		}
 		lossSum += loss * float64(len(events))
 		eventSum += len(events)
@@ -324,7 +396,7 @@ type stageTiming struct {
 }
 
 // recordBatchObs publishes one training batch into the metrics registry.
-func (t *Trainer) recordBatchObs(loss float64, size int, tape tensor.TapeStats, alloc tensor.AllocStats, tm stageTiming) {
+func (t *Trainer) recordBatchObs(loss float64, size int, tape tensor.TapeStats, alloc tensor.AllocStats, pool tensor.PoolStats, tm stageTiming, prep time.Duration) {
 	r := t.cfg.Obs
 	r.Counter("train_batches_total").Inc()
 	r.Counter("train_events_total").Add(int64(size))
@@ -339,15 +411,10 @@ func (t *Trainer) recordBatchObs(loss float64, size int, tape tensor.TapeStats, 
 	r.Gauge("train_tape_flops_total").Add(tape.Flops)
 	r.Counter("train_alloc_matrices_total").Add(alloc.Matrices)
 	r.Counter("train_alloc_floats_total").Add(alloc.Floats)
-}
-
-// step runs one batch on the training dataset, dispatching on the task.
-func (t *Trainer) step(events []graph.Event, labels []uint8, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming) {
-	if t.cfg.Task == TaskNodeClassification {
-		loss, upd, tape, tm, _ := t.stepClassOn(t.cfg.Data, events, labels, learn)
-		return loss, upd, tape, tm
-	}
-	return t.stepOn(t.cfg.Data, events, learn)
+	r.Histogram("train_prep_seconds", obs.LatencyEdges...).Observe(prep.Seconds())
+	r.Counter("train_pool_hits_total").Add(pool.Hits)
+	r.Counter("train_pool_misses_total").Add(pool.Misses)
+	r.Counter("train_pool_floats_recycled_total").Add(pool.FloatsRecycled)
 }
 
 // batchLabels aligns the dataset's labels with a batch: contiguous batches
@@ -363,23 +430,46 @@ func batchLabels(labels []uint8, b batching.Batch) []uint8 {
 	return out
 }
 
-// stepOn executes the three training steps of Figure 1 on one batch.
-func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (float64, *models.MemoryUpdate, tensor.TapeStats, stageTiming) {
-	var tm stageTiming
-	model := t.cfg.Model
-	// Step 0 (lazy message application, see internal/models): previous
-	// batch's messages update memories on the tape.
-	mark := time.Now()
-	upd := model.BeginBatch()
-	tm.Begin = time.Since(mark)
+// preparedBatch is the host-side input of one batch, built by the prepare*
+// functions — possibly on the prefetch goroutine while the previous batch
+// is still in backprop. It carries no model or scheduler state.
+type preparedBatch struct {
+	task   Task
+	events []graph.Event
+	// nodes/ts feed Embed: link prediction packs [src… dst… neg…], node
+	// classification just the sources.
+	nodes []int32
+	ts    []float64
+	// targets is arena-backed and joins the tape via ConstScratch, so
+	// FreeTape recycles it with the rest of the batch.
+	targets                *tensor.Matrix
+	srcIdx, dstIdx, negIdx []int
+	// prep is the host time spent building the fields above.
+	prep time.Duration
+}
 
+// prepareSched materializes a scheduler batch into a preparedBatch. Safe to
+// run off the main goroutine: it reads only immutable dataset slices and
+// the trainer rng, which the pipeline hands to exactly one goroutine at a
+// time (so the draw order stays the serial order).
+func (t *Trainer) prepareSched(b batching.Batch) *preparedBatch {
+	events := b.Events(t.cfg.Data.Events)
+	if t.cfg.Task == TaskNodeClassification {
+		return t.prepareClass(events, batchLabels(t.cfg.Data.Labels, b))
+	}
+	return t.prepareLink(t.cfg.Data, events)
+}
+
+// prepareLink builds step 1's inputs for a link-prediction batch: positive
+// pairs are the batch's edges; negatives corrupt the destination.
+func (t *Trainer) prepareLink(ds *graph.Dataset, events []graph.Event) *preparedBatch {
+	start := time.Now()
+	p := &preparedBatch{task: TaskLinkPrediction, events: events}
 	b := len(events)
 	if b == 0 {
-		return 0, upd, tensor.TapeStats{}, tm
+		p.prep = time.Since(start)
+		return p
 	}
-	// Step 1: embed, predict, learn. Positive pairs are the batch's edges;
-	// negatives corrupt the destination.
-	mark = time.Now()
 	nodes := make([]int32, 0, 3*b)
 	ts := make([]float64, 0, 3*b)
 	for _, e := range events {
@@ -394,42 +484,105 @@ func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) (f
 		nodes = append(nodes, t.negativeSample(ds, e))
 		ts = append(ts, e.Time)
 	}
-	h := model.Embed(nodes, ts)
-	srcIdx := make([]int, b)
-	dstIdx := make([]int, b)
-	negIdx := make([]int, b)
+	p.nodes, p.ts = nodes, ts
+	p.srcIdx = make([]int, b)
+	p.dstIdx = make([]int, b)
+	p.negIdx = make([]int, b)
 	for i := 0; i < b; i++ {
-		srcIdx[i] = i
-		dstIdx[i] = b + i
-		negIdx[i] = 2*b + i
+		p.srcIdx[i] = i
+		p.dstIdx[i] = b + i
+		p.negIdx[i] = 2*b + i
 	}
-	hSrc := tensor.GatherRowsT(h, srcIdx)
-	hDst := tensor.GatherRowsT(h, dstIdx)
-	hNeg := tensor.GatherRowsT(h, negIdx)
-	posLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, hDst))
-	negLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, hNeg))
-	logits := tensor.ConcatRowsT(posLogits, negLogits)
-	targets := tensor.NewMatrix(2*b, 1)
+	p.targets = tensor.NewMatrix(2*b, 1)
 	for i := 0; i < b; i++ {
-		targets.Data[i] = 1
+		p.targets.Data[i] = 1
 	}
-	loss := tensor.BCEWithLogitsT(logits, tensor.Const(targets))
-	tape := tensor.StatsOf(loss)
-	tm.Embed = time.Since(mark)
-	if learn {
-		mark = time.Now()
-		t.opt.ZeroGrad()
-		loss.Backward()
-		t.opt.Step()
-		tm.Backward = time.Since(mark)
-	}
+	p.prep = time.Since(start)
+	return p
+}
 
+// prepareClass builds step 1's inputs for a node-classification batch.
+func (t *Trainer) prepareClass(events []graph.Event, labels []uint8) *preparedBatch {
+	start := time.Now()
+	p := &preparedBatch{task: TaskNodeClassification, events: events}
+	b := len(events)
+	if b == 0 {
+		p.prep = time.Since(start)
+		return p
+	}
+	p.nodes = make([]int32, b)
+	p.ts = make([]float64, b)
+	p.targets = tensor.NewMatrix(b, 1)
+	for i, e := range events {
+		p.nodes[i] = e.Src
+		p.ts[i] = e.Time
+		p.targets.Data[i] = float32(labels[i])
+	}
+	p.prep = time.Since(start)
+	return p
+}
+
+// forwardPrepared runs steps 0 and 1 of Figure 1 on an already-prepared
+// batch: apply pending memory updates on the tape, embed, predict, build
+// the loss. Backward, EndBatch and tape disposal stay with the caller so
+// TrainEpoch can overlap them with the next batch's preparation. For an
+// empty batch the loss and logits are nil (the BeginBatch update still
+// runs and must still be freed).
+func (t *Trainer) forwardPrepared(prep *preparedBatch) (loss, logits *tensor.Tensor, upd *models.MemoryUpdate, tape tensor.TapeStats, tm stageTiming) {
+	model := t.cfg.Model
+	// Step 0 (lazy message application, see internal/models): previous
+	// batch's messages update memories on the tape.
+	mark := time.Now()
+	upd = model.BeginBatch()
+	tm.Begin = time.Since(mark)
+	if len(prep.events) == 0 {
+		return nil, nil, upd, tensor.TapeStats{}, tm
+	}
+	mark = time.Now()
+	h := model.Embed(prep.nodes, prep.ts)
+	if prep.task == TaskNodeClassification {
+		logits = t.predictor.Forward(h)
+	} else {
+		hSrc := tensor.GatherRowsT(h, prep.srcIdx)
+		posLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, prep.dstIdx)))
+		negLogits := t.predictor.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, prep.negIdx)))
+		logits = tensor.ConcatRowsT(posLogits, negLogits)
+	}
+	loss = tensor.BCEWithLogitsT(logits, tensor.ConstScratch(prep.targets))
+	tape = tensor.StatsOf(loss)
+	tm.Embed = time.Since(mark)
+	return loss, logits, upd, tape, tm
+}
+
+// finishStep completes a serial (non-pipelined) batch: backward pass when
+// learning, message generation, loss readout, tape recycling. Validation
+// and tests go through here; TrainEpoch inlines the same sequence so it
+// can interleave the prefetch.
+func (t *Trainer) finishStep(lossT *tensor.Tensor, upd *models.MemoryUpdate, events []graph.Event, learn bool) float64 {
+	if lossT != nil && learn {
+		t.opt.ZeroGrad()
+		lossT.Backward()
+		t.opt.Step()
+	}
 	// Steps 2 and 3: generate this batch's messages and queue the memory
 	// updates (applied on the tape at the next BeginBatch).
-	mark = time.Now()
-	model.EndBatch(events)
-	tm.End = time.Since(mark)
-	return float64(loss.Item()), upd, tape, tm
+	if len(events) > 0 {
+		t.cfg.Model.EndBatch(events)
+	}
+	var loss float64
+	if lossT != nil {
+		loss = float64(lossT.Item())
+	}
+	upd.FreeTape(lossT)
+	return loss
+}
+
+// stepOn executes the three training steps of Figure 1 on one
+// link-prediction batch, serially, recycling the tape before returning.
+func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) float64 {
+	prep := t.prepareLink(ds, events)
+	lossT, _, upd, _, _ := t.forwardPrepared(prep)
+	return t.finishStep(lossT, upd, events, learn)
 }
 
 // negativeSample draws a corrupted destination ≠ src, ≠ the true dst.

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON artifact (one record per benchmark: op, ns/op, B/op,
+// allocs/op). With -baseline it joins a previously captured run and
+// records the before-number and speedup per op, which is how
+// BENCH_pr2.json carries before/after pairs for the kernel rewrite.
+//
+// The raw bench output is echoed to stderr so piping through benchjson
+// does not hide it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// BeforeNsPerOp / Speedup are filled from the -baseline file when it
+	// has a record for the same op.
+	BeforeNsPerOp float64 `json:"before_ns_per_op,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Note    string   `json:"note,omitempty"`
+	Results []result `json:"results"`
+}
+
+// procSuffix strips the -GOMAXPROCS suffix the testing package appends to
+// benchmark names (BenchmarkFoo/p1-8 → Foo/p1).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine decodes one `go test -bench` result line, e.g.
+//
+//	BenchmarkMatMul256/p1-8   100   13640102 ns/op   64 B/op   1 allocs/op
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	r := result{Op: procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			ok = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, ok
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON path (required)")
+	baseline := flag.String("baseline", "", "optional baseline JSON (same schema) to join as before/after")
+	note := flag.String("note", "", "optional free-form note stored in the artifact")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
+		os.Exit(2)
+	}
+
+	before := map[string]result{}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range base.Results {
+			before[r.Op] = r
+		}
+	}
+
+	// Later measurements of the same op (e.g. -count>1) overwrite earlier
+	// ones; order of first appearance is kept.
+	order := []string{}
+	byOp := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if _, seen := byOp[r.Op]; !seen {
+			order = append(order, r.Op)
+		}
+		byOp[r.Op] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	rep := report{Note: *note}
+	for _, op := range order {
+		r := byOp[op]
+		if b, ok := before[op]; ok && r.NsPerOp > 0 {
+			r.BeforeNsPerOp = b.NsPerOp
+			r.Speedup = b.NsPerOp / r.NsPerOp
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}

@@ -2,8 +2,14 @@ GO ?= go
 
 # Packages whose tests exercise real concurrency; they get a second pass
 # under the race detector. tensor covers the parallel GEMM kernels, train
-# the batch-prep prefetch pipeline.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/...
+# the batch-prep prefetch pipeline, distributed the replica barrier and
+# eviction paths, resilience the checkpoint/rollback machinery.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/distributed/... ./internal/resilience/...
+
+# The fault suite: injected NaN gradients with rollback, kill-and-resume
+# equivalence, checkpoint-write failures, replica death/hang eviction,
+# graceful drain — all under the race detector.
+FAULT_RE = ^(TestKillAndResume|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown)
 
 # Hot-path micro-benchmarks captured in BENCH_pr2.json: the GEMM variants
 # (plain / ᵀA / ᵀB, ragged shapes), the GRU training step, one full
@@ -11,10 +17,10 @@ RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./in
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStepTGN|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchsmoke benchall clean
+.PHONY: check build test vet race bench benchsmoke benchall faultsmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke
+check: vet build test race benchsmoke faultsmoke
 
 build:
 	$(GO) build ./...
@@ -40,6 +46,17 @@ bench:
 benchsmoke:
 	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=1x -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./tools/benchjson -o /dev/null
+
+# faultsmoke proves the recovery paths end to end: the fault-injection test
+# suite under -race, then a real checkpointed cascade-train run whose files
+# must pass the ckptcheck linter.
+faultsmoke:
+	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/...
+	rm -rf /tmp/cascade-faultsmoke-ckpt
+	$(GO) run ./cmd/cascade-train -events 800 -epochs 2 -health \
+		-checkpoint-dir /tmp/cascade-faultsmoke-ckpt -checkpoint-every 5 > /dev/null
+	$(GO) run ./tools/ckptcheck -dir /tmp/cascade-faultsmoke-ckpt
+	rm -rf /tmp/cascade-faultsmoke-ckpt
 
 # benchall runs the full experiment suite (every paper table/figure) once.
 benchall:

@@ -370,7 +370,7 @@ func (r *Run) ScoreEdges(src, dst []int32, ts []float64) ([]float32, error) {
 // SaveModel writes the trained model's parameters plus the predictor head
 // to w (see internal/nn's checkpoint format).
 func (r *Run) SaveModel(w io.Writer) error {
-	params := append(r.model.Params(), prefixParams("predictor", r.trainer.Predictor().Params())...)
+	params := nn.UniqueNames(append(r.model.Params(), prefixParams("predictor", r.trainer.Predictor().Params())...))
 	return nn.SaveParams(w, params)
 }
 
@@ -378,7 +378,7 @@ func (r *Run) SaveModel(w io.Writer) error {
 // run's model and predictor (shapes and names must match — same model kind
 // and dimensions).
 func (r *Run) LoadModel(rd io.Reader) error {
-	params := append(r.model.Params(), prefixParams("predictor", r.trainer.Predictor().Params())...)
+	params := nn.UniqueNames(append(r.model.Params(), prefixParams("predictor", r.trainer.Predictor().Params())...))
 	return nn.LoadParams(rd, params)
 }
 
@@ -405,6 +405,10 @@ type DistributedConfig struct {
 	LR                 float32
 	Seed               int64
 	Workers            int
+	// EpochTimeout bounds how long the epoch barrier waits for any replica;
+	// slower replicas are evicted and the run degrades to the survivors.
+	// 0 waits forever.
+	EpochTimeout time.Duration
 }
 
 // DistributedResult reports a distributed run.
@@ -413,6 +417,8 @@ type DistributedResult struct {
 	ValLoss       float64
 	WallTime      time.Duration
 	SyncCount     int
+	// Evicted lists replicas dropped for dying or missing the epoch barrier.
+	Evicted []int
 }
 
 // TrainDistributed runs synchronous data-parallel training.
@@ -426,6 +432,7 @@ func TrainDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		Scheduler: kind, BaseBatch: cfg.BaseBatch, Epochs: cfg.Epochs,
 		MemoryDim: cfg.MemoryDim, TimeDim: cfg.TimeDim,
 		LR: cfg.LR, Seed: cfg.Seed, Workers: cfg.Workers,
+		EpochTimeout: cfg.EpochTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -435,5 +442,6 @@ func TrainDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		ValLoss:       res.ValLoss,
 		WallTime:      res.WallTime,
 		SyncCount:     res.SyncCount,
+		Evicted:       res.Evicted,
 	}, nil
 }

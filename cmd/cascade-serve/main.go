@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/cascade-ml/cascade"
 	"github.com/cascade-ml/cascade/internal/obs"
@@ -30,6 +32,8 @@ func main() {
 	loadPath := flag.String("load", "", "restore a checkpoint instead of pre-training from scratch")
 	tracePath := flag.String("trace", "", "append one JSONL record per request (route, status, latency) here")
 	seed := flag.Int64("seed", 1, "random seed")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (503 beyond); 0 disables")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -94,9 +98,15 @@ func main() {
 		opts = append(opts, serve.WithTrace(sink))
 	}
 	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes, opts...)
+	httpSrv := serve.NewHTTPServer(srv.Handler(), serve.HTTPOptions{
+		Addr: *addr, RequestTimeout: *reqTimeout,
+	})
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics)\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := serve.RunGraceful(httpSrv, nil, stop, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
 		os.Exit(1)
 	}
+	fmt.Println("drained, bye")
 }

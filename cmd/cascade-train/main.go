@@ -14,6 +14,8 @@ import (
 	"strings"
 
 	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/resilience"
+	"github.com/cascade-ml/cascade/internal/train"
 )
 
 func main() {
@@ -36,6 +38,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump here after training (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of training+validation here (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile here (go tool pprof)")
+	ckptDir := flag.String("checkpoint-dir", "", "write full-state checkpoints (weights, optimizer, memories, scheduler, RNG) into this directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "mid-epoch checkpoint cadence in batches (0 = epoch boundaries only)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "on-disk checkpoint retention (newest N)")
+	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
+	health := flag.Bool("health", false, "enable the numerical-health monitor (NaN/exploding-gradient rollback with LR backoff)")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -146,14 +153,67 @@ func main() {
 		defer f.Close()
 	}
 
-	fmt.Printf("%5s %8s %10s %12s %12s %8s %8s %8s\n",
-		"epoch", "batches", "meanbatch", "trainloss", "wall", "device", "occ", "stable")
-	for e := 0; e < *epochs; e++ {
-		st := run.Trainer().TrainEpoch()
+	printEpoch := func(st train.EpochStats) {
 		fmt.Printf("%5d %8d %10.1f %12.5f %12v %8v %7.1f%% %7.1f%%\n",
 			st.Epoch, st.Batches, st.MeanBatchSize, st.Loss,
 			st.WallTime.Round(1e6), st.DeviceTime.Round(1e5),
 			100*st.MeanOccupancy, 100*st.StableRatio)
+	}
+	printHeader := func() {
+		fmt.Printf("%5s %8s %10s %12s %12s %8s %8s %8s\n",
+			"epoch", "batches", "meanbatch", "trainloss", "wall", "device", "occ", "stable")
+	}
+	if *ckptDir != "" || *health {
+		// Fault-tolerant path: the resilience manager owns the epoch loop —
+		// checkpoints on cadence, health rollback with LR backoff, resume.
+		mgr, err := resilience.NewManager(run.Trainer(), resilience.Options{
+			Dir: *ckptDir, EveryBatches: *ckptEvery, Keep: *ckptKeep,
+			Health: train.HealthConfig{Enabled: *health},
+			Obs:    reg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
+			os.Exit(1)
+		}
+		if *resume {
+			if *ckptDir == "" {
+				fmt.Fprintln(os.Stderr, "cascade-train: -resume needs -checkpoint-dir")
+				os.Exit(1)
+			}
+			ok, err := mgr.Resume()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cascade-train: resume: %v\n", err)
+				os.Exit(1)
+			}
+			if ok {
+				c := mgr.LastGood()
+				at := "epoch boundary"
+				if c.Batch >= 0 {
+					at = fmt.Sprintf("batch %d", c.Batch)
+				}
+				fmt.Printf("resumed from checkpoint (epoch %d, %s)\n", c.Epoch, at)
+			} else {
+				fmt.Println("no checkpoint found; starting fresh")
+			}
+		}
+		printHeader()
+		stats, err := mgr.Run(*epochs)
+		for _, st := range stats {
+			printEpoch(st)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		if *resume {
+			fmt.Fprintln(os.Stderr, "cascade-train: -resume needs -checkpoint-dir")
+			os.Exit(1)
+		}
+		printHeader()
+		for e := 0; e < *epochs; e++ {
+			printEpoch(run.Trainer().TrainEpoch())
+		}
 	}
 	if cfg.Task == cascade.TaskNodeClassification {
 		m := run.Trainer().ValidateClass()

@@ -1,0 +1,88 @@
+package batching
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Checkpointable is the optional scheduler extension full-state training
+// checkpoints use: a scheduler that implements it can have its mid-epoch walk
+// position (and any adaptive state) captured and reinstated, so a resumed run
+// produces exactly the batch cuts the interrupted run would have. Schedulers
+// that don't implement it can only be checkpointed at epoch boundaries.
+type Checkpointable interface {
+	// CheckpointState serializes the scheduler's mutable state.
+	CheckpointState() ([]byte, error)
+	// RestoreCheckpointState reinstates state captured by CheckpointState on
+	// an identically-configured scheduler.
+	RestoreCheckpointState(data []byte) error
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+type fixedState struct{ Cursor int }
+
+// CheckpointState implements Checkpointable.
+func (f *Fixed) CheckpointState() ([]byte, error) {
+	return gobEncode(fixedState{Cursor: f.cursor})
+}
+
+// RestoreCheckpointState implements Checkpointable.
+func (f *Fixed) RestoreCheckpointState(data []byte) error {
+	var s fixedState
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	f.cursor = s.Cursor
+	return nil
+}
+
+type etcState struct{ Cursor int }
+
+// CheckpointState implements Checkpointable (the loss threshold is derived
+// from configuration, so only the cursor is state).
+func (e *ETC) CheckpointState() ([]byte, error) {
+	return gobEncode(etcState{Cursor: e.cursor})
+}
+
+// RestoreCheckpointState implements Checkpointable.
+func (e *ETC) RestoreCheckpointState(data []byte) error {
+	var s etcState
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	e.cursor = s.Cursor
+	return nil
+}
+
+type neutronState struct {
+	Cursor  int
+	Pending []int
+}
+
+// CheckpointState implements Checkpointable: the window cursor plus the
+// unscheduled remainder of the current window.
+func (n *NeutronStream) CheckpointState() ([]byte, error) {
+	return gobEncode(neutronState{Cursor: n.cursor, Pending: append([]int(nil), n.pending...)})
+}
+
+// RestoreCheckpointState implements Checkpointable.
+func (n *NeutronStream) RestoreCheckpointState(data []byte) error {
+	var s neutronState
+	if err := gobDecode(data, &s); err != nil {
+		return err
+	}
+	n.cursor = s.Cursor
+	n.pending = append(n.pending[:0], s.Pending...)
+	return nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+)
+
+// schedulerState is the gob payload for Scheduler's batching.Checkpointable
+// implementation: the walk position plus every piece of adaptive state the
+// ABS/SG-Filter/TG-Diffuser trio accumulates during training, so a resumed
+// run cuts exactly the batches the interrupted run would have. Static
+// configuration (Options, dependency tables, profiling stats) is rebuilt by
+// NewScheduler and deliberately not serialized.
+type schedulerState struct {
+	Cursor     int
+	CurChunk   int
+	MaxrPinned bool
+
+	// ABS plateau tracker (§4.4).
+	ABSBatchIdx    int
+	ABSPeriodSum   float64
+	ABSPeriodCount int
+	ABSPrevMean    float64
+	ABSDecayPeriod int
+	ABSMaxr        int
+
+	// SG-Filter flags and epoch counters (§4.3).
+	Flags         []bool
+	Updates       int64
+	StableUpdates int64
+
+	// TG-Diffuser per-node pointers for the current chunk's table (§4.2).
+	DiffuserMaxr int
+	Ptrs         []int
+
+	// Per-epoch traces (BatchSizes/MaxrTrace/StableCountTrace must match an
+	// uninterrupted epoch's after resume).
+	BatchSizes  []int
+	MaxrTrace   []int
+	StableTrace []int
+}
+
+var _ batching.Checkpointable = (*Scheduler)(nil)
+
+// CheckpointState implements batching.Checkpointable.
+func (s *Scheduler) CheckpointState() ([]byte, error) {
+	st := schedulerState{
+		Cursor:         s.cursor,
+		CurChunk:       s.curChunk,
+		MaxrPinned:     s.maxrPinned,
+		ABSBatchIdx:    s.abs.batchIdx,
+		ABSPeriodSum:   s.abs.periodSum,
+		ABSPeriodCount: s.abs.periodCount,
+		ABSPrevMean:    s.abs.prevMean,
+		ABSDecayPeriod: s.abs.DecayPeriod,
+		ABSMaxr:        s.abs.curMaxr,
+		Flags:          append([]bool(nil), s.filter.flags...),
+		Updates:        s.filter.updates,
+		StableUpdates:  s.filter.stableUpdates,
+		DiffuserMaxr:   s.diffuser.maxr,
+		Ptrs:           append([]int(nil), s.diffuser.ptrs...),
+		BatchSizes:     append([]int(nil), s.batchSizes...),
+		MaxrTrace:      append([]int(nil), s.maxrTrace...),
+		StableTrace:    append([]int(nil), s.stableTrace...),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreCheckpointState implements batching.Checkpointable on a scheduler
+// built with the same Options over the same event sequence.
+func (s *Scheduler) RestoreCheckpointState(data []byte) error {
+	var st schedulerState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decoding scheduler checkpoint: %w", err)
+	}
+	if len(st.Flags) != len(s.filter.flags) {
+		return fmt.Errorf("core: scheduler checkpoint has %d node flags, scheduler has %d", len(st.Flags), len(s.filter.flags))
+	}
+	// Reinstall the table the interrupted run was walking, which rebuilds the
+	// active-node list, then overwrite the pointers into it.
+	if s.chunked != nil {
+		if st.CurChunk < 0 || st.CurChunk >= s.chunked.NumChunks() {
+			return fmt.Errorf("core: scheduler checkpoint chunk %d out of range (%d chunks)", st.CurChunk, s.chunked.NumChunks())
+		}
+		s.curChunk = st.CurChunk
+		s.diffuser.SetTable(s.chunked.Get(st.CurChunk))
+	} else {
+		s.diffuser.SetTable(s.full)
+	}
+	if len(st.Ptrs) != len(s.diffuser.ptrs) {
+		return fmt.Errorf("core: scheduler checkpoint has %d diffuser pointers, table has %d active nodes", len(st.Ptrs), len(s.diffuser.ptrs))
+	}
+	copy(s.diffuser.ptrs, st.Ptrs)
+	s.diffuser.SetMaxr(st.DiffuserMaxr)
+
+	s.cursor = st.Cursor
+	s.maxrPinned = st.MaxrPinned
+
+	s.abs.batchIdx = st.ABSBatchIdx
+	s.abs.periodSum = st.ABSPeriodSum
+	s.abs.periodCount = st.ABSPeriodCount
+	s.abs.prevMean = st.ABSPrevMean
+	s.abs.DecayPeriod = st.ABSDecayPeriod
+	s.abs.curMaxr = st.ABSMaxr
+
+	copy(s.filter.flags, st.Flags)
+	s.filter.updates = st.Updates
+	s.filter.stableUpdates = st.StableUpdates
+
+	s.batchSizes = append(s.batchSizes[:0], st.BatchSizes...)
+	s.maxrTrace = append(s.maxrTrace[:0], st.MaxrTrace...)
+	s.stableTrace = append(s.stableTrace[:0], st.StableTrace...)
+	return nil
+}

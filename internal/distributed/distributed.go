@@ -11,7 +11,7 @@ package distributed
 
 import (
 	"fmt"
-	"sync"
+	"sort"
 	"time"
 
 	"github.com/cascade-ml/cascade/internal/batching"
@@ -19,6 +19,8 @@ import (
 	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
 	"github.com/cascade-ml/cascade/internal/train"
 )
 
@@ -59,19 +61,35 @@ type Config struct {
 	Seed int64
 	// Workers bounds intra-replica CPU parallelism.
 	Workers int
+	// EpochTimeout bounds how long the epoch barrier waits for a replica.
+	// A replica that has not reported by the deadline is evicted and the
+	// run degrades to the survivors; 0 waits forever (the pre-resilience
+	// behavior).
+	EpochTimeout time.Duration
+	// Obs, when non-nil, receives eviction and sync metrics; Trace, when
+	// non-nil, receives one event per eviction.
+	Obs   *obs.Registry
+	Trace *obs.TraceSink
+	// Injector, when non-nil, is consulted at the per-replica fault points
+	// (dist/replica-die/<r>, dist/replica-hang/<r>) for chaos tests.
+	Injector *faultinject.Injector
 }
 
 // Result reports a distributed run.
 type Result struct {
-	// ReplicaLosses[r] is replica r's per-epoch training loss.
+	// ReplicaLosses[r] is replica r's per-epoch training loss (rows of
+	// evicted replicas stop at their last completed epoch).
 	ReplicaLosses [][]float64
-	// ValLoss is the averaged model's validation loss (scored by replica 0
-	// on the chronological validation suffix).
+	// ValLoss is the averaged model's validation loss, scored by the first
+	// surviving replica on the chronological validation suffix.
 	ValLoss float64
 	// WallTime covers all epochs including synchronization.
 	WallTime time.Duration
 	// SyncCount is how many parameter-averaging rounds ran.
 	SyncCount int
+	// Evicted lists replicas dropped for dying or missing the epoch
+	// barrier, sorted by index.
+	Evicted []int
 }
 
 // replica bundles one worker's state.
@@ -101,9 +119,19 @@ func Train(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("distributed: %w", err)
 	}
 	trainSet, valSet := cfg.Dataset.Split(cfg.TrainFrac)
-	shards := shardEvents(trainSet, cfg.Replicas)
+	// Never build a replica around an empty shard: with more replicas than
+	// training events the extra replicas would have nothing to consume, so
+	// the effective width shrinks to the event count.
+	width := cfg.Replicas
+	if n := trainSet.NumEvents(); width > n {
+		width = n
+		if width < 1 {
+			width = 1
+		}
+	}
+	shards := shardEvents(trainSet, width)
 
-	replicas := make([]replica, cfg.Replicas)
+	replicas := make([]replica, width)
 	for r := range replicas {
 		model, err := models.New(cfg.Model, cfg.Dataset, cfg.MemoryDim, cfg.TimeDim, cfg.Seed)
 		if err != nil {
@@ -117,12 +145,10 @@ func Train(cfg Config) (*Result, error) {
 		} else {
 			sched = batching.NewFixed("TGL", shards[r].NumEvents(), cfg.BaseBatch)
 		}
-		var val *graph.Dataset
-		if r == 0 {
-			val = valSet
-		}
+		// Every replica gets the validation suffix so any survivor can score
+		// the averaged model if earlier replicas are evicted.
 		trainer, err := train.NewTrainer(train.Config{
-			Model: model, Sched: sched, Data: shards[r], Val: val,
+			Model: model, Sched: sched, Data: shards[r], Val: valSet,
 			LR: cfg.LR, ValBatch: cfg.BaseBatch, Seed: cfg.Seed + int64(r),
 		})
 		if err != nil {
@@ -131,44 +157,130 @@ func Train(cfg Config) (*Result, error) {
 		replicas[r] = replica{model: model, trainer: trainer}
 	}
 
-	res := &Result{ReplicaLosses: make([][]float64, cfg.Replicas)}
+	res := &Result{ReplicaLosses: make([][]float64, width)}
+	alive := make([]bool, width)
+	for r := range alive {
+		alive[r] = true
+	}
+	evict := func(r int, reason string, e int) {
+		alive[r] = false
+		res.Evicted = append(res.Evicted, r)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("dist_replica_evictions_total").Inc()
+		}
+		cfg.Trace.Emit(map[string]any{
+			"event": "replica_evicted", "replica": r, "epoch": e + 1, "reason": reason,
+		})
+	}
+
 	start := time.Now()
 	for e := 0; e < cfg.Epochs; e++ {
-		var wg sync.WaitGroup
+		type epochReport struct {
+			r    int
+			loss float64
+			err  error
+		}
+		// Buffered to the full width so a replica that reports after the
+		// barrier timed out (and was evicted) can still send and exit —
+		// stragglers never leak or block.
+		reports := make(chan epochReport, width)
+		expected := 0
 		for r := range replicas {
-			wg.Add(1)
+			if !alive[r] {
+				continue
+			}
+			expected++
 			go func(r int) {
-				defer wg.Done()
-				st := replicas[r].trainer.TrainEpoch()
-				res.ReplicaLosses[r] = append(res.ReplicaLosses[r], st.Loss)
+				if err := cfg.Injector.Err(faultinject.ReplicaPoint(faultinject.PointReplicaDie, r)); err != nil {
+					reports <- epochReport{r: r, err: fmt.Errorf("replica %d died: %w", r, err)}
+					return
+				}
+				cfg.Injector.Sleep(faultinject.ReplicaPoint(faultinject.PointReplicaHang, r))
+				st, err := replicas[r].trainer.TrainEpochChecked()
+				reports <- epochReport{r: r, loss: st.Loss, err: err}
 			}(r)
 		}
-		wg.Wait()
-		if cfg.Replicas > 1 {
-			averageParams(replicas)
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if cfg.EpochTimeout > 0 {
+			timer = time.NewTimer(cfg.EpochTimeout)
+			timeout = timer.C
+		}
+		reported := make([]bool, width)
+	barrier:
+		for i := 0; i < expected; i++ {
+			select {
+			case rep := <-reports:
+				reported[rep.r] = true
+				if rep.err != nil {
+					evict(rep.r, rep.err.Error(), e)
+					continue
+				}
+				res.ReplicaLosses[rep.r] = append(res.ReplicaLosses[rep.r], rep.loss)
+			case <-timeout:
+				// Deadline passed: every replica that has not reported is
+				// evicted. Its goroutine may still be running; it sends into
+				// the buffered channel and exits, and its parameters are
+				// never read again (averaging skips evicted replicas), so
+				// there is no race with the survivors.
+				for r := range replicas {
+					if alive[r] && !reported[r] {
+						evict(r, "epoch barrier timeout", e)
+						if cfg.Obs != nil {
+							cfg.Obs.Counter("dist_epoch_timeouts_total").Inc()
+						}
+					}
+				}
+				break barrier
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		survivors := aliveIndices(alive)
+		if len(survivors) == 0 {
+			res.WallTime = time.Since(start)
+			return res, fmt.Errorf("distributed: all %d replicas evicted by epoch %d", width, e+1)
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge("dist_replicas_alive").Set(float64(len(survivors)))
+		}
+		if len(survivors) > 1 {
+			averageParams(replicas, survivors)
 			res.SyncCount++
 		}
 	}
 	res.WallTime = time.Since(start)
-	res.ValLoss = replicas[0].trainer.Validate()
+	res.ValLoss = replicas[aliveIndices(alive)[0]].trainer.Validate()
+	sort.Ints(res.Evicted)
 	return res, nil
+}
+
+// aliveIndices lists the surviving replica indices in order.
+func aliveIndices(alive []bool) []int {
+	var out []int
+	for r, ok := range alive {
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // shardEvents splits the training stream into contiguous temporal shards,
 // one per replica (DistTGL's epoch-parallel assignment works on temporal
-// slices too; contiguity keeps per-shard memory semantics meaningful).
+// slices too; contiguity keeps per-shard memory semantics meaningful). The
+// split is balanced — n/replicas events each, remainder spread over the
+// leading shards — so no shard is ever empty when replicas ≤ n.
 func shardEvents(ds *graph.Dataset, replicas int) []*graph.Dataset {
 	n := ds.NumEvents()
 	out := make([]*graph.Dataset, replicas)
-	per := (n + replicas - 1) / replicas
+	per, rem := n/replicas, n%replicas
+	lo := 0
 	for r := 0; r < replicas; r++ {
-		lo := r * per
 		hi := lo + per
-		if lo > n {
-			lo = n
-		}
-		if hi > n {
-			hi = n
+		if r < rem {
+			hi++
 		}
 		out[r] = &graph.Dataset{
 			Name:        fmt.Sprintf("%s/shard%d", ds.Name, r),
@@ -180,22 +292,24 @@ func shardEvents(ds *graph.Dataset, replicas int) []*graph.Dataset {
 		if ds.Labels != nil {
 			out[r].Labels = ds.Labels[lo:hi]
 		}
+		lo = hi
 	}
 	return out
 }
 
-// averageParams synchronizes replicas by in-place parameter averaging
-// (model weights and predictor heads; replica-local memories stay local,
-// as in DistTGL's partitioned memory).
-func averageParams(replicas []replica) {
-	if len(replicas) < 2 {
+// averageParams synchronizes the surviving replicas by in-place parameter
+// averaging (model weights and predictor heads; replica-local memories stay
+// local, as in DistTGL's partitioned memory). Evicted replicas are neither
+// read nor written — their goroutines may still be running.
+func averageParams(replicas []replica, survivors []int) {
+	if len(survivors) < 2 {
 		return
 	}
-	paramSets := make([][]nn.Param, len(replicas))
-	for r := range replicas {
-		paramSets[r] = append(replicas[r].model.Params(), replicas[r].trainer.Predictor().Params()...)
+	paramSets := make([][]nn.Param, len(survivors))
+	for i, r := range survivors {
+		paramSets[i] = append(replicas[r].model.Params(), replicas[r].trainer.Predictor().Params()...)
 	}
-	inv := 1 / float32(len(replicas))
+	inv := 1 / float32(len(survivors))
 	base := paramSets[0]
 	for p := range base {
 		data := base[p].T.Value.Data
@@ -207,7 +321,7 @@ func averageParams(replicas []replica) {
 			data[i] = sum * inv
 		}
 	}
-	// Broadcast the averaged weights back to every replica.
+	// Broadcast the averaged weights back to every surviving replica.
 	for r := 1; r < len(paramSets); r++ {
 		for p := range base {
 			copy(paramSets[r][p].T.Value.Data, base[p].T.Value.Data)

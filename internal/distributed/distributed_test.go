@@ -131,7 +131,7 @@ func TestAverageParamsUnit(t *testing.T) {
 	for _, p := range append(repl[1].model.Params(), repl[1].trainer.Predictor().Params()...) {
 		p.T.Value.Fill(4)
 	}
-	averageParams(repl)
+	averageParams(repl, []int{0, 1})
 	for ri, r := range repl {
 		for _, p := range append(r.model.Params(), r.trainer.Predictor().Params()...) {
 			for _, v := range p.T.Value.Data {

@@ -1,0 +1,157 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// TestMoreReplicasThanEventsDegrades: asking for more replicas than training
+// events must clamp the width instead of handing replicas empty shards (the
+// old ceil-based split produced zero-event datasets that broke the trainer).
+func TestMoreReplicasThanEventsDegrades(t *testing.T) {
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: 81, FeatDimOverride: 8, MinEvents: 1600})
+	tr, _ := ds.Split(0.8)
+	cfg := Config{
+		Dataset: ds, Replicas: tr.NumEvents() + 50, Model: "TGN", BaseBatch: 40,
+		Epochs: 1, MemoryDim: 16, TimeDim: 4, Seed: 5, Workers: 1,
+	}
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ReplicaLosses) != tr.NumEvents() {
+		t.Fatalf("width %d, want clamp to %d events", len(res.ReplicaLosses), tr.NumEvents())
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+}
+
+// TestShardEventsBalancedNoEmptyShards: the balanced split never produces an
+// empty shard for replicas ≤ n, and shard sizes differ by at most one.
+func TestShardEventsBalancedNoEmptyShards(t *testing.T) {
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: 81, FeatDimOverride: 8, MinEvents: 1600})
+	tr, _ := ds.Split(0.8)
+	n := tr.NumEvents()
+	for _, replicas := range []int{1, 2, 3, 7, n - 1, n} {
+		shards := shardEvents(tr, replicas)
+		minSz, maxSz, total := n, 0, 0
+		for _, sh := range shards {
+			sz := sh.NumEvents()
+			if sz == 0 {
+				t.Fatalf("replicas=%d: empty shard", replicas)
+			}
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			total += sz
+		}
+		if total != n {
+			t.Fatalf("replicas=%d: shards cover %d of %d", replicas, total, n)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("replicas=%d: unbalanced shards (%d..%d)", replicas, minSz, maxSz)
+		}
+	}
+}
+
+// TestReplicaDeathIsEvictedNotFatal: an injected replica death must evict
+// that replica, let the run finish on the survivors, and be reported via the
+// result and the metrics registry.
+func TestReplicaDeathIsEvictedNotFatal(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 2
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaDie, 1))
+	cfg.Obs = obs.NewRegistry()
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", res.Evicted)
+	}
+	if got := cfg.Obs.Counter("dist_replica_evictions_total").Value(); got != 1 {
+		t.Fatalf("eviction counter %d, want 1", got)
+	}
+	// Replica 0 must have trained every epoch; replica 1 none.
+	if len(res.ReplicaLosses[0]) != cfg.Epochs {
+		t.Fatalf("survivor trained %d epochs, want %d", len(res.ReplicaLosses[0]), cfg.Epochs)
+	}
+	if len(res.ReplicaLosses[1]) != 0 {
+		t.Fatalf("dead replica reported %d epochs", len(res.ReplicaLosses[1]))
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+	// One survivor → nothing to average.
+	if res.SyncCount != 0 {
+		t.Fatalf("sync count %d with one survivor", res.SyncCount)
+	}
+}
+
+// TestHungReplicaTimesOutAndIsEvicted: a wedged replica must not stall the
+// epoch barrier forever — the timeout evicts it and the run completes.
+func TestHungReplicaTimesOutAndIsEvicted(t *testing.T) {
+	// A small stream keeps the healthy replica far under the barrier timeout
+	// even with -race instrumentation; the armed hang still dwarfs it.
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: 81, FeatDimOverride: 8, MinEvents: 500})
+	cfg := Config{
+		Dataset: ds, Replicas: 2, Model: "TGN", BaseBatch: 40,
+		Epochs: 2, MemoryDim: 16, TimeDim: 4, Seed: 5, Workers: 1,
+	}
+	cfg.EpochTimeout = 10 * time.Second
+	cfg.Injector = faultinject.New()
+	// The hang far outlives the barrier timeout; the sleeping goroutine is
+	// orphaned (sends into a buffered channel, touches only its own replica).
+	cfg.Injector.ArmDelay(faultinject.ReplicaPoint(faultinject.PointReplicaHang, 1), 120*time.Second, 1)
+	cfg.Obs = obs.NewRegistry()
+
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = Train(cfg)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Train wedged despite epoch timeout")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", res.Evicted)
+	}
+	if got := cfg.Obs.Counter("dist_epoch_timeouts_total").Value(); got == 0 {
+		t.Fatal("timeout not counted")
+	}
+	if len(res.ReplicaLosses[0]) != cfg.Epochs {
+		t.Fatalf("survivor trained %d epochs, want %d", len(res.ReplicaLosses[0]), cfg.Epochs)
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+}
+
+// TestAllReplicasDeadFails: when every replica dies the run must return an
+// error rather than report an empty success.
+func TestAllReplicasDeadFails(t *testing.T) {
+	cfg := distData(t)
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaDie, 0))
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaDie, 1))
+	if _, err := Train(cfg); err == nil {
+		t.Fatal("run with zero survivors succeeded")
+	}
+}

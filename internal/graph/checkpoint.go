@@ -1,0 +1,96 @@
+package graph
+
+import "fmt"
+
+// Adjacency-store kinds recorded in checkpoints.
+const (
+	adjKindRing = "ring"
+	adjKindFull = "full"
+)
+
+// AdjacencyCheckpoint is the serializable deep copy of a NeighborStore —
+// the temporal-adjacency section of a full-state training checkpoint
+// (internal/resilience). Fields are exported for gob; Kind selects the
+// concrete store on restore.
+type AdjacencyCheckpoint struct {
+	Kind     string
+	Capacity int // ring stores only
+	// Rings[n] is the per-node record storage: the raw ring buffer for ring
+	// stores (nil for untouched nodes), the full history for full stores.
+	Rings         [][]NeighborRecord
+	Counts, Heads []int // ring stores only
+	Total         int64
+}
+
+// Checkpoint implements NeighborStore.
+func (a *AdjacencyStore) Checkpoint() *AdjacencyCheckpoint {
+	c := &AdjacencyCheckpoint{
+		Kind:     adjKindRing,
+		Capacity: a.capacity,
+		Rings:    make([][]NeighborRecord, len(a.rings)),
+		Counts:   append([]int(nil), a.counts...),
+		Heads:    append([]int(nil), a.heads...),
+		Total:    a.total,
+	}
+	for n, ring := range a.rings {
+		if ring != nil {
+			c.Rings[n] = append([]NeighborRecord(nil), ring...)
+		}
+	}
+	return c
+}
+
+// Checkpoint implements NeighborStore.
+func (a *FullAdjacencyStore) Checkpoint() *AdjacencyCheckpoint {
+	c := &AdjacencyCheckpoint{
+		Kind:  adjKindFull,
+		Rings: make([][]NeighborRecord, len(a.hist)),
+		Total: a.total,
+	}
+	for n, h := range a.hist {
+		if len(h) > 0 {
+			c.Rings[n] = append([]NeighborRecord(nil), h...)
+		}
+	}
+	return c
+}
+
+// RestoreAdjacency rebuilds the concrete NeighborStore a checkpoint was
+// taken from.
+func RestoreAdjacency(c *AdjacencyCheckpoint) (NeighborStore, error) {
+	switch c.Kind {
+	case adjKindRing:
+		if c.Capacity <= 0 {
+			return nil, fmt.Errorf("graph: ring adjacency checkpoint with capacity %d", c.Capacity)
+		}
+		n := len(c.Rings)
+		if len(c.Counts) != n || len(c.Heads) != n {
+			return nil, fmt.Errorf("graph: ring adjacency checkpoint arrays disagree (%d rings, %d counts, %d heads)", n, len(c.Counts), len(c.Heads))
+		}
+		out := NewAdjacencyStore(n, c.Capacity)
+		copy(out.counts, c.Counts)
+		copy(out.heads, c.Heads)
+		out.total = c.Total
+		for i, ring := range c.Rings {
+			if ring == nil {
+				continue
+			}
+			if len(ring) != c.Capacity {
+				return nil, fmt.Errorf("graph: ring adjacency checkpoint node %d ring has %d slots, capacity %d", i, len(ring), c.Capacity)
+			}
+			out.rings[i] = append([]NeighborRecord(nil), ring...)
+		}
+		return out, nil
+	case adjKindFull:
+		out := NewFullAdjacencyStore(len(c.Rings))
+		out.total = c.Total
+		for i, h := range c.Rings {
+			if len(h) > 0 {
+				out.hist[i] = append([]NeighborRecord(nil), h...)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("graph: unknown adjacency checkpoint kind %q", c.Kind)
+	}
+}

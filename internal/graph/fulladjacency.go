@@ -17,6 +17,9 @@ type NeighborStore interface {
 	// Clone deep-copies the store (state snapshots for isolated
 	// validation).
 	Clone() NeighborStore
+	// Checkpoint deep-copies the store into its serializable form; restore
+	// with RestoreAdjacency.
+	Checkpoint() *AdjacencyCheckpoint
 }
 
 // Interface checks.

@@ -212,3 +212,97 @@ func (m *Mailbox) Clone() *Mailbox {
 	}
 	return out
 }
+
+// MemoryCheckpoint is the serializable deep copy of a MemoryStore — the
+// node-memory section of a full-state training checkpoint
+// (internal/resilience). Fields are exported for gob.
+type MemoryCheckpoint struct {
+	NumNodes, Dim int
+	Mem           []float32
+	LastUpdate    []float64
+}
+
+// Checkpoint captures the store's full state.
+func (s *MemoryStore) Checkpoint() *MemoryCheckpoint {
+	return &MemoryCheckpoint{
+		NumNodes:   s.NumNodes,
+		Dim:        s.Dim,
+		Mem:        append([]float32(nil), s.mem.Data...),
+		LastUpdate: append([]float64(nil), s.lastUpdate...),
+	}
+}
+
+// RestoreCheckpoint overwrites the store with a checkpoint of the same
+// shape.
+func (s *MemoryStore) RestoreCheckpoint(c *MemoryCheckpoint) error {
+	if c.NumNodes != s.NumNodes || c.Dim != s.Dim {
+		return fmt.Errorf("memstore: checkpoint shape %dx%d, store is %dx%d", c.NumNodes, c.Dim, s.NumNodes, s.Dim)
+	}
+	if len(c.Mem) != len(s.mem.Data) || len(c.LastUpdate) != len(s.lastUpdate) {
+		return fmt.Errorf("memstore: checkpoint payload %d/%d values, store holds %d/%d", len(c.Mem), len(c.LastUpdate), len(s.mem.Data), len(s.lastUpdate))
+	}
+	copy(s.mem.Data, c.Mem)
+	copy(s.lastUpdate, c.LastUpdate)
+	return nil
+}
+
+// MailboxCheckpoint is the serializable deep copy of a Mailbox (APAN's
+// stream state beyond the common base).
+type MailboxCheckpoint struct {
+	NumNodes, K, Dim int
+	Counts, Heads    []int
+	// Rings[n] is nil for nodes that never received mail.
+	Rings [][]MailEntry
+}
+
+// Checkpoint captures the mailbox's full state.
+func (m *Mailbox) Checkpoint() *MailboxCheckpoint {
+	c := &MailboxCheckpoint{
+		NumNodes: m.NumNodes, K: m.K, Dim: m.Dim,
+		Counts: append([]int(nil), m.counts...),
+		Heads:  append([]int(nil), m.heads...),
+		Rings:  make([][]MailEntry, len(m.rings)),
+	}
+	for n, ring := range m.rings {
+		if ring == nil {
+			continue
+		}
+		nr := make([]MailEntry, len(ring))
+		for i, e := range ring {
+			if e.Vec != nil {
+				nr[i] = MailEntry{Vec: append([]float32(nil), e.Vec...), Time: e.Time}
+			}
+		}
+		c.Rings[n] = nr
+	}
+	return c
+}
+
+// RestoreCheckpoint overwrites the mailbox with a same-shape checkpoint.
+func (m *Mailbox) RestoreCheckpoint(c *MailboxCheckpoint) error {
+	if c.NumNodes != m.NumNodes || c.K != m.K || c.Dim != m.Dim {
+		return fmt.Errorf("memstore: mailbox checkpoint %d nodes k=%d dim=%d, mailbox is %d/%d/%d", c.NumNodes, c.K, c.Dim, m.NumNodes, m.K, m.Dim)
+	}
+	if len(c.Counts) != len(m.counts) || len(c.Heads) != len(m.heads) || len(c.Rings) != len(m.rings) {
+		return fmt.Errorf("memstore: mailbox checkpoint arrays do not match node count %d", m.NumNodes)
+	}
+	copy(m.counts, c.Counts)
+	copy(m.heads, c.Heads)
+	for n := range m.rings {
+		if c.Rings[n] == nil {
+			m.rings[n] = nil
+			continue
+		}
+		ring := make([]MailEntry, m.K)
+		for i, e := range c.Rings[n] {
+			if i >= m.K {
+				break
+			}
+			if e.Vec != nil {
+				ring[i] = MailEntry{Vec: append([]float32(nil), e.Vec...), Time: e.Time}
+			}
+		}
+		m.rings[n] = ring
+	}
+	return nil
+}

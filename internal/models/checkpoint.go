@@ -1,0 +1,110 @@
+package models
+
+import (
+	"fmt"
+
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/memstore"
+)
+
+// PendingMsgRecord is one queued Eq. 2 message in serializable form,
+// preserving the insertion order takePending relies on.
+type PendingMsgRecord struct {
+	Node, Other int32
+	Time        float64
+	FeatIdx     int32
+}
+
+// StreamCheckpoint is the serializable deep copy of a model's stream state —
+// everything TGNN.Snapshot captures (node memories, temporal adjacency,
+// pending messages, sampling RNG, APAN's mailbox), but in exported structs a
+// gob encoder can write to disk. Weights are deliberately excluded: they are
+// serialized by nn.SaveParams and travel in a separate checkpoint section.
+type StreamCheckpoint struct {
+	Model   string
+	Memory  *memstore.MemoryCheckpoint
+	Adj     *graph.AdjacencyCheckpoint
+	Pending []PendingMsgRecord
+	RNG     uint64
+	Mailbox *memstore.MailboxCheckpoint // APAN only; nil otherwise
+}
+
+// streamBase exposes the embedded base to the checkpoint helpers through the
+// TGNN interface without widening the public contract.
+func (b *base) streamBase() *base { return b }
+
+type baseAccessor interface{ streamBase() *base }
+
+// mailboxStore gives the checkpoint helpers the mailbox (the field name is
+// taken, hence the accessor).
+func (m *APAN) mailboxStore() *memstore.Mailbox { return m.mailbox }
+
+type mailboxAccessor interface{ mailboxStore() *memstore.Mailbox }
+
+// CheckpointStream captures m's stream state for a full-state training
+// checkpoint.
+func CheckpointStream(m TGNN) (*StreamCheckpoint, error) {
+	ba, ok := m.(baseAccessor)
+	if !ok {
+		return nil, fmt.Errorf("models: %s does not expose stream state for checkpointing", m.Name())
+	}
+	b := ba.streamBase()
+	c := &StreamCheckpoint{
+		Model:   m.Name(),
+		Memory:  b.mem.Checkpoint(),
+		Adj:     b.adj.Checkpoint(),
+		Pending: make([]PendingMsgRecord, 0, len(b.pendingNodes)),
+		RNG:     b.src.state,
+	}
+	for _, n := range b.pendingNodes {
+		p := b.pending[n]
+		c.Pending = append(c.Pending, PendingMsgRecord{Node: n, Other: p.other, Time: p.time, FeatIdx: p.featIdx})
+	}
+	if ma, ok := m.(mailboxAccessor); ok {
+		c.Mailbox = ma.mailboxStore().Checkpoint()
+	}
+	return c, nil
+}
+
+// RestoreStream reinstates a CheckpointStream snapshot into m, which must be
+// the same architecture over the same dataset the checkpoint was taken from.
+func RestoreStream(m TGNN, c *StreamCheckpoint) error {
+	if c == nil {
+		return fmt.Errorf("models: nil stream checkpoint")
+	}
+	if c.Model != m.Name() {
+		return fmt.Errorf("models: stream checkpoint is for %s, model is %s", c.Model, m.Name())
+	}
+	ba, ok := m.(baseAccessor)
+	if !ok {
+		return fmt.Errorf("models: %s does not expose stream state for checkpointing", m.Name())
+	}
+	b := ba.streamBase()
+	if err := b.mem.RestoreCheckpoint(c.Memory); err != nil {
+		return err
+	}
+	adj, err := graph.RestoreAdjacency(c.Adj)
+	if err != nil {
+		return err
+	}
+	b.adj = adj
+	b.pendingNodes = b.pendingNodes[:0]
+	clear(b.pending)
+	for _, p := range c.Pending {
+		b.pendingNodes = append(b.pendingNodes, p.Node)
+		b.pending[p.Node] = pendingMsg{other: p.Other, time: p.Time, featIdx: p.FeatIdx}
+	}
+	b.src.state = c.RNG
+	// Any on-tape view is stale relative to the restored store.
+	b.view = memView{store: b.mem}
+	ma, hasMailbox := m.(mailboxAccessor)
+	switch {
+	case hasMailbox && c.Mailbox != nil:
+		if err := ma.mailboxStore().RestoreCheckpoint(c.Mailbox); err != nil {
+			return err
+		}
+	case hasMailbox != (c.Mailbox != nil):
+		return fmt.Errorf("models: mailbox presence mismatch restoring %s checkpoint", c.Model)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/cascade-ml/cascade/internal/tensor"
@@ -82,4 +83,67 @@ func clipGrad(g *tensor.Matrix, maxNorm float32) {
 	if norm > maxNorm && norm > 0 {
 		tensor.ScaleInto(g, g, maxNorm/norm)
 	}
+}
+
+// AdamCheckpoint is the serializable optimizer state: step count, first and
+// second moments per parameter, and the (possibly backed-off) learning rate.
+type AdamCheckpoint struct {
+	Step int
+	LR   float32
+	// M and V hold each parameter's moment matrices flattened row-major, in
+	// params order.
+	M, V [][]float32
+}
+
+// Checkpoint deep-copies the optimizer state for a full-state training
+// checkpoint.
+func (a *Adam) Checkpoint() *AdamCheckpoint {
+	c := &AdamCheckpoint{
+		Step: a.step,
+		LR:   a.LR,
+		M:    make([][]float32, len(a.m)),
+		V:    make([][]float32, len(a.v)),
+	}
+	for i := range a.m {
+		c.M[i] = append([]float32(nil), a.m[i].Data...)
+		c.V[i] = append([]float32(nil), a.v[i].Data...)
+	}
+	return c
+}
+
+// RestoreCheckpoint overwrites the optimizer state with a checkpoint taken
+// from an optimizer over the same parameter list.
+func (a *Adam) RestoreCheckpoint(c *AdamCheckpoint) error {
+	if len(c.M) != len(a.m) || len(c.V) != len(a.v) {
+		return fmt.Errorf("nn: optimizer checkpoint has %d/%d moment tensors, optimizer holds %d", len(c.M), len(c.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(c.M[i]) != len(a.m[i].Data) || len(c.V[i]) != len(a.v[i].Data) {
+			return fmt.Errorf("nn: optimizer checkpoint moment %d has %d/%d values, parameter %q holds %d", i, len(c.M[i]), len(c.V[i]), a.params[i].Name, len(a.m[i].Data))
+		}
+	}
+	a.step = c.Step
+	a.LR = c.LR
+	for i := range a.m {
+		copy(a.m[i].Data, c.M[i])
+		copy(a.v[i].Data, c.V[i])
+	}
+	return nil
+}
+
+// GradNorm returns the global L2 norm over every parameter gradient (nil
+// gradients contribute zero) — the trainer's numerical-health monitor reads
+// it after each backward pass, before clipping.
+func (a *Adam) GradNorm() float64 {
+	var sq float64
+	for _, p := range a.params {
+		g := p.T.Grad
+		if g == nil {
+			continue
+		}
+		for _, v := range g.Data {
+			sq += float64(v) * float64(v)
+		}
+	}
+	return math.Sqrt(sq)
 }

@@ -17,6 +17,25 @@ import (
 
 var checkpointMagic = [8]byte{'C', 'A', 'S', 'C', 'C', 'K', 'P', '1'}
 
+// UniqueNames returns a copy of params with duplicate names disambiguated by
+// an "#<occurrence>" suffix, in order. Models that stack identical layers
+// (TGAT's two GAT blocks, DySAT's attention stack) repeat parameter names, and
+// LoadParams matches by name — feed it (and SaveParams, so names align) the
+// deduplicated list.
+func UniqueNames(params []Param) []Param {
+	seen := make(map[string]int, len(params))
+	out := make([]Param, len(params))
+	for i, p := range params {
+		n := seen[p.Name]
+		seen[p.Name] = n + 1
+		if n > 0 {
+			p.Name = fmt.Sprintf("%s#%d", p.Name, n)
+		}
+		out[i] = p
+	}
+	return out
+}
+
 // SaveParams writes every parameter of params to w.
 func SaveParams(w io.Writer, params []Param) error {
 	bw := bufio.NewWriter(w)

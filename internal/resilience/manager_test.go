@@ -1,0 +1,284 @@
+package resilience
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/core"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/train"
+)
+
+func resData(t testing.TB) (*graph.Dataset, *graph.Dataset, *graph.Dataset) {
+	t.Helper()
+	full := datagen.Wiki.Generate(datagen.Options{Scale: 0.002, Seed: 61, FeatDimOverride: 8, MinNodes: 96, MinEvents: 900})
+	tr, val := full.Split(0.8)
+	return full, tr, val
+}
+
+// newResTrainer builds a trainer the way production runs do; every call with
+// the same arguments yields an identically-initialized trainer (the
+// fresh-process stand-in for resume tests).
+func newResTrainer(t testing.TB, modelName string, useCascade bool) *train.Trainer {
+	t.Helper()
+	full, tr, val := resData(t)
+	m := models.MustNew(modelName, full, 16, 4, 5)
+	var sched batching.Scheduler
+	if useCascade {
+		sched = core.NewScheduler(tr.Events, full.NumNodes, core.Options{BaseBatch: 50, Workers: 2, Seed: 1})
+	} else {
+		sched = batching.NewFixed("TGL", tr.NumEvents(), 60)
+	}
+	tt, err := train.NewTrainer(train.Config{
+		Model: m, Sched: sched, Data: tr, Val: val, LR: 2e-3, ValBatch: 100, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+// finalState reduces a trainer's end-of-run state to one comparable blob
+// (weights, optimizer moments, node memories, adjacency, pending messages,
+// RNG positions, scheduler state) plus the validation loss.
+func finalState(t testing.TB, tr *train.Trainer) ([]byte, float64) {
+	t.Helper()
+	c, err := tr.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr.Validate()
+}
+
+// TestKillAndResumeBitwiseIdentical is the headline acceptance criterion: a
+// run killed mid-epoch and resumed from its on-disk checkpoint by a fresh
+// trainer must end with bitwise-identical weights, optimizer moments, node
+// memories, scheduler adaptation state, RNG positions and validation loss.
+// Every Table 1 model goes through the full cycle; TGN additionally runs
+// under the adaptive Cascade scheduler (the hardest state to reproduce, since
+// ABS feedback shifts batch boundaries).
+func TestKillAndResumeBitwiseIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		model      string
+		useCascade bool
+	}{
+		{"TGN", true},
+		{"TGAT", false},
+		{"JODIE", false},
+		{"APAN", false},
+		{"DySAT", false},
+	} {
+		t.Run(tc.model, func(t *testing.T) {
+			const epochs = 2
+			opts := func(dir string, inj *faultinject.Injector) Options {
+				return Options{Dir: dir, EveryBatches: 3, Injector: inj}
+			}
+
+			// Baseline: the same fault-tolerant setup, never interrupted.
+			baseTr := newResTrainer(t, tc.model, tc.useCascade)
+			baseMgr, err := NewManager(baseTr, opts(t.TempDir(), nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := baseMgr.Run(epochs); err != nil {
+				t.Fatal(err)
+			}
+			wantBlob, wantVal := finalState(t, baseTr)
+
+			// Interrupted: a crash (injected abort) mid-run.
+			dir := t.TempDir()
+			inj := faultinject.New()
+			inj.Arm(faultinject.PointTrainAbort, 16)
+			killedTr := newResTrainer(t, tc.model, tc.useCascade)
+			killedMgr, err := NewManager(killedTr, opts(dir, inj))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := killedMgr.Run(epochs); !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("expected injected crash, got %v", err)
+			}
+
+			// Fresh process: brand-new trainer, resume from disk, finish.
+			resumedTr := newResTrainer(t, tc.model, tc.useCascade)
+			resumedMgr, err := NewManager(resumedTr, opts(dir, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := resumedMgr.Resume()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("no checkpoint to resume from")
+			}
+			if _, err := resumedMgr.Run(epochs); err != nil {
+				t.Fatal(err)
+			}
+			gotBlob, gotVal := finalState(t, resumedTr)
+
+			if !bytes.Equal(wantBlob, gotBlob) {
+				t.Errorf("resumed state differs from uninterrupted run (%d vs %d bytes)", len(gotBlob), len(wantBlob))
+			}
+			if wantVal != gotVal {
+				t.Errorf("validation loss diverged: uninterrupted %v, resumed %v", wantVal, gotVal)
+			}
+		})
+	}
+}
+
+// TestNaNRollbackRecovers pins the numerical-health loop: an injected NaN
+// gradient must trigger a rollback to the last good checkpoint with the
+// learning rate backed off, after which the run completes with finite loss.
+func TestNaNRollbackRecovers(t *testing.T) {
+	tr := newResTrainer(t, "TGN", false)
+	inj := faultinject.New()
+	inj.Arm(faultinject.PointTrainNaNGrad, 15) // mid epoch 2 (12 batches/epoch)
+	reg := obs.NewRegistry()
+	const lr0 = 2e-3
+	mgr, err := NewManager(tr, Options{
+		Dir: t.TempDir(), EveryBatches: 4, Injector: inj, Obs: reg,
+		Health: train.HealthConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mgr.Run(2)
+	if err != nil {
+		t.Fatalf("run did not recover: %v", err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("completed %d clean epochs, want 2", len(stats))
+	}
+	for _, st := range stats {
+		if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+			t.Fatalf("epoch %d loss %v not finite", st.Epoch, st.Loss)
+		}
+	}
+	if got := inj.Fired(faultinject.PointTrainNaNGrad); got != 1 {
+		t.Fatalf("NaN injected %d times, want 1", got)
+	}
+	if got := reg.Counter("resilience_rollbacks_total").Value(); got != 1 {
+		t.Fatalf("rollbacks %d, want 1", got)
+	}
+	if got := tr.Optimizer().LR; got >= lr0 {
+		t.Fatalf("LR %v not backed off from %v", got, lr0)
+	}
+	if val := tr.Validate(); math.IsNaN(val) || math.IsInf(val, 0) {
+		t.Fatalf("validation loss %v not finite", val)
+	}
+}
+
+// TestHealthGivesUpWithoutCheckpoint: a health trip before any checkpoint
+// exists must abort cleanly (diagnostic error), not loop.
+func TestHealthGivesUpWithoutCheckpoint(t *testing.T) {
+	tr := newResTrainer(t, "TGN", false)
+	inj := faultinject.New()
+	inj.Arm(faultinject.PointTrainNaNGrad, 2)
+	mgr, err := NewManager(tr, Options{
+		// No Dir, cadence 0: nothing ever checkpointed before the trip.
+		Injector: inj, Health: train.HealthConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Run(1)
+	var he *train.HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %v, want HealthError", err)
+	}
+	if he.Kind != train.HealthNonFiniteGrad {
+		t.Fatalf("kind %q", he.Kind)
+	}
+}
+
+// TestRepeatedNaNExhaustsRollbacks: a fault that reappears after every
+// rollback must hit the MaxRollbacks bound, not retry forever.
+func TestRepeatedNaNExhaustsRollbacks(t *testing.T) {
+	tr := newResTrainer(t, "TGN", false)
+	inj := faultinject.New()
+	// Epoch 1 (12 batches) is clean; from epoch 2 on, every batch poisons a
+	// gradient, so each rollback replays straight into the same fault.
+	hits := make([]int, 0, 88)
+	for h := 13; h <= 100; h++ {
+		hits = append(hits, h)
+	}
+	inj.Arm(faultinject.PointTrainNaNGrad, hits...)
+	mgr, err := NewManager(tr, Options{
+		Dir: t.TempDir(), EveryBatches: 0, Injector: inj,
+		Health: train.HealthConfig{Enabled: true}, MaxRollbacks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mgr.Run(2)
+	if err == nil {
+		t.Fatal("run succeeded despite persistent NaN source")
+	}
+	var he *train.HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("diagnostics lost: %v", err)
+	}
+	if mgr.Rollbacks() != 2 {
+		t.Fatalf("rollbacks %d, want 2", mgr.Rollbacks())
+	}
+}
+
+// TestCheckpointWriteFailureIsNonFatal: persistent checkpoint-write I/O
+// errors must not kill training, must leave no partial files, and must be
+// counted.
+func TestCheckpointWriteFailureIsNonFatal(t *testing.T) {
+	tr := newResTrainer(t, "TGN", false)
+	inj := faultinject.New()
+	inj.Arm(faultinject.PointCkptWrite) // every write fails
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	mgr, err := NewManager(tr, Options{Dir: dir, EveryBatches: 4, Injector: inj, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Run(1); err != nil {
+		t.Fatalf("write failures killed the run: %v", err)
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("files appeared despite injected write failures: %v", names)
+	}
+	if got := reg.Counter("resilience_checkpoint_write_failures_total").Value(); got == 0 {
+		t.Fatal("write failures not counted")
+	}
+	// Rollback target still works from memory.
+	if mgr.LastGood() == nil {
+		t.Fatal("in-memory checkpoint lost")
+	}
+}
+
+// TestResumeOnFreshDirIsFreshStart: Resume with nothing on disk reports
+// false and leaves the trainer untouched.
+func TestResumeOnFreshDirIsFreshStart(t *testing.T) {
+	tr := newResTrainer(t, "TGN", false)
+	mgr, err := NewManager(tr, Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := mgr.Resume()
+	if err != nil || ok {
+		t.Fatalf("resume on empty dir: ok=%v err=%v", ok, err)
+	}
+	if tr.Epoch() != 0 {
+		t.Fatalf("trainer advanced to epoch %d", tr.Epoch())
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startGraceful spins up a graceful server around h and returns its base URL,
+// the stop channel, and a channel carrying RunGraceful's result.
+func startGraceful(t *testing.T, h http.Handler, opt HTTPOptions, drain time.Duration) (string, chan os.Signal, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(h, opt)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- RunGraceful(srv, ln, stop, drain) }()
+	return "http://" + ln.Addr().String(), stop, done
+}
+
+// TestGracefulShutdownDrainsInFlight is the acceptance criterion: a request
+// already being handled when SIGTERM arrives must complete with 200 before
+// the server exits, and the exit must be clean.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(w, "done")
+	})
+	url, stop, done := startGraceful(t, mux, HTTPOptions{}, 5*time.Second)
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url + "/slow")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resCh <- result{status: resp.StatusCode, body: string(body)}
+	}()
+
+	<-started
+	stop <- syscall.SIGTERM // shutdown lands mid-request
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown not clean: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit")
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request dropped: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.body != "done" {
+		t.Fatalf("in-flight request got %d %q", res.status, res.body)
+	}
+
+	// New connections must be refused after drain.
+	if _, err := http.Get(url + "/slow"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+// TestRequestTimeoutCapsSlowHandlers: a handler slower than RequestTimeout
+// gets 503 while fast requests pass untouched.
+func TestRequestTimeoutCapsSlowHandlers(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	mux.HandleFunc("/fast", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "ok") })
+	url, stop, done := startGraceful(t, mux, HTTPOptions{RequestTimeout: 100 * time.Millisecond}, time.Second)
+	defer func() {
+		stop <- syscall.SIGTERM
+		<-done
+	}()
+
+	resp, err := http.Get(url + "/fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fast request got %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(url + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("slow request got %d (%s), want 503", resp.StatusCode, body)
+	}
+}
+
+// TestShutdownDeadlineKillsStragglers: a request that outlives the drain
+// deadline must not hold the server open forever — RunGraceful reports the
+// incomplete drain and closes hard.
+func TestShutdownDeadlineKillsStragglers(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	})
+	url, stop, done := startGraceful(t, mux, HTTPOptions{}, 100*time.Millisecond)
+	go func() {
+		resp, err := http.Get(url + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("incomplete drain reported as clean")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server held open past drain deadline")
+	}
+	close(release)
+}
+
+func TestHTTPOptionsDefaults(t *testing.T) {
+	var o HTTPOptions
+	o.fillDefaults()
+	if o.ReadHeaderTimeout != DefaultReadHeaderTimeout || o.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	o = HTTPOptions{RequestTimeout: time.Minute}
+	o.fillDefaults()
+	if o.WriteTimeout <= o.RequestTimeout {
+		t.Fatalf("write timeout %v must exceed request timeout %v", o.WriteTimeout, o.RequestTimeout)
+	}
+}

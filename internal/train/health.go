@@ -1,0 +1,130 @@
+package train
+
+import (
+	"fmt"
+	"math"
+)
+
+// HealthConfig turns on the trainer's numerical-health monitor. With the
+// monitor enabled, TrainEpochChecked inspects every batch's loss and gradient
+// norm and aborts the epoch with a *HealthError the moment training goes
+// numerically bad — leaving the weights at their last finite values (the
+// optimizer step that would have applied a non-finite gradient is skipped).
+// The resilience.Manager turns these errors into checkpoint rollbacks with
+// learning-rate backoff.
+type HealthConfig struct {
+	// Enabled switches the monitor on.
+	Enabled bool
+	// MaxGradNorm, when > 0, flags a finite global gradient norm above this
+	// value as exploding (non-finite norms are always flagged). Gradient
+	// clipping (Adam.GradClip) still applies to healthy batches; this bound
+	// is the "clipping cannot save this" escape hatch.
+	MaxGradNorm float64
+	// SpikeFactor, when > 1, flags a batch loss exceeding SpikeFactor × the
+	// trailing-window mean loss as a spike.
+	SpikeFactor float64
+	// SpikeWindow is the trailing-mean window in batches (default 20). Spike
+	// detection starts only once the window is full, so the first batches of
+	// a run cannot false-positive.
+	SpikeWindow int
+}
+
+func (h *HealthConfig) fillDefaults() {
+	if h.SpikeWindow <= 0 {
+		h.SpikeWindow = 20
+	}
+}
+
+// Health error kinds.
+const (
+	HealthNonFiniteLoss = "nonfinite-loss"
+	HealthNonFiniteGrad = "nonfinite-grad"
+	HealthExplodingGrad = "exploding-grad"
+	HealthLossSpike     = "loss-spike"
+)
+
+// HealthError reports a numerical-health violation that aborted an epoch.
+type HealthError struct {
+	Epoch, Batch int
+	Kind         string
+	Loss         float64
+	GradNorm     float64
+}
+
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("train: health violation %s at epoch %d batch %d (loss=%g, grad_norm=%g)",
+		e.Kind, e.Epoch, e.Batch, e.Loss, e.GradNorm)
+}
+
+// SetHealth installs the numerical-health monitor; call before training.
+func (t *Trainer) SetHealth(h HealthConfig) {
+	h.fillDefaults()
+	t.health = h
+	t.resetHealthWindow()
+}
+
+func (t *Trainer) resetHealthWindow() {
+	t.healthWin = t.healthWin[:0]
+	t.healthSum = 0
+}
+
+// checkLoss vets one batch's loss. It runs before the loss enters the
+// trailing window, so a spike is measured against healthy history only.
+func (t *Trainer) checkLoss(loss float64, batch int) *HealthError {
+	if !t.health.Enabled {
+		return nil
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.countHealth("train_health_nonfinite_loss_total")
+		return &HealthError{Epoch: t.epoch, Batch: batch, Kind: HealthNonFiniteLoss, Loss: loss}
+	}
+	if t.health.SpikeFactor > 1 && len(t.healthWin) >= t.health.SpikeWindow {
+		mean := t.healthSum / float64(len(t.healthWin))
+		if mean > 1e-12 && loss > t.health.SpikeFactor*mean {
+			t.countHealth("train_health_loss_spike_total")
+			return &HealthError{Epoch: t.epoch, Batch: batch, Kind: HealthLossSpike, Loss: loss}
+		}
+	}
+	t.healthSum += loss
+	t.healthWin = append(t.healthWin, loss)
+	if len(t.healthWin) > t.health.SpikeWindow {
+		t.healthSum -= t.healthWin[0]
+		t.healthWin = t.healthWin[1:]
+	}
+	return nil
+}
+
+// checkGrad vets the post-backward gradient norm. A non-nil return means the
+// caller must skip the optimizer step (keeping the weights finite).
+func (t *Trainer) checkGrad(batch int, loss float64) *HealthError {
+	if !t.health.Enabled {
+		return nil
+	}
+	norm := t.opt.GradNorm()
+	if math.IsNaN(norm) || math.IsInf(norm, 0) {
+		t.countHealth("train_health_nonfinite_grad_total")
+		return &HealthError{Epoch: t.epoch, Batch: batch, Kind: HealthNonFiniteGrad, Loss: loss, GradNorm: norm}
+	}
+	if t.health.MaxGradNorm > 0 && norm > t.health.MaxGradNorm {
+		t.countHealth("train_health_exploding_grad_total")
+		return &HealthError{Epoch: t.epoch, Batch: batch, Kind: HealthExplodingGrad, Loss: loss, GradNorm: norm}
+	}
+	return nil
+}
+
+func (t *Trainer) countHealth(metric string) {
+	if t.cfg.Obs != nil {
+		t.cfg.Obs.Counter(metric).Inc()
+	}
+}
+
+// poisonGrad writes NaN into the first live parameter gradient — the
+// faultinject.PointTrainNaNGrad payload.
+func (t *Trainer) poisonGrad() {
+	for _, p := range t.checkpointParams() {
+		if g := p.T.Grad; g != nil && len(g.Data) > 0 {
+			g.Data[0] = float32(math.NaN())
+			return
+		}
+	}
+}

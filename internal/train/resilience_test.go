@@ -1,0 +1,102 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/core"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// TestErrorReturnJoinsPrefetch covers TrainEpochChecked's early-error exits
+// with the prefetch pipeline enabled: the in-flight prefetch goroutine must
+// be joined (its batch released back to the arena), the trainer must stay
+// usable, and — under -race — the rng handoff must stay clean. Both abort
+// flavors exercise different exit points (abort fires at the loop bottom,
+// the NaN check right after backward).
+func TestErrorReturnJoinsPrefetch(t *testing.T) {
+	full, tr, val := trainValData(t)
+	for _, tc := range []struct {
+		name string
+		arm  func(*faultinject.Injector)
+		want func(error) bool
+	}{
+		{
+			name: "injected-abort",
+			arm:  func(inj *faultinject.Injector) { inj.Arm(faultinject.PointTrainAbort, 3) },
+			want: func(err error) bool { return errors.Is(err, faultinject.ErrInjected) },
+		},
+		{
+			name: "nan-grad-health",
+			arm:  func(inj *faultinject.Injector) { inj.Arm(faultinject.PointTrainNaNGrad, 3) },
+			want: func(err error) bool {
+				var he *HealthError
+				return errors.As(err, &he) && he.Kind == HealthNonFiniteGrad
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := models.MustNew("TGN", full, 16, 4, 5)
+			sched := core.NewScheduler(tr.Events, full.NumNodes, core.Options{BaseBatch: 50, Workers: 2, Seed: 1})
+			tt, err := NewTrainer(Config{
+				Model: m, Sched: sched, Data: tr, Val: val, LR: 2e-3, ValBatch: 100, Seed: 9,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tt.SetHealth(HealthConfig{Enabled: true})
+			inj := faultinject.New()
+			tc.arm(inj)
+			tt.SetInjector(inj)
+
+			before := runtime.NumGoroutine()
+			_, err = tt.TrainEpochChecked()
+			if err == nil || !tc.want(err) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			// The prefetch goroutine must be gone, not parked on a dead channel.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if got := runtime.NumGoroutine(); got > before {
+				t.Fatalf("goroutines leaked: %d before, %d after error return", before, got)
+			}
+			// The trainer must still run a full clean epoch after the failure.
+			st, err := tt.TrainEpochChecked()
+			if err != nil {
+				t.Fatalf("trainer unusable after error return: %v", err)
+			}
+			if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+				t.Fatalf("post-recovery loss %v", st.Loss)
+			}
+		})
+	}
+}
+
+// TestCheckpointCadenceRequiresCheckpointableSched: with a scheduler that
+// cannot serialize its state (ShuffledFixed owns a bare rand.Rand), the
+// mid-epoch cadence must be silently skipped rather than producing
+// checkpoints that cannot restore.
+func TestCheckpointCadenceRequiresCheckpointableSched(t *testing.T) {
+	full, tr, val := trainValData(t)
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	sched := batching.NewShuffledFixed("TGL-LB", tr.NumEvents(), 60, 3)
+	tt, err := NewTrainer(Config{Model: m, Sched: sched, Data: tr, Val: val, LR: 2e-3, ValBatch: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	tt.SetCheckpointCadence(2, func(*CheckpointState) error { calls++; return nil })
+	if _, err := tt.TrainEpochChecked(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("cadence fired %d times under a non-checkpointable scheduler", calls)
+	}
+}

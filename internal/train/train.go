@@ -19,6 +19,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
@@ -156,8 +157,19 @@ type Trainer struct {
 	predictor *nn.MLP
 	opt       *nn.Adam
 	rng       *rand.Rand
+	rngSrc    *countingSource // rng's source; makes the stream position checkpointable
 
 	epoch int
+
+	// Resilience extensions (checkpoint.go, health.go); all inert until the
+	// corresponding Set* is called.
+	ckptEvery int
+	ckptHook  func(*CheckpointState) error
+	health    HealthConfig
+	healthWin []float64
+	healthSum float64
+	inj       *faultinject.Injector
+	resume    *resumePoint
 }
 
 // maxrReporter and stableReporter are implemented by Cascade's scheduler;
@@ -198,7 +210,8 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Task == TaskNodeClassification && cfg.Val != nil && cfg.Val.NumEvents() > 0 && cfg.Val.Labels == nil {
 		return nil, fmt.Errorf("train: node classification needs labeled validation data")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := newCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	embDim := cfg.Model.EmbedDim()
 	predIn := 2 * embDim // link prediction scores [h_src ‖ h_dst]
 	if cfg.Task == TaskNodeClassification {
@@ -208,24 +221,51 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	params := append(cfg.Model.Params(), predictor.Params()...)
 	opt := nn.NewAdam(params, cfg.LR)
 	opt.GradClip = 5
-	return &Trainer{cfg: cfg, predictor: predictor, opt: opt, rng: rng}, nil
+	return &Trainer{cfg: cfg, predictor: predictor, opt: opt, rng: rng, rngSrc: src}, nil
 }
 
 // Predictor exposes the scoring head (examples use it for inference).
 func (t *Trainer) Predictor() *nn.MLP { return t.predictor }
 
 // TrainEpoch resets model memories and the scheduler, then runs one pass
-// over the training events.
+// over the training events. It is TrainEpochChecked without the error: with
+// no health monitor, fault injector or checkpoint hook installed, the
+// checked variant cannot fail.
 func (t *Trainer) TrainEpoch() EpochStats {
-	t.epoch++
+	st, _ := t.TrainEpochChecked()
+	return st
+}
+
+// TrainEpochChecked is TrainEpoch with the resilience machinery active: it
+// honors a restored mid-epoch checkpoint (continuing the interrupted epoch
+// instead of resetting), takes full-state checkpoints at the configured
+// cadence, and aborts with a *HealthError when the numerical-health monitor
+// trips. On an abort the weights are left at their last finite values and
+// any in-flight prefetch is joined and released before returning.
+func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
+	resume := t.resume
+	t.resume = nil
+	if resume == nil {
+		t.epoch++
+		t.cfg.Model.Reset()
+		t.cfg.Sched.Reset()
+	}
 	st := EpochStats{Epoch: t.epoch}
-	t.cfg.Model.Reset()
-	t.cfg.Sched.Reset()
 
 	start := time.Now()
 	var lossSum float64
 	var eventSum int
 	var occSum float64
+	if resume != nil {
+		st.Batches = resume.batches
+		lossSum, eventSum, occSum = resume.lossSum, resume.eventSum, resume.occSum
+		st.DeviceTime = resume.deviceTime
+	}
+	fail := func(err error) (EpochStats, error) {
+		st.WallTime = time.Since(start)
+		return st, err
+	}
+	_, schedCkpt := t.cfg.Sched.(batching.Checkpointable)
 	// The loop is software-pipelined: while batch k's backward pass and
 	// message generation run on this goroutine, batch k+1's host-side
 	// preparation (negative sampling, node/timestamp vectors, targets)
@@ -236,6 +276,14 @@ func (t *Trainer) TrainEpoch() EpochStats {
 	// reclaimed at the join — and prep k+1 still starts after prep k
 	// finished, so the draw order (and every result) is identical to the
 	// serial schedule.
+	//
+	// Checkpoint boundaries serialize the pipeline: when a checkpoint is due
+	// at the end of batch k, the Sched.Next call and batch k+1's preparation
+	// are deferred until after the snapshot, so the captured scheduler cursor
+	// and RNG position sit exactly at the batch-k/k+1 boundary. Results are
+	// unchanged (serial prep ≡ pipelined prep, pinned by
+	// TestPrefetchMatchesSerial), and a restored run re-prepares batch k+1
+	// from identical state.
 	var prep *preparedBatch
 	if b, ok := t.cfg.Sched.Next(); ok {
 		prep = t.prepareSched(b)
@@ -248,6 +296,12 @@ func (t *Trainer) TrainEpoch() EpochStats {
 		var loss float64
 		if lossT != nil {
 			loss = float64(lossT.Item())
+		}
+		if he := t.checkLoss(loss, st.Batches); he != nil {
+			// Nothing is in flight yet this iteration: free the batch's tape
+			// and abort before the bad loss reaches the scheduler feedback.
+			upd.FreeTape(lossT)
+			return fail(he)
 		}
 		lossSum += loss * float64(len(events))
 		eventSum += len(events)
@@ -281,22 +335,37 @@ func (t *Trainer) TrainEpoch() EpochStats {
 			stableRatio = r.StableUpdateRatio()
 		}
 		// Kick off batch k+1's preparation, then run batch k's backward
-		// pass and message generation under it.
+		// pass and message generation under it. A due checkpoint defers the
+		// Sched.Next call past the snapshot (see the pipeline comment above).
+		ckptDue := t.ckptHook != nil && t.ckptEvery > 0 && schedCkpt &&
+			st.Batches%t.ckptEvery == 0
 		var next *preparedBatch
 		var prepCh chan *preparedBatch
-		if nb, ok := t.cfg.Sched.Next(); ok {
-			if t.cfg.DisablePrefetch {
-				next = t.prepareSched(nb)
-			} else {
-				ch := make(chan *preparedBatch, 1)
-				go func() { ch <- t.prepareSched(nb) }()
-				prepCh = ch
+		if !ckptDue {
+			if nb, ok := t.cfg.Sched.Next(); ok {
+				if t.cfg.DisablePrefetch {
+					next = t.prepareSched(nb)
+				} else {
+					ch := make(chan *preparedBatch, 1)
+					go func() { ch <- t.prepareSched(nb) }()
+					prepCh = ch
+				}
 			}
 		}
 		if lossT != nil {
 			mark := time.Now()
 			t.opt.ZeroGrad()
 			lossT.Backward()
+			if t.inj.Fire(faultinject.PointTrainNaNGrad) {
+				t.poisonGrad()
+			}
+			if he := t.checkGrad(st.Batches-1, loss); he != nil {
+				// Skip the step so the weights keep their last finite values,
+				// then join the prefetch before unwinding.
+				upd.FreeTape(lossT)
+				joinPrefetch(prepCh, next).release()
+				return fail(he)
+			}
 			t.opt.Step()
 			tm.Backward = time.Since(mark)
 		}
@@ -326,10 +395,26 @@ func (t *Trainer) TrainEpoch() EpochStats {
 				PoolMisses: pool.Misses, PoolFloatsRecycled: pool.FloatsRecycled,
 			})
 		}
-		if prepCh != nil {
-			prep = <-prepCh
+		if ckptDue {
+			c, err := t.capture(st.Batches, lossSum, eventSum, occSum, st.DeviceTime)
+			if err != nil {
+				return fail(err)
+			}
+			if err := t.ckptHook(c); err != nil {
+				return fail(fmt.Errorf("train: checkpoint hook at epoch %d batch %d: %w", t.epoch, st.Batches, err))
+			}
+			// Deferred Sched.Next: prepare batch k+1 serially now that the
+			// snapshot is taken.
+			prep = nil
+			if nb, ok := t.cfg.Sched.Next(); ok {
+				prep = t.prepareSched(nb)
+			}
 		} else {
-			prep = next
+			prep = joinPrefetch(prepCh, next)
+		}
+		if err := t.inj.Err(faultinject.PointTrainAbort); err != nil {
+			prep.release()
+			return fail(fmt.Errorf("train: aborted at epoch %d after batch %d: %w", t.epoch, st.Batches, err))
 		}
 	}
 	st.WallTime = time.Since(start)
@@ -346,7 +431,26 @@ func (t *Trainer) TrainEpoch() EpochStats {
 	if r, ok := t.cfg.Sched.(stableReporter); ok {
 		st.StableRatio = r.StableUpdateRatio()
 	}
-	return st
+	return st, nil
+}
+
+// joinPrefetch resolves the batch-k+1 handoff: receive from the prefetch
+// channel when one is in flight, else the serially-prepared batch (either
+// may be nil at sequence end).
+func joinPrefetch(prepCh chan *preparedBatch, next *preparedBatch) *preparedBatch {
+	if prepCh != nil {
+		return <-prepCh
+	}
+	return next
+}
+
+// release returns a prepared-but-never-forwarded batch's arena storage (the
+// error paths' counterpart of FreeTape, which recycles targets once they are
+// on the tape). Safe on nil.
+func (p *preparedBatch) release() {
+	if p != nil && p.targets != nil && !p.targets.Released() {
+		p.targets.Release()
+	}
 }
 
 // Train runs epochs and returns per-epoch statistics.

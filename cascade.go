@@ -23,8 +23,10 @@
 package cascade
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"github.com/cascade-ml/cascade/internal/batching"
@@ -382,6 +384,34 @@ func (r *Run) LoadModel(rd io.Reader) error {
 	return nn.LoadParams(rd, params)
 }
 
+// NewScoringReplica builds an independent (model, predictor) pair with the
+// same architecture and weights as this run — the contract of
+// serve.WithStaleReplica: the copy answers /score under its own lock while
+// the fresh path is saturated, trading staleness for availability. Weights
+// are copied at call time; since serving never trains, the copy stays
+// valid for the life of the process.
+func (r *Run) NewScoringReplica() (models.TGNN, *nn.MLP, error) {
+	m, err := models.New(r.cfg.Model, r.cfg.Dataset, r.cfg.MemoryDim, r.cfg.TimeDim, r.cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	embDim := m.EmbedDim()
+	predIn := 2 * embDim // link prediction scores [h_src ‖ h_dst]
+	if r.cfg.Task == TaskNodeClassification {
+		predIn = embDim
+	}
+	p := nn.NewMLP(rand.New(rand.NewSource(r.cfg.Seed)), nn.ActReLU, predIn, embDim, 1)
+	var buf bytes.Buffer
+	if err := r.SaveModel(&buf); err != nil {
+		return nil, nil, err
+	}
+	params := nn.UniqueNames(append(m.Params(), prefixParams("predictor", p.Params())...))
+	if err := nn.LoadParams(&buf, params); err != nil {
+		return nil, nil, fmt.Errorf("cascade: scoring-replica weight copy: %w", err)
+	}
+	return m, p, nil
+}
+
 func prefixParams(prefix string, params []nn.Param) []nn.Param {
 	out := make([]nn.Param, len(params))
 	for i, p := range params {
@@ -409,6 +439,15 @@ type DistributedConfig struct {
 	// slower replicas are evicted and the run degrades to the survivors.
 	// 0 waits forever.
 	EpochTimeout time.Duration
+	// Rejoin lets an evicted replica re-enter the run at a later epoch
+	// boundary by adopting the fleet's latest averaged checkpoint.
+	Rejoin bool
+	// CheckpointDir, when set, persists the post-averaging checkpoint there
+	// each epoch (crash-safe files); rejoining replicas restore from the
+	// newest file instead of process memory.
+	CheckpointDir string
+	// Obs, when non-nil, receives eviction/rejoin/sync metrics.
+	Obs *Registry
 }
 
 // DistributedResult reports a distributed run.
@@ -419,6 +458,8 @@ type DistributedResult struct {
 	SyncCount     int
 	// Evicted lists replicas dropped for dying or missing the epoch barrier.
 	Evicted []int
+	// Rejoined lists evicted replicas that re-entered via the rejoin path.
+	Rejoined []int
 }
 
 // TrainDistributed runs synchronous data-parallel training.
@@ -433,6 +474,8 @@ func TrainDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		MemoryDim: cfg.MemoryDim, TimeDim: cfg.TimeDim,
 		LR: cfg.LR, Seed: cfg.Seed, Workers: cfg.Workers,
 		EpochTimeout: cfg.EpochTimeout,
+		Rejoin:       cfg.Rejoin, CheckpointDir: cfg.CheckpointDir,
+		Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -443,5 +486,6 @@ func TrainDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		WallTime:      res.WallTime,
 		SyncCount:     res.SyncCount,
 		Evicted:       res.Evicted,
+		Rejoined:      res.Rejoined,
 	}, nil
 }

@@ -27,8 +27,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	outPath := flag.String("write", "", "write the generated dataset to this file (.csv or binary)")
 	inPath := flag.String("read", "", "read a dataset from this file instead of generating")
+	validate := flag.Bool("validate", false, "with -read: check stream invariants (sorted finite timestamps, node ids in range, feature table) and exit; bad records are reported with their line number")
 	flag.Parse()
 
+	if *validate {
+		if *inPath == "" {
+			fmt.Fprintln(os.Stderr, "cascade-data: -validate needs -read")
+			os.Exit(1)
+		}
+		d, err := loadDataset(*inPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-data: invalid: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid CTDG stream (%d nodes, %d events, feat dim %d)\n",
+			*inPath, d.NumNodes, d.NumEvents(), d.EdgeFeatDim)
+		return
+	}
 	if *inPath != "" {
 		inspectFile(*inPath, *base)
 		return
@@ -111,20 +126,23 @@ func writeDataset(d *graph.Dataset, path string) error {
 	return d.WriteBinary(f)
 }
 
-// inspectFile loads a stored dataset and prints its statistics.
-func inspectFile(path string, base int) {
+// loadDataset reads a stored dataset; the reader validates the stream
+// (sorted finite timestamps, node ids in range) as part of parsing.
+func loadDataset(path string) (*graph.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cascade-data: %v\n", err)
-		os.Exit(1)
+		return nil, err
 	}
 	defer f.Close()
-	var d *graph.Dataset
 	if strings.HasSuffix(path, ".csv") {
-		d, err = graph.ReadCSV(f)
-	} else {
-		d, err = graph.ReadBinary(f)
+		return graph.ReadCSV(f)
 	}
+	return graph.ReadBinary(f)
+}
+
+// inspectFile loads a stored dataset and prints its statistics.
+func inspectFile(path string, base int) {
+	d, err := loadDataset(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-data: %v\n", err)
 		os.Exit(1)

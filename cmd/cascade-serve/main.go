@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/serve"
 )
@@ -34,6 +35,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline (503 beyond); 0 disables")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 16, "concurrently admitted requests; more wait in the bounded queue")
+	queueDepth := flag.Int("queue-depth", 64, "wait-queue bound behind -max-inflight; arrivals beyond it are shed with 429 + Retry-After")
+	rate := flag.Float64("rate", 0, "sustained admission rate in requests/second (token bucket; 0 = unlimited)")
+	staleOK := flag.Bool("stale-ok", false, "degrade /score to a stale-snapshot replica instead of shedding when the fresh path is saturated or its breaker is open")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the scoring circuit breaker stays open before probing")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -85,7 +91,22 @@ func main() {
 		fmt.Printf("pre-trained: val loss %.4f, mean batch %.0f\n", res.FinalValLoss, res.MeanBatchSize)
 	}
 
-	opts := []serve.Option{serve.WithRegistry(reg)}
+	opts := []serve.Option{
+		serve.WithRegistry(reg),
+		serve.WithLimits(load.Limits{MaxInflight: *maxInflight, QueueDepth: *queueDepth, Rate: *rate}),
+		serve.WithBreaker(load.BreakerConfig{Cooldown: *breakerCooldown}),
+	}
+	if *staleOK {
+		sm, sp, err := run.NewScoringReplica()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: stale replica: %v\n", err)
+			os.Exit(1)
+		}
+		// Re-sync the replica from the live model at most once per second:
+		// Snapshot copies every node memory, so per-ingest refresh would
+		// double ingest cost under sustained load.
+		opts = append(opts, serve.WithStaleReplica(sm, sp, time.Second))
+	}
 	if *tracePath != "" {
 		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -103,8 +124,10 @@ func main() {
 	})
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics)\n", *addr)
-	if err := serve.RunGraceful(httpSrv, nil, stop, *shutdownTimeout); err != nil {
+	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics, GET /healthz, GET /readyz)\n", *addr)
+	// StartDrain flips /readyz to 503 for the whole drain window, so load
+	// balancers stop routing here while in-flight requests finish.
+	if err := serve.RunGracefulNotify(httpSrv, nil, stop, *shutdownTimeout, srv.StartDrain); err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"github.com/cascade-ml/cascade"
 	"github.com/cascade-ml/cascade/internal/resilience"
@@ -43,6 +44,9 @@ func main() {
 	ckptKeep := flag.Int("checkpoint-keep", 3, "on-disk checkpoint retention (newest N)")
 	resume := flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
 	health := flag.Bool("health", false, "enable the numerical-health monitor (NaN/exploding-gradient rollback with LR backoff)")
+	replicas := flag.Int("replicas", 1, "data-parallel replicas; >1 switches to distributed training with epoch-boundary weight averaging")
+	epochTimeout := flag.Duration("epoch-timeout", 0, "distributed epoch-barrier deadline; stragglers past it are evicted (0 waits forever)")
+	rejoin := flag.Bool("rejoin", false, "let evicted replicas rejoin from the latest averaged checkpoint (distributed mode; pairs with -checkpoint-dir for on-disk restore)")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -65,6 +69,16 @@ func main() {
 	}
 	fmt.Printf("dataset %s: %d events, %d nodes, feat dim %d; base batch %d\n",
 		ds.Name, ds.NumEvents(), ds.NumNodes, ds.EdgeFeatDim, *base)
+
+	if *replicas > 1 {
+		runDistributed(ds, distFlags{
+			replicas: *replicas, model: *model, useCascade: *scheduler == "Cascade",
+			base: *base, epochs: *epochs, memdim: *memdim, timedim: *timedim,
+			lr: float32(*lr), seed: *seed, epochTimeout: *epochTimeout,
+			rejoin: *rejoin, ckptDir: *ckptDir, metricsOut: *metricsOut,
+		})
+		return
+	}
 
 	cfg := cascade.RunConfig{
 		Dataset:   ds,
@@ -277,5 +291,71 @@ func main() {
 		fmt.Printf("cascade: Maxr=%d (profiled max/mean/min = %.0f/%.0f/%.0f over %d base batches), preprocess %v, lookup %v\n",
 			cs.Sensor().Maxr(), stats.MrMax, stats.MrMean, stats.MrMin, stats.NumBaseBatches,
 			cs.BuildTime().Round(1e5), cs.LookupTime().Round(1e5))
+	}
+}
+
+// distFlags bundles the flag values the distributed branch consumes.
+type distFlags struct {
+	replicas        int
+	model           string
+	useCascade      bool
+	base, epochs    int
+	memdim, timedim int
+	lr              float32
+	seed            int64
+	epochTimeout    time.Duration
+	rejoin          bool
+	ckptDir         string
+	metricsOut      string
+}
+
+// runDistributed is the -replicas>1 path: data-parallel training with
+// epoch-boundary weight averaging, barrier eviction, and optional rejoin.
+func runDistributed(ds *cascade.Dataset, f distFlags) {
+	var reg *cascade.Registry
+	metricsFile := os.Stdout
+	if f.metricsOut != "" {
+		if f.metricsOut != "-" {
+			out, err := os.Create(f.metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
+				os.Exit(1)
+			}
+			defer out.Close()
+			metricsFile = out
+		}
+		reg = cascade.NewMetricsRegistry()
+	}
+	fmt.Printf("distributed: %d replicas, rejoin=%v\n", f.replicas, f.rejoin)
+	res, err := cascade.TrainDistributed(cascade.DistributedConfig{
+		Dataset: ds, Replicas: f.replicas, Model: f.model, UseCascade: f.useCascade,
+		BaseBatch: f.base, Epochs: f.epochs, MemoryDim: f.memdim, TimeDim: f.timedim,
+		LR: f.lr, Seed: f.seed, EpochTimeout: f.epochTimeout,
+		Rejoin: f.rejoin, CheckpointDir: f.ckptDir, Obs: reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
+		os.Exit(1)
+	}
+	for r, losses := range res.ReplicaLosses {
+		fmt.Printf("replica %d losses: ", r)
+		for _, l := range losses {
+			fmt.Printf("%.5f ", l)
+		}
+		fmt.Println()
+	}
+	if len(res.Evicted) > 0 {
+		fmt.Printf("evicted: %v, rejoined: %v\n", res.Evicted, res.Rejoined)
+	}
+	fmt.Printf("syncs %d, wall %v, validation loss %.5f\n",
+		res.SyncCount, res.WallTime.Round(1e6), res.ValLoss)
+	if reg != nil {
+		if err := reg.WritePrometheus(metricsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		if f.metricsOut != "-" {
+			fmt.Printf("metrics written to %s\n", f.metricsOut)
+		}
 	}
 }

@@ -11,15 +11,18 @@ package distributed
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
 	"github.com/cascade-ml/cascade/internal/batching"
 	"github.com/cascade-ml/cascade/internal/core"
 	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience"
 	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
 	"github.com/cascade-ml/cascade/internal/train"
 )
@@ -66,12 +69,28 @@ type Config struct {
 	// run degrades to the survivors; 0 waits forever (the pre-resilience
 	// behavior).
 	EpochTimeout time.Duration
+	// Rejoin lets an evicted replica re-enter the run: at the next epoch
+	// boundary its circuit breaker half-opens, the replica is rebuilt for
+	// its shard, adopts the fleet's latest averaged checkpoint, and rejoins
+	// the barrier. Without it eviction stays permanent (the pre-rejoin
+	// behavior).
+	Rejoin bool
+	// RejoinAfter is how many epochs an evicted replica's breaker stays open
+	// before the first rejoin probe (default 1: evicted during epoch e,
+	// probing at the start of epoch e+2).
+	RejoinAfter int
+	// CheckpointDir, when set, persists the post-averaging checkpoint there
+	// every epoch via internal/resilience's crash-safe file format, and
+	// rejoining replicas restore from the newest file on disk rather than
+	// from process memory — the same recovery path a restarted process uses.
+	CheckpointDir string
 	// Obs, when non-nil, receives eviction and sync metrics; Trace, when
 	// non-nil, receives one event per eviction.
 	Obs   *obs.Registry
 	Trace *obs.TraceSink
 	// Injector, when non-nil, is consulted at the per-replica fault points
-	// (dist/replica-die/<r>, dist/replica-hang/<r>) for chaos tests.
+	// (dist/replica-die/<r>, dist/replica-hang/<r>, dist/replica-flap/<r>,
+	// dist/report-drop/<r>) for chaos tests.
 	Injector *faultinject.Injector
 }
 
@@ -88,8 +107,12 @@ type Result struct {
 	// SyncCount is how many parameter-averaging rounds ran.
 	SyncCount int
 	// Evicted lists replicas dropped for dying or missing the epoch
-	// barrier, sorted by index.
+	// barrier, sorted by index (a replica that later rejoined still
+	// appears here — it was evicted at some point).
 	Evicted []int
+	// Rejoined lists evicted replicas that re-entered the run via the
+	// rejoin path, sorted by index.
+	Rejoined []int
 }
 
 // replica bundles one worker's state.
@@ -131,11 +154,10 @@ func Train(cfg Config) (*Result, error) {
 	}
 	shards := shardEvents(trainSet, width)
 
-	replicas := make([]replica, width)
-	for r := range replicas {
+	build := func(r int) (replica, error) {
 		model, err := models.New(cfg.Model, cfg.Dataset, cfg.MemoryDim, cfg.TimeDim, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return replica{}, err
 		}
 		var sched batching.Scheduler
 		if cfg.Scheduler == SchedCascade {
@@ -152,9 +174,43 @@ func Train(cfg Config) (*Result, error) {
 			LR: cfg.LR, ValBatch: cfg.BaseBatch, Seed: cfg.Seed + int64(r),
 		})
 		if err != nil {
+			return replica{}, err
+		}
+		return replica{model: model, trainer: trainer}, nil
+	}
+
+	replicas := make([]replica, width)
+	for r := range replicas {
+		rep, err := build(r)
+		if err != nil {
 			return nil, err
 		}
-		replicas[r] = replica{model: model, trainer: trainer}
+		replicas[r] = rep
+	}
+
+	if cfg.RejoinAfter <= 0 {
+		cfg.RejoinAfter = 1
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("distributed: checkpoint dir: %w", err)
+		}
+	}
+	// One breaker per replica gates rejoin probes. The breaker runs on a
+	// synthetic clock — one second per epoch — so "cooldown" is measured in
+	// barrier rounds, not wall time: an eviction trips the breaker open, it
+	// half-opens RejoinAfter epochs later, and a failed rejoin probe re-opens
+	// it for another full cooldown.
+	epochClock := new(int64)
+	breakers := make([]*load.Breaker, width)
+	for r := range breakers {
+		breakers[r] = load.NewBreaker(load.BreakerConfig{
+			FailureThreshold: 1,
+			Cooldown:         time.Duration(cfg.RejoinAfter) * time.Second,
+			Now:              func() time.Time { return time.Unix(*epochClock, 0) },
+			Gauge:            fmt.Sprintf("dist_breaker_state_r%d", r),
+			Obs:              cfg.Obs,
+		})
 	}
 
 	res := &Result{ReplicaLosses: make([][]float64, width)}
@@ -165,6 +221,7 @@ func Train(cfg Config) (*Result, error) {
 	evict := func(r int, reason string, e int) {
 		alive[r] = false
 		res.Evicted = append(res.Evicted, r)
+		breakers[r].Trip()
 		if cfg.Obs != nil {
 			cfg.Obs.Counter("dist_replica_evictions_total").Inc()
 		}
@@ -173,8 +230,17 @@ func Train(cfg Config) (*Result, error) {
 		})
 	}
 
+	// lastCkpt holds the fleet's newest post-averaging state for rejoiners;
+	// when CheckpointDir is set the same state is also on disk and rejoin
+	// prefers the file (exercising the restart-grade recovery path).
+	var lastCkpt *train.CheckpointState
+
 	start := time.Now()
 	for e := 0; e < cfg.Epochs; e++ {
+		*epochClock = int64(e)
+		if cfg.Rejoin {
+			rejoinEvicted(cfg, replicas, alive, breakers, lastCkpt, build, res, e)
+		}
 		type epochReport struct {
 			r    int
 			loss float64
@@ -190,15 +256,40 @@ func Train(cfg Config) (*Result, error) {
 				continue
 			}
 			expected++
-			go func(r int) {
+			// The trainer is captured at launch: if this replica is later
+			// evicted and a rejoin rebuilds replicas[r] on the main
+			// goroutine, the straggler keeps training its orphaned model and
+			// never touches the slice again.
+			go func(r int, tr *train.Trainer) {
+				deliver := func(rep epochReport) {
+					// Report delivery models the lossy network between a
+					// replica and the coordinator: the injector can drop
+					// sends at dist/report-drop/<r>, and the retry's jittered
+					// backoff recovers transient drops. A report dropped on
+					// every attempt means the coordinator never hears from
+					// this replica — exactly a missed barrier, so the epoch
+					// timeout evicts it.
+					rt := load.Retry{Attempts: 3, Base: time.Millisecond, Seed: cfg.Seed + int64(rep.r), Obs: cfg.Obs}
+					rt.Do("dist-report", func(int) error {
+						if err := cfg.Injector.Err(faultinject.ReplicaPoint(faultinject.PointReportDrop, rep.r)); err != nil {
+							return err
+						}
+						reports <- rep
+						return nil
+					})
+				}
 				if err := cfg.Injector.Err(faultinject.ReplicaPoint(faultinject.PointReplicaDie, r)); err != nil {
-					reports <- epochReport{r: r, err: fmt.Errorf("replica %d died: %w", r, err)}
+					deliver(epochReport{r: r, err: fmt.Errorf("replica %d died: %w", r, err)})
+					return
+				}
+				if err := cfg.Injector.Err(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, r)); err != nil {
+					deliver(epochReport{r: r, err: fmt.Errorf("replica %d flapped: %w", r, err)})
 					return
 				}
 				cfg.Injector.Sleep(faultinject.ReplicaPoint(faultinject.PointReplicaHang, r))
-				st, err := replicas[r].trainer.TrainEpochChecked()
-				reports <- epochReport{r: r, loss: st.Loss, err: err}
-			}(r)
+				st, err := tr.TrainEpochChecked()
+				deliver(epochReport{r: r, loss: st.Loss, err: err})
+			}(r, replicas[r].trainer)
 		}
 		var timeout <-chan time.Time
 		var timer *time.Timer
@@ -249,11 +340,102 @@ func Train(cfg Config) (*Result, error) {
 			averageParams(replicas, survivors)
 			res.SyncCount++
 		}
+		// Capture the post-averaging state from the first survivor so an
+		// evicted replica can adopt it later. Only the weights and optimizer
+		// moments matter to a rejoiner (its own shard rebuilds stream state
+		// at the next epoch start), so any survivor's checkpoint serves.
+		if cfg.Rejoin || cfg.CheckpointDir != "" {
+			c, err := replicas[survivors[0]].trainer.CaptureCheckpoint()
+			if err != nil {
+				return nil, fmt.Errorf("distributed: epoch %d checkpoint: %w", e+1, err)
+			}
+			lastCkpt = c
+			if cfg.CheckpointDir != "" {
+				if _, err := resilience.WriteSnapshotFile(cfg.CheckpointDir, e+1, c, cfg.Injector); err != nil {
+					// A failed write degrades rejoin to the in-memory copy;
+					// it must not kill a healthy training run.
+					if cfg.Obs != nil {
+						cfg.Obs.Counter("dist_ckpt_write_failures_total").Inc()
+					}
+					cfg.Trace.Emit(map[string]any{
+						"event": "dist_ckpt_write_failed", "epoch": e + 1, "error": err.Error(),
+					})
+				}
+			}
+		}
 	}
 	res.WallTime = time.Since(start)
 	res.ValLoss = replicas[aliveIndices(alive)[0]].trainer.Validate()
-	sort.Ints(res.Evicted)
+	res.Evicted = dedupeSorted(res.Evicted)
+	res.Rejoined = dedupeSorted(res.Rejoined)
 	return res, nil
+}
+
+// rejoinEvicted probes every evicted replica whose breaker allows it: the
+// replica is rebuilt from scratch for its original shard, adopts the fleet's
+// latest averaged checkpoint (from CheckpointDir when set — the same
+// restart-grade path a new process would take — else from memory), and
+// re-enters the barrier as alive. A failed probe records a breaker failure,
+// re-opening it for another cooldown.
+func rejoinEvicted(cfg Config, replicas []replica, alive []bool, breakers []*load.Breaker,
+	lastCkpt *train.CheckpointState, build func(int) (replica, error), res *Result, e int) {
+	for r := range replicas {
+		if alive[r] || !breakers[r].Allow() {
+			continue
+		}
+		ckpt := lastCkpt
+		if cfg.CheckpointDir != "" {
+			if path, err := resilience.LatestCheckpoint(cfg.CheckpointDir); err == nil && path != "" {
+				if c, err := resilience.ReadSnapshotFile(path); err == nil {
+					ckpt = c
+				}
+			}
+		}
+		if ckpt == nil {
+			// Nothing to adopt yet (evicted before the first averaging
+			// round completed). Count it as a failed probe so the breaker
+			// paces the next attempt.
+			breakers[r].RecordFailure()
+			continue
+		}
+		rep, err := build(r)
+		if err == nil {
+			err = rep.trainer.AdoptAveraged(ckpt)
+		}
+		if err != nil {
+			breakers[r].RecordFailure()
+			cfg.Trace.Emit(map[string]any{
+				"event": "replica_rejoin_failed", "replica": r, "epoch": e + 1, "error": err.Error(),
+			})
+			continue
+		}
+		replicas[r] = rep
+		alive[r] = true
+		breakers[r].RecordSuccess()
+		res.Rejoined = append(res.Rejoined, r)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("dist_replica_rejoins_total").Inc()
+		}
+		cfg.Trace.Emit(map[string]any{
+			"event": "replica_rejoined", "replica": r, "epoch": e + 1, "ckpt_epoch": ckpt.Epoch,
+		})
+	}
+}
+
+// dedupeSorted sorts xs and drops duplicates (a replica can flap more than
+// once; the result lists each index once).
+func dedupeSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // aliveIndices lists the surviving replica indices in order.

@@ -1,0 +1,194 @@
+package distributed
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/load"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// TestReplicaRejoinsAfterFlap: a replica that flaps during epoch 1 must be
+// evicted, sit out its breaker cooldown, then rejoin from the fleet's
+// averaged checkpoint and train the remaining epochs.
+func TestReplicaRejoinsAfterFlap(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 4
+	cfg.Rejoin = true
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	cfg.Obs = obs.NewRegistry()
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", res.Evicted)
+	}
+	if len(res.Rejoined) != 1 || res.Rejoined[0] != 1 {
+		t.Fatalf("rejoined %v, want [1]", res.Rejoined)
+	}
+	if got := cfg.Obs.Counter("dist_replica_rejoins_total").Value(); got != 1 {
+		t.Fatalf("rejoin counter %d, want 1", got)
+	}
+	// Flapped during epoch 1 (no loss), breaker open through epoch 2's
+	// start... RejoinAfter defaults to 1, so the probe at epoch 2's boundary
+	// (clock 1, opened at clock 0) already passes: epochs 2..4 train.
+	if got := len(res.ReplicaLosses[1]); got != cfg.Epochs-1 {
+		t.Fatalf("rejoiner trained %d epochs, want %d", got, cfg.Epochs-1)
+	}
+	if got := len(res.ReplicaLosses[0]); got != cfg.Epochs {
+		t.Fatalf("survivor trained %d epochs, want %d", got, cfg.Epochs)
+	}
+	// Both replicas alive again → averaging resumed after the rejoin.
+	if res.SyncCount < 2 {
+		t.Fatalf("sync count %d, want ≥ 2 (averaging resumed post-rejoin)", res.SyncCount)
+	}
+	if res.ValLoss <= 0 || math.IsNaN(res.ValLoss) {
+		t.Fatalf("val loss %v", res.ValLoss)
+	}
+	// The rejoiner's breaker closed again on the successful probe.
+	if got := cfg.Obs.Gauge("dist_breaker_state_r1").Value(); got != float64(load.BreakerClosed) {
+		t.Fatalf("breaker gauge %v, want closed (%d)", got, load.BreakerClosed)
+	}
+}
+
+// TestRejoinAfterDelaysProbe: RejoinAfter widens the breaker cooldown, so a
+// replica evicted in epoch 1 with RejoinAfter=2 must miss epoch 2 as well and
+// only train epochs 3..N.
+func TestRejoinAfterDelaysProbe(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 4
+	cfg.Rejoin = true
+	cfg.RejoinAfter = 2
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejoined) != 1 || res.Rejoined[0] != 1 {
+		t.Fatalf("rejoined %v, want [1]", res.Rejoined)
+	}
+	if got := len(res.ReplicaLosses[1]); got != cfg.Epochs-2 {
+		t.Fatalf("rejoiner trained %d epochs, want %d (cooldown spans epoch 2)", got, cfg.Epochs-2)
+	}
+}
+
+// TestRejoinWithoutFlagStaysEvicted: the pre-rejoin contract is unchanged
+// when Rejoin is off — eviction is permanent.
+func TestRejoinWithoutFlagStaysEvicted(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 3
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejoined) != 0 {
+		t.Fatalf("rejoined %v with Rejoin off", res.Rejoined)
+	}
+	if len(res.ReplicaLosses[1]) != 0 {
+		t.Fatalf("evicted replica trained %d epochs", len(res.ReplicaLosses[1]))
+	}
+}
+
+// TestRejoinRestoresFromCheckpointDir: with CheckpointDir set, every epoch
+// publishes a crash-safe checkpoint file and the rejoiner restores from the
+// newest file — the identical path a replacement process would take.
+func TestRejoinRestoresFromCheckpointDir(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 3
+	cfg.Rejoin = true
+	cfg.CheckpointDir = t.TempDir()
+	cfg.Injector = faultinject.New()
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	cfg.Obs = obs.NewRegistry()
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejoined) != 1 || res.Rejoined[0] != 1 {
+		t.Fatalf("rejoined %v, want [1]", res.Rejoined)
+	}
+	entries, err := os.ReadDir(cfg.CheckpointDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts int
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) == ".ckpt" {
+			ckpts++
+		}
+	}
+	if ckpts != cfg.Epochs {
+		t.Fatalf("%d checkpoint files, want one per epoch (%d)", ckpts, cfg.Epochs)
+	}
+}
+
+// TestRejoinConvergenceParity: an evict→rejoin run must land at a validation
+// loss comparable to a never-evicted run of the same config. The rejoiner
+// skips one epoch of training on its shard, so bitwise equality is not the
+// contract — the documented tolerance is 25% relative on validation loss,
+// generous against epoch-to-epoch noise yet far below the gap a
+// permanently-lost replica or a diverged rejoiner would produce.
+func TestRejoinConvergenceParity(t *testing.T) {
+	base := distData(t)
+	base.Epochs = 4
+	clean, err := Train(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flapped := distData(t)
+	flapped.Epochs = 4
+	flapped.Rejoin = true
+	flapped.Injector = faultinject.New()
+	flapped.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	rec, err := Train(flapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rejoined) != 1 {
+		t.Fatalf("rejoined %v, want [1]", rec.Rejoined)
+	}
+	if clean.ValLoss <= 0 || rec.ValLoss <= 0 || math.IsNaN(clean.ValLoss) || math.IsNaN(rec.ValLoss) {
+		t.Fatalf("val losses %v / %v", clean.ValLoss, rec.ValLoss)
+	}
+	if rel := math.Abs(rec.ValLoss-clean.ValLoss) / clean.ValLoss; rel > 0.25 {
+		t.Fatalf("rejoin run diverged: val %.4f vs clean %.4f (%.1f%% off, tolerance 25%%)",
+			rec.ValLoss, clean.ValLoss, 100*rel)
+	}
+}
+
+// TestReportDropIsRetried: a transiently dropped barrier report must be
+// recovered by the replica's retry loop — no eviction, and the recovery is
+// visible on the retry counters.
+func TestReportDropIsRetried(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 2
+	cfg.Injector = faultinject.New()
+	// Drop replica 0's first delivery attempt only; attempt 2 lands.
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReportDrop, 0), 1)
+	cfg.Obs = obs.NewRegistry()
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 0 {
+		t.Fatalf("evicted %v, want none (drop was transient)", res.Evicted)
+	}
+	if got := cfg.Obs.Counter("retry_recovered_total").Value(); got != 1 {
+		t.Fatalf("retry_recovered_total %d, want 1", got)
+	}
+	if got := cfg.Obs.Counter("retry_attempts_total").Value(); got != 1 {
+		t.Fatalf("retry_attempts_total %d, want 1", got)
+	}
+	if len(res.ReplicaLosses[0]) != cfg.Epochs {
+		t.Fatalf("replica 0 trained %d epochs, want %d", len(res.ReplicaLosses[0]), cfg.Epochs)
+	}
+}

@@ -58,6 +58,9 @@ func (a *FullAdjacencyStore) Checkpoint() *AdjacencyCheckpoint {
 // RestoreAdjacency rebuilds the concrete NeighborStore a checkpoint was
 // taken from.
 func RestoreAdjacency(c *AdjacencyCheckpoint) (NeighborStore, error) {
+	if c == nil {
+		return nil, fmt.Errorf("graph: nil adjacency checkpoint")
+	}
 	switch c.Kind {
 	case adjKindRing:
 		if c.Capacity <= 0 {

@@ -7,6 +7,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Event is a single CTDG update: an edge from Src to Dst occurring at Time.
@@ -44,6 +45,8 @@ var (
 	ErrSelfLoop           = errors.New("graph: self-loop event")
 	ErrBadFeatIndex       = errors.New("graph: event feature index out of range")
 	ErrBadLabels          = errors.New("graph: label count does not match event count")
+	ErrNonFiniteTime      = errors.New("graph: event timestamp is NaN or infinite")
+	ErrNonFiniteFeature   = errors.New("graph: edge feature is NaN or infinite")
 )
 
 // Validate checks the dataset invariants every consumer in this repo relies
@@ -60,6 +63,12 @@ func (d *Dataset) Validate() error {
 	}
 	var prev float64
 	for i, e := range d.Events {
+		// A NaN timestamp silently defeats the monotonicity check (every
+		// comparison with NaN is false) and then poisons the time encoder,
+		// so non-finite times are rejected outright.
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+			return fmt.Errorf("%w: event %d t=%v", ErrNonFiniteTime, i, e.Time)
+		}
 		if e.Time < prev {
 			return fmt.Errorf("%w: event %d at t=%v after t=%v", ErrUnsortedTimestamps, i, e.Time, prev)
 		}
@@ -74,6 +83,12 @@ func (d *Dataset) Validate() error {
 			if e.FeatIdx < 0 || int(e.FeatIdx) >= nFeatRows {
 				return fmt.Errorf("%w: event %d feature %d of %d", ErrBadFeatIndex, i, e.FeatIdx, nFeatRows)
 			}
+		}
+	}
+	for i, f := range d.EdgeFeats {
+		if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+			return fmt.Errorf("%w: feature row %d column %d is %v",
+				ErrNonFiniteFeature, i/max(d.EdgeFeatDim, 1), i%max(d.EdgeFeatDim, 1), f)
 		}
 	}
 	return nil

@@ -67,6 +67,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		}
 	}
 	line := 1
+	var prevTime float64
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -92,6 +93,22 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		fi, err := strconv.ParseInt(parts[3], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d featIdx: %w", line, err)
+		}
+		// Stream invariants are enforced as each line arrives — the header
+		// already fixed the node universe, so a bad record is reported with
+		// its source line number instead of a post-hoc event index.
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("line %d: %w: t=%v", line, ErrNonFiniteTime, t)
+		}
+		if t < prevTime {
+			return nil, fmt.Errorf("line %d: %w: t=%v after t=%v", line, ErrUnsortedTimestamps, t, prevTime)
+		}
+		prevTime = t
+		if src < 0 || int(src) >= d.NumNodes || dst < 0 || int(dst) >= d.NumNodes {
+			return nil, fmt.Errorf("line %d: %w: %d→%d with %d nodes", line, ErrNodeOutOfRange, src, dst, d.NumNodes)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("line %d: %w: node %d", line, ErrSelfLoop, src)
 		}
 		d.Events = append(d.Events, Event{Src: int32(src), Dst: int32(dst), Time: t, FeatIdx: int32(fi)})
 	}

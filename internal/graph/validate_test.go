@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejectsNonFiniteTime(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		d := &Dataset{NumNodes: 4, Events: []Event{
+			{Src: 0, Dst: 1, Time: 1, FeatIdx: -1},
+			{Src: 1, Dst: 2, Time: bad, FeatIdx: -1},
+		}}
+		err := d.Validate()
+		if !errors.Is(err, ErrNonFiniteTime) {
+			t.Fatalf("t=%v: err %v, want ErrNonFiniteTime", bad, err)
+		}
+		if !strings.Contains(err.Error(), "event 1") {
+			t.Fatalf("error does not name the offending event: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsNonFiniteFeature(t *testing.T) {
+	d := &Dataset{NumNodes: 4, EdgeFeatDim: 2,
+		Events:    []Event{{Src: 0, Dst: 1, Time: 1, FeatIdx: 0}},
+		EdgeFeats: []float32{1, float32(math.NaN())},
+	}
+	err := d.Validate()
+	if !errors.Is(err, ErrNonFiniteFeature) {
+		t.Fatalf("err %v, want ErrNonFiniteFeature", err)
+	}
+	// Row/column coordinates locate the poisoned value.
+	if !strings.Contains(err.Error(), "row 0 column 1") {
+		t.Fatalf("error does not locate the value: %v", err)
+	}
+}
+
+// csvHeader is a minimal valid header for the inline-validation tests.
+const csvHeader = "# cascade-ctdg name=t nodes=4 featdim=0\n"
+
+func TestReadCSVRejectsUnsortedWithLineNumber(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(csvHeader + "0,1,5,-1\n1,2,3,-1\n"))
+	if !errors.Is(err, ErrUnsortedTimestamps) {
+		t.Fatalf("err %v, want ErrUnsortedTimestamps", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not carry the line number: %v", err)
+	}
+}
+
+func TestReadCSVRejectsNonFiniteTimeWithLineNumber(t *testing.T) {
+	for _, bad := range []string{"NaN", "+Inf", "-Inf"} {
+		_, err := ReadCSV(strings.NewReader(csvHeader + "0,1,1,-1\n1,2," + bad + ",-1\n"))
+		if !errors.Is(err, ErrNonFiniteTime) {
+			t.Fatalf("t=%s: err %v, want ErrNonFiniteTime", bad, err)
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Fatalf("t=%s: error does not carry the line number: %v", bad, err)
+		}
+	}
+}
+
+func TestReadCSVRejectsOutOfRangeNodeWithLineNumber(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(csvHeader + "0,1,1,-1\n1,9,2,-1\n"))
+	if !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("err %v, want ErrNodeOutOfRange", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not carry the line number: %v", err)
+	}
+}
+
+func TestReadCSVRejectsSelfLoopWithLineNumber(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(csvHeader + "0,1,1,-1\n2,2,2,-1\n"))
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err %v, want ErrSelfLoop", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not carry the line number: %v", err)
+	}
+}
+
+func TestReadBinaryRejectsNonFiniteFeature(t *testing.T) {
+	src := &Dataset{Name: "t", NumNodes: 4, EdgeFeatDim: 1,
+		Events:    []Event{{Src: 0, Dst: 1, Time: 1, FeatIdx: 0}},
+		EdgeFeats: []float32{float32(math.Inf(1))},
+	}
+	var buf strings.Builder
+	if err := src.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBinary(strings.NewReader(buf.String()))
+	if !errors.Is(err, ErrNonFiniteFeature) {
+		t.Fatalf("err %v, want ErrNonFiniteFeature", err)
+	}
+}

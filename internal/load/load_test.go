@@ -1,0 +1,375 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+)
+
+// fakeClock is a manually-advanced clock shared by the rate-limit and
+// breaker tests so nothing depends on wall time.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestAdmissionBoundsInflightAndQueue: MaxInflight requests run, QueueDepth
+// wait, and arrivals beyond that are shed with ErrQueueFull — the queue can
+// never grow without bound.
+func TestAdmissionBoundsInflightAndQueue(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Limits{MaxInflight: 2, QueueDepth: 2}, reg)
+
+	// Fill the inflight slots.
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+
+	// Fill the wait queue.
+	queued := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire: %v", err)
+				return
+			}
+			queued <- rel
+		}()
+	}
+	waitFor(t, func() bool { return c.QueueLen() == 2 })
+	if !c.Saturated() {
+		t.Fatal("full queue not reported as saturated")
+	}
+
+	// The next arrival must be shed, not queued.
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: %v, want ErrQueueFull", err)
+	}
+	var shed *ShedError
+	_, err := c.Acquire(context.Background())
+	if !errors.As(err, &shed) || shed.RetryAfter <= 0 {
+		t.Fatalf("shed error %v lacks a Retry-After hint", err)
+	}
+
+	// Releasing lets the queued callers through.
+	for _, rel := range releases {
+		rel()
+		rel() // release is idempotent
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case rel := <-queued:
+			defer rel()
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued caller never admitted after release")
+		}
+	}
+	if got := reg.Counter("load_shed_total").Value(); got != 2 {
+		t.Fatalf("load_shed_total = %d, want 2", got)
+	}
+	if got := reg.Counter("load_admitted_total").Value(); got != 4 {
+		t.Fatalf("load_admitted_total = %d, want 4", got)
+	}
+}
+
+// TestLowClassShedsFirst: with the inflight slots busy, low-class callers
+// only get half the wait queue — the rest stays reserved for high-class
+// traffic.
+func TestLowClassShedsFirst(t *testing.T) {
+	c := NewController(Limits{MaxInflight: 1, QueueDepth: 4}, nil)
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Two low-class waiters fill the low half of the queue.
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := c.AcquireClass(context.Background(), ClassLow)
+			if err == nil {
+				rel()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return c.QueueLen() == 2 })
+	if _, err := c.AcquireClass(context.Background(), ClassLow); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third low-class acquire: %v, want ErrQueueFull", err)
+	}
+	// High-class still has headroom.
+	done := make(chan struct{})
+	go func() {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("high-class acquire shed: %v", err)
+		} else {
+			rel()
+		}
+		close(done)
+	}()
+	waitFor(t, func() bool { return c.QueueLen() == 3 })
+	rel() // free the slot; the queue drains
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("high-class caller never admitted")
+	}
+}
+
+// TestAcquireHonorsDeadline: a queued caller whose context expires is shed
+// with the context's error instead of waiting forever.
+func TestAcquireHonorsDeadline(t *testing.T) {
+	c := NewController(Limits{MaxInflight: 1, QueueDepth: 1}, nil)
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire: %v, want DeadlineExceeded", err)
+	}
+	// Dead on arrival: an already-expired context never queues.
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := c.Acquire(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired acquire: %v, want Canceled", err)
+	}
+}
+
+// TestTokenBucketRateLimits: the bucket admits Burst immediately, sheds the
+// next arrival with ErrRateLimited + a retry hint, and refills with time.
+func TestTokenBucketRateLimits(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := NewController(Limits{MaxInflight: 8, Rate: 1, Burst: 2}, nil)
+	c.SetClock(clk.now)
+
+	for i := 0; i < 2; i++ {
+		rel, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("burst acquire %d: %v", i, err)
+		}
+		rel()
+	}
+	var shed *ShedError
+	_, err := c.Acquire(context.Background())
+	if !errors.As(err, &shed) || !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("empty-bucket acquire: %v, want ErrRateLimited", err)
+	}
+	if shed.RetryAfter <= 0 || shed.RetryAfter > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s]", shed.RetryAfter)
+	}
+	clk.advance(time.Second) // one token accrues
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("post-refill acquire: %v", err)
+	}
+	rel()
+}
+
+// TestNilControllerAdmitsEverything: production default (no limits
+// configured) must be a true no-op.
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if c.Saturated() || c.Inflight() != 0 || c.QueueLen() != 0 {
+		t.Fatal("nil controller reports load")
+	}
+}
+
+// TestBreakerLifecycle walks closed → open → half-open → open → half-open
+// → closed on a fake clock.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	reg := obs.NewRegistry()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 2, Cooldown: 10 * time.Second, Now: clk.now, Obs: reg,
+	})
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call inside cooldown")
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+	b.RecordFailure() // probe failed → straight back to open
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	clk.advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close")
+	}
+	if got := reg.Gauge("breaker_state").Value(); got != float64(BreakerClosed) {
+		t.Fatalf("breaker_state gauge %v, want %v", got, float64(BreakerClosed))
+	}
+}
+
+// TestBreakerSuccessResetsStreak: intervening successes keep a flaky-but-
+// mostly-healthy dependency's breaker closed.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2})
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+// TestRetryBackoffDeterministic: the sleep sequence is exponential with
+// bounded jitter and identical across runs with the same seed.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	run := func() ([]time.Duration, error) {
+		var sleeps []time.Duration
+		calls := 0
+		r := Retry{
+			Attempts: 4, Base: 10 * time.Millisecond, Max: 40 * time.Millisecond,
+			Seed:  7,
+			Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+		}
+		err := r.Do("op", func(int) error {
+			calls++
+			if calls < 4 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+		return sleeps, err
+	}
+	s1, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != 3 {
+		t.Fatalf("%d sleeps, want 3", len(s1))
+	}
+	for i, d := range s1 {
+		lo := 10 * time.Millisecond << uint(i) / 2
+		hi := 10 * time.Millisecond << uint(i)
+		if i == 2 { // capped at Max=40ms
+			hi = 40 * time.Millisecond
+		}
+		if d < lo || d > hi {
+			t.Fatalf("sleep %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+	s2, _ := run()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("jitter not deterministic: run1 %v vs run2 %v", s1, s2)
+		}
+	}
+}
+
+// TestRetryExhaustionWrapsLastError: the final error is typed and reports
+// the attempt count.
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	sentinel := errors.New("still down")
+	r := Retry{Attempts: 3, Sleep: func(time.Duration) {}}
+	err := r.Do("ping", func(int) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("exhaustion error %v does not wrap the cause", err)
+	}
+}
+
+// TestControllerConcurrentHammer drives many more clients than capacity
+// through Acquire under -race: every admitted request must release, counts
+// must balance, and the controller must end idle.
+func TestControllerConcurrentHammer(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Limits{MaxInflight: 4, QueueDepth: 4}, reg)
+	const clients = 200
+	var admitted, shedCount int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background())
+			if err != nil {
+				mu.Lock()
+				shedCount++
+				mu.Unlock()
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+			mu.Lock()
+			admitted++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if admitted+shedCount != clients {
+		t.Fatalf("admitted %d + shed %d != %d clients", admitted, shedCount, clients)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted under load")
+	}
+	if c.Inflight() != 0 || c.QueueLen() != 0 {
+		t.Fatalf("controller not idle after drain: inflight %d queue %d", c.Inflight(), c.QueueLen())
+	}
+	if got := reg.Counter("load_admitted_total").Value(); got != admitted {
+		t.Fatalf("load_admitted_total %d, want %d", got, admitted)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

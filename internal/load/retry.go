@@ -1,0 +1,76 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+)
+
+// Retry runs an operation with jittered exponential backoff. The jitter is
+// seeded, and the sleep is injectable, so tests replay exactly. The zero
+// value is usable (3 attempts, 10ms base, 1s cap, real sleeps).
+type Retry struct {
+	// Attempts is the total number of tries, including the first
+	// (default 3).
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles per attempt
+	// (default 10ms).
+	Base time.Duration
+	// Max caps the pre-jitter backoff (default 1s).
+	Max time.Duration
+	// Seed drives the jitter PRNG (deterministic per Retry value).
+	Seed int64
+	// Sleep is injectable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+	// Obs counts retry_attempts_total / retry_recovered_total; nil disables.
+	Obs *obs.Registry
+}
+
+// Do runs fn until it succeeds or the attempt budget is exhausted, sleeping
+// a jittered exponential backoff between tries. name labels the operation
+// in the returned error. fn receives the 0-based attempt index.
+func (r Retry) Do(name string, fn func(attempt int) error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := r.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxBackoff := r.Max
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = fn(a); err == nil {
+			if a > 0 {
+				r.Obs.Counter("retry_recovered_total").Inc()
+			}
+			return nil
+		}
+		if a == attempts-1 {
+			break
+		}
+		r.Obs.Counter("retry_attempts_total").Inc()
+		d := maxBackoff
+		if a < 30 { // beyond 2^30×base the shift is past any sane cap anyway
+			if shifted := base << uint(a); shifted < maxBackoff {
+				d = shifted
+			}
+		}
+		// Equal jitter: [d/2, d). Decorrelates replicas retrying the same
+		// dependency while keeping a floor so backoff still backs off.
+		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		sleep(d)
+	}
+	return fmt.Errorf("load: %s failed after %d attempts: %w", name, attempts, err)
+}

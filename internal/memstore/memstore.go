@@ -235,6 +235,9 @@ func (s *MemoryStore) Checkpoint() *MemoryCheckpoint {
 // RestoreCheckpoint overwrites the store with a checkpoint of the same
 // shape.
 func (s *MemoryStore) RestoreCheckpoint(c *MemoryCheckpoint) error {
+	if c == nil {
+		return fmt.Errorf("memstore: nil memory checkpoint")
+	}
 	if c.NumNodes != s.NumNodes || c.Dim != s.Dim {
 		return fmt.Errorf("memstore: checkpoint shape %dx%d, store is %dx%d", c.NumNodes, c.Dim, s.NumNodes, s.Dim)
 	}
@@ -280,6 +283,9 @@ func (m *Mailbox) Checkpoint() *MailboxCheckpoint {
 
 // RestoreCheckpoint overwrites the mailbox with a same-shape checkpoint.
 func (m *Mailbox) RestoreCheckpoint(c *MailboxCheckpoint) error {
+	if c == nil {
+		return fmt.Errorf("memstore: nil mailbox checkpoint")
+	}
 	if c.NumNodes != m.NumNodes || c.K != m.K || c.Dim != m.Dim {
 		return fmt.Errorf("memstore: mailbox checkpoint %d nodes k=%d dim=%d, mailbox is %d/%d/%d", c.NumNodes, c.K, c.Dim, m.NumNodes, m.K, m.Dim)
 	}
@@ -299,6 +305,9 @@ func (m *Mailbox) RestoreCheckpoint(c *MailboxCheckpoint) error {
 				break
 			}
 			if e.Vec != nil {
+				if len(e.Vec) != m.Dim {
+					return fmt.Errorf("memstore: mailbox checkpoint node %d entry %d has dim %d, mailbox carries %d", n, i, len(e.Vec), m.Dim)
+				}
 				ring[i] = MailEntry{Vec: append([]float32(nil), e.Vec...), Time: e.Time}
 			}
 		}

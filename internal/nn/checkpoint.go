@@ -69,6 +69,61 @@ func SaveParams(w io.Writer, params []Param) error {
 	return bw.Flush()
 }
 
+// ScanParams walks a checkpoint written by SaveParams without needing a live
+// model: visit receives every stored parameter's name, shape, and data in
+// order. Tooling uses it to lint checkpoints (shape plausibility, non-finite
+// weights) when the producing model is not available to LoadParams into.
+func ScanParams(r io.Reader, visit func(name string, rows, cols int, data []float32) error) error {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: reading checkpoint count: %w", err)
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: param %d name length: %w", i, err)
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("nn: param %d name implausibly long (%d)", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("nn: param %d name: %w", i, err)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("nn: param %q rows: %w", name, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("nn: param %q cols: %w", name, err)
+		}
+		const sane = 1 << 24
+		if rows > sane || cols > sane {
+			return fmt.Errorf("nn: param %q implausible shape %dx%d", name, rows, cols)
+		}
+		data := make([]float32, int(rows)*int(cols))
+		for j := range data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("nn: param %q data[%d]: %w", name, j, err)
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+		if err := visit(string(name), int(rows), int(cols), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // LoadParams reads a checkpoint written by SaveParams into params: every
 // stored parameter must match a live parameter by name and shape, and every
 // live parameter must be present in the checkpoint.

@@ -36,6 +36,21 @@ const (
 	// PointReplicaHang stalls replica r for the armed delay, simulating a
 	// wedged worker the epoch barrier must time out on.
 	PointReplicaHang = "dist/replica-hang"
+	// PointReplicaFlap kills replica r's epoch like PointReplicaDie, but
+	// models a transient crash: with rejoin enabled the replica comes back
+	// from the latest checkpoint instead of staying evicted
+	// (internal/distributed).
+	PointReplicaFlap = "dist/replica-flap"
+	// PointReportDrop drops replica r's epoch report on the way to the
+	// barrier; the retry layer re-delivers it (internal/distributed).
+	PointReportDrop = "dist/report-drop"
+	// PointServeSlowScore stalls the scoring critical section for the armed
+	// delay (internal/serve) — drives deadline misses and breaker trips in
+	// the chaos suite.
+	PointServeSlowScore = "serve/slow-score"
+	// PointServeRefuse makes the fresh scoring path refuse a request
+	// outright, as a crashed upstream would (internal/serve).
+	PointServeRefuse = "serve/refuse"
 )
 
 // ReplicaPoint names a per-replica fault point ("dist/replica-die/2").

@@ -80,6 +80,15 @@ func NewHTTPServer(h http.Handler, opt HTTPOptions) *http.Server {
 // Returns nil on a clean drain; callers typically feed stop from
 // signal.Notify(…, os.Interrupt, syscall.SIGTERM).
 func RunGraceful(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration) error {
+	return RunGracefulNotify(srv, ln, stop, drain, nil)
+}
+
+// RunGracefulNotify is RunGraceful with an onDrain hook invoked when the
+// stop signal arrives, before connections drain. The server's StartDrain
+// goes here so /readyz reports not-ready for the whole drain window —
+// load balancers stop routing to an instance that is about to go away,
+// while its in-flight requests still complete.
+func RunGracefulNotify(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, onDrain func()) error {
 	if ln == nil {
 		var err error
 		ln, err = net.Listen("tcp", srv.Addr)
@@ -94,6 +103,9 @@ func RunGraceful(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain
 		// The listener died before any shutdown signal.
 		return fmt.Errorf("serve: %w", err)
 	case <-stop:
+	}
+	if onDrain != nil {
+		onDrain()
 	}
 	ctx := context.Background()
 	if drain > 0 {

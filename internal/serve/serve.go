@@ -30,12 +30,15 @@ import (
 	"mime"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
 
@@ -58,6 +61,17 @@ type Server struct {
 
 	metrics *obs.Registry
 	trace   *obs.TraceSink
+
+	// Overload resilience (see overload.go). All optional: nil admission
+	// controller, breaker and injector are inert, nil stale disables the
+	// degraded path.
+	limits     *load.Limits
+	breakerCfg *load.BreakerConfig
+	admit      *load.Controller
+	breaker    *load.Breaker
+	stale      *staleScorer
+	inj        *faultinject.Injector
+	draining   atomic.Bool
 }
 
 // Option customizes a Server.
@@ -75,6 +89,39 @@ func WithTrace(t *obs.TraceSink) Option {
 	return func(s *Server) { s.trace = t }
 }
 
+// WithLimits puts an admission controller in front of the POST routes:
+// at most MaxInflight requests run, QueueDepth wait, and the rest are shed
+// with 429 + Retry-After (scoring gets the full queue, ingest half — see
+// load.Class).
+func WithLimits(lim load.Limits) Option {
+	return func(s *Server) { s.limits = &lim }
+}
+
+// WithBreaker protects the fresh scoring path with a circuit breaker fed
+// by request-deadline misses; while open, /score degrades to the stale
+// replica (503 without one). The breaker state is exported as the
+// `breaker_state` gauge.
+func WithBreaker(cfg load.BreakerConfig) Option {
+	return func(s *Server) { s.breakerCfg = &cfg }
+}
+
+// WithStaleReplica enables the degraded scoring path: replica must be an
+// independent (model, predictor) pair with the same architecture and
+// weights as the live one (see cascade.Run.NewScoringReplica). Its stream
+// state is re-synced from the live model's Snapshot on ingest, at most
+// once per `every` (0 = every ingest).
+func WithStaleReplica(model models.TGNN, predictor *nn.MLP, every time.Duration) Option {
+	return func(s *Server) {
+		s.stale = &staleScorer{model: model, predictor: predictor, every: every}
+	}
+}
+
+// WithInjector arms deterministic fault points (slow/refused scoring) for
+// the chaos suite. Nil is the production default: every point is inert.
+func WithInjector(inj *faultinject.Injector) Option {
+	return func(s *Server) { s.inj = inj }
+}
+
 // New builds a server around a trained model and its predictor head (the
 // trainer's head; see train.Trainer.Predictor).
 func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Server {
@@ -84,6 +131,16 @@ func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Se
 	}
 	if s.metrics == nil {
 		s.metrics = obs.NewRegistry()
+	}
+	// The controller and breaker are built after option processing so they
+	// export into the final registry.
+	if s.limits != nil {
+		s.admit = load.NewController(*s.limits, s.metrics)
+	}
+	if s.breakerCfg != nil {
+		cfg := *s.breakerCfg
+		cfg.Obs = s.metrics
+		s.breaker = load.NewBreaker(cfg)
 	}
 	return s
 }
@@ -113,13 +170,18 @@ type scoreRequest struct {
 	Time  float64  `json:"time"`
 }
 
-// Handler returns the HTTP mux for the server.
+// Handler returns the HTTP mux for the server. The POST routes run behind
+// the per-request deadline and the admission controller; the probe routes
+// (/healthz, /readyz) bypass both so an overloaded server still answers
+// its load balancer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /ingest", s.instrument("ingest", s.jsonBody(s.handleIngest)))
-	mux.Handle("POST /score", s.instrument("score", s.jsonBody(s.handleScore)))
+	mux.Handle("POST /ingest", s.instrument("ingest", s.withDeadline(s.admitted(load.ClassLow, s.jsonBody(s.handleIngest)))))
+	mux.Handle("POST /score", s.instrument("score", s.withDeadline(s.admitted(load.ClassHigh, s.jsonBody(s.handleScore)))))
 	mux.Handle("GET /stats", s.instrument("stats", s.handleStats))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	return mux
 }
 
@@ -227,48 +289,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("serve_events_ingested_total").Add(int64(len(events)))
 	s.metrics.Histogram("serve_ingest_batch_size", obs.SizeEdges...).Observe(float64(len(events)))
 	s.metrics.Gauge("serve_stream_time").Set(last)
+	s.refreshStale()
 	writeJSON(w, map[string]any{"ingested": len(events)})
 }
 
-func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	var req scoreRequest
-	if !decode(w, r, &req) {
-		return
-	}
+// validPairs applies the request-shape contract (non-empty, nodes in
+// range); it writes the 400 itself so both the fresh and the degraded path
+// share it.
+func (s *Server) validPairs(w http.ResponseWriter, req *scoreRequest) bool {
 	if len(req.Pairs) == 0 {
 		httpError(w, http.StatusBadRequest, "no pairs")
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := len(req.Pairs)
-	nodes := make([]int32, 0, 2*n)
-	ts := make([]float64, 0, 2*n)
-	at := req.Time
-	if at < s.lastTime {
-		at = s.lastTime
+		return false
 	}
 	for i, p := range req.Pairs {
 		if p.Src < 0 || int(p.Src) >= s.numNodes || p.Dst < 0 || int(p.Dst) >= s.numNodes {
 			httpError(w, http.StatusBadRequest, "pair %d: node out of range", i)
-			return
+			return false
 		}
+	}
+	return true
+}
+
+// scorePairs embeds each (src, dst) pair at time `at` and returns the
+// predictor's logit per pair. Read-only: it embeds against the freshest
+// state (pending messages applied) but on a snapshot, so the BeginBatch
+// side effects — memory writes, drained message queue, RNG draws — never
+// leak into the served stream state. The caller must hold the lock that
+// guards model and predictor; the scoring tape goes back to the arena
+// before returning.
+func scorePairs(model models.TGNN, predictor *nn.MLP, pairs []PairIn, at float64) []float32 {
+	n := len(pairs)
+	nodes := make([]int32, 0, 2*n)
+	ts := make([]float64, 0, 2*n)
+	for _, p := range pairs {
 		nodes = append(nodes, p.Src)
 		ts = append(ts, at)
 	}
-	for _, p := range req.Pairs {
+	for _, p := range pairs {
 		nodes = append(nodes, p.Dst)
 		ts = append(ts, at)
 	}
-	// Scoring is read-only: embed against the freshest state (pending
-	// messages applied) but on a snapshot, so the BeginBatch side effects —
-	// memory writes, drained message queue, RNG draws — never leak into the
-	// served stream state. Previously /score applied pending updates
-	// permanently, silently advancing the model as a side effect of a read.
-	snap := s.model.Snapshot()
-	upd := s.model.BeginBatch()
-	emb := s.model.Embed(nodes, ts)
-	s.model.Restore(snap)
+	snap := model.Snapshot()
+	upd := model.BeginBatch()
+	emb := model.Embed(nodes, ts)
+	model.Restore(snap)
 	srcIdx := make([]int, n)
 	dstIdx := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -276,13 +340,39 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		dstIdx[i] = n + i
 	}
 	pair := tensor.ConcatColsT(tensor.GatherRowsT(emb, srcIdx), tensor.GatherRowsT(emb, dstIdx))
-	logits := s.predictor.Forward(pair)
-	s.scored += int64(n)
-	s.metrics.Counter("serve_pairs_scored_total").Add(int64(n))
-	writeJSON(w, map[string]any{"scores": logits.Value.Data})
-	// The response is serialized; the whole scoring tape (memory update,
-	// embeddings, predictor intermediates) can go back to the arena.
+	logits := predictor.Forward(pair)
+	out := append([]float32(nil), logits.Value.Data...)
 	upd.FreeTape(logits)
+	return out
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req scoreRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if !s.validPairs(w, &req) {
+		return
+	}
+	// An injected refusal or an open breaker diverts the request to the
+	// degraded path before it can touch the fresh one.
+	if s.inj.Fire(faultinject.PointServeRefuse) || !s.breaker.Allow() {
+		s.degradedScore(w, &req)
+		return
+	}
+	scores, err := s.scoreFresh(r.Context(), &req)
+	if err != nil {
+		// A deadline miss on the fresh path is the breaker's failure
+		// signal: enough of them in a row and /score flips to stale-only
+		// until the cooldown probe succeeds.
+		s.breaker.RecordFailure()
+		s.metrics.Counter("serve_deadline_misses_total").Inc()
+		s.degradedScore(w, &req)
+		return
+	}
+	s.breaker.RecordSuccess()
+	s.metrics.Counter("serve_pairs_scored_total").Add(int64(len(req.Pairs)))
+	writeJSON(w, map[string]any{"scores": scores, "stale": false})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -294,6 +384,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"last_time":      s.lastTime,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"num_nodes":      s.numNodes,
+		"inflight":       s.admit.Inflight(),
+		"queued":         s.admit.QueueLen(),
+		"breaker":        s.breaker.State().String(),
+		"draining":       s.draining.Load(),
 	})
 }
 

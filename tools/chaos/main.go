@@ -1,0 +1,188 @@
+// Command chaos is the deterministic chaos harness: it drives the repo's
+// fault-injection points against real components — an overloaded scoring
+// server, a flapping training replica — and verifies the resilience
+// contracts hold (shed-don't-collapse, evict-then-rejoin). Faults fire on
+// exact hit counts, not timers or dice, so a failing scenario replays
+// byte-for-byte.
+//
+//	chaos -scenario overload   # 10× burst against a saturated /score
+//	chaos -scenario flap       # replica flaps, rejoins from checkpoint
+//	chaos -scenario all        # both (the make chaossmoke gate)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/distributed"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/load"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/serve"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "overload, flap, or all")
+	seed := flag.Int64("seed", 7, "random seed for dataset generation")
+	flag.Parse()
+
+	failed := false
+	runScenario := func(name string, fn func(int64) error) {
+		if *scenario != "all" && *scenario != name {
+			return
+		}
+		if err := fn(*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: FAIL %s: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Printf("chaos: OK   %s\n", name)
+	}
+	runScenario("overload", overloadScenario)
+	runScenario("flap", flapScenario)
+	if *scenario != "all" && *scenario != "overload" && *scenario != "flap" {
+		fmt.Fprintf(os.Stderr, "chaos: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// overloadScenario saturates a tightly-limited scoring server with 10× its
+// total admission capacity while every fresh score is artificially slow, and
+// checks the shed-don't-collapse contract: every response is 200 or 429,
+// both outcomes occur, 429s carry Retry-After, and admitted latency stays
+// bounded by the queue depth times the injected service time.
+func overloadScenario(seed int64) error {
+	ds := cascade.GenerateDataset("WIKI", 0.002, seed)
+	run, err := cascade.NewRun(cascade.RunConfig{
+		Dataset: ds, Model: "JODIE", Scheduler: cascade.SchedTGL,
+		BaseBatch: 50, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	const (
+		maxInflight = 2
+		queueDepth  = 2
+		serviceTime = 40 * time.Millisecond
+	)
+	inj := faultinject.New()
+	inj.ArmDelay(faultinject.PointServeSlowScore, serviceTime) // every score is slow
+	reg := obs.NewRegistry()
+	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes,
+		serve.WithRegistry(reg),
+		serve.WithLimits(load.Limits{MaxInflight: maxInflight, QueueDepth: queueDepth}),
+		serve.WithInjector(inj),
+	)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clients := 10 * (maxInflight + queueDepth) // the 10× burst
+	type outcome struct {
+		status  int
+		latency time.Duration
+		retry   string
+	}
+	results := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"pairs":[{"src":%d,"dst":%d}],"time":1e6}`, i%4, 4+i%4)
+			t0 := time.Now()
+			resp, err := http.Post(ts.URL+"/score", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				results[i] = outcome{status: -1}
+				return
+			}
+			resp.Body.Close()
+			results[i] = outcome{status: resp.StatusCode, latency: time.Since(t0), retry: resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok200, shed429 int
+	var admitted []time.Duration
+	for i, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok200++
+			admitted = append(admitted, r.latency)
+		case http.StatusTooManyRequests:
+			shed429++
+			if r.retry == "" {
+				return fmt.Errorf("client %d: 429 without Retry-After", i)
+			}
+		default:
+			return fmt.Errorf("client %d: status %d (want 200 or 429)", i, r.status)
+		}
+	}
+	if ok200 == 0 || shed429 == 0 {
+		return fmt.Errorf("burst of %d: %d admitted, %d shed — overload must shed some and serve some", clients, ok200, shed429)
+	}
+	sort.Slice(admitted, func(a, b int) bool { return admitted[a] < admitted[b] })
+	p99 := admitted[len(admitted)*99/100]
+	// Worst admitted case: wait behind the full queue plus its own service.
+	bound := time.Duration(maxInflight+queueDepth+1)*serviceTime + 2*time.Second
+	if p99 > bound {
+		return fmt.Errorf("admitted p99 %v exceeds bound %v", p99, bound)
+	}
+	if got := reg.Counter("load_shed_total").Value(); got != int64(shed429) {
+		return fmt.Errorf("load_shed_total %d, clients saw %d sheds", got, shed429)
+	}
+	fmt.Printf("chaos: overload: %d clients → %d admitted (p99 %v), %d shed with Retry-After\n",
+		clients, ok200, p99.Round(time.Millisecond), shed429)
+	return nil
+}
+
+// flapScenario flaps one training replica during epoch 1 of a distributed
+// run with rejoin and on-disk checkpoints enabled, and checks the
+// self-healing contract: the replica is evicted, restores from the newest
+// resilience checkpoint, rejoins the barrier, and the run converges.
+func flapScenario(seed int64) error {
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.003, Seed: seed, FeatDimOverride: 8, MinEvents: 1200})
+	dir, err := os.MkdirTemp("", "cascade-chaos-ckpt-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	inj := faultinject.New()
+	inj.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaFlap, 1), 1)
+	reg := obs.NewRegistry()
+	res, err := distributed.Train(distributed.Config{
+		Dataset: ds, Replicas: 2, Model: "TGN", BaseBatch: 40, Epochs: 3,
+		MemoryDim: 16, TimeDim: 4, Seed: seed, Workers: 1,
+		Rejoin: true, CheckpointDir: dir,
+		Injector: inj, Obs: reg,
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != 1 {
+		return fmt.Errorf("evicted %v, want [1]", res.Evicted)
+	}
+	if len(res.Rejoined) != 1 || res.Rejoined[0] != 1 {
+		return fmt.Errorf("rejoined %v, want [1]", res.Rejoined)
+	}
+	if got := reg.Counter("dist_replica_rejoins_total").Value(); got != 1 {
+		return fmt.Errorf("dist_replica_rejoins_total %d, want 1", got)
+	}
+	if res.ValLoss <= 0 || res.ValLoss != res.ValLoss {
+		return fmt.Errorf("val loss %v", res.ValLoss)
+	}
+	fmt.Printf("chaos: flap: replica 1 evicted epoch 1, rejoined from %s, val loss %.4f, %d syncs\n",
+		dir, res.ValLoss, res.SyncCount)
+	return nil
+}

@@ -8,11 +8,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/memstore"
+	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/resilience"
 	"github.com/cascade-ml/cascade/internal/train"
 )
@@ -20,6 +25,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "validate every checkpoint in this directory (alternative to file arguments)")
 	quiet := flag.Bool("q", false, "print failures only")
+	strict := flag.Bool("strict", false, "additionally replay the restore path: decode every weight tensor (rejecting NaN/Inf values), rebuild the adjacency store, and restore memory/mailbox state into same-shape stores")
 	flag.Parse()
 
 	paths := flag.Args()
@@ -52,6 +58,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ckptcheck: FAIL %s: %v\n", path, err)
 			failed++
 			continue
+		}
+		if *strict {
+			if err := strictCheck(c); err != nil {
+				fmt.Fprintf(os.Stderr, "ckptcheck: FAIL %s: %v\n", path, err)
+				failed++
+				continue
+			}
 		}
 		if !*quiet {
 			batch := "epoch-boundary"
@@ -94,6 +107,45 @@ func describe(c *train.CheckpointState) error {
 	}
 	if c.Batch >= 0 && c.Sched == nil {
 		return fmt.Errorf("mid-epoch checkpoint without scheduler state")
+	}
+	return nil
+}
+
+// strictCheck replays the actual restore machinery against the payload, so
+// anything the training process would reject at resume time — shape
+// mismatches, truncated tensors, poisoned values — fails the lint here,
+// before an operator depends on the file in an outage.
+func strictCheck(c *train.CheckpointState) error {
+	if err := nn.ScanParams(bytes.NewReader(c.Weights), func(name string, rows, cols int, data []float32) error {
+		for j, x := range data {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return fmt.Errorf("weight %q[%d] is %v", name, j, x)
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("strict: weights: %w", err)
+	}
+	mc := c.Stream.Memory
+	if mc == nil {
+		return fmt.Errorf("strict: stream state without node memory")
+	}
+	if mc.NumNodes <= 0 || mc.Dim <= 0 {
+		return fmt.Errorf("strict: memory checkpoint shape %dx%d", mc.NumNodes, mc.Dim)
+	}
+	if err := memstore.NewMemoryStore(mc.NumNodes, mc.Dim).RestoreCheckpoint(mc); err != nil {
+		return fmt.Errorf("strict: %w", err)
+	}
+	if _, err := graph.RestoreAdjacency(c.Stream.Adj); err != nil {
+		return fmt.Errorf("strict: %w", err)
+	}
+	if bc := c.Stream.Mailbox; bc != nil {
+		if bc.NumNodes <= 0 || bc.K <= 0 || bc.Dim <= 0 {
+			return fmt.Errorf("strict: mailbox checkpoint shape nodes=%d k=%d dim=%d", bc.NumNodes, bc.K, bc.Dim)
+		}
+		if err := memstore.NewMailbox(bc.NumNodes, bc.K, bc.Dim).RestoreCheckpoint(bc); err != nil {
+			return fmt.Errorf("strict: %w", err)
+		}
 	}
 	return nil
 }

@@ -18,10 +18,10 @@ FAULT_RE = ^(TestKillAndResume|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStepTGN|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchsmoke benchall faultsmoke chaossmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke faultsmoke chaossmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,18 @@ bench:
 	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=2s -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./tools/benchjson -baseline BENCH_baseline.json -o BENCH_pr2.json \
 			-note "make bench: blocked GEMM + tensor arena + prefetch pipeline"
+
+# benchdiff is the performance regression gate: a fresh run of the captured
+# benchmarks against the committed BENCH_pr2.json artifact. The benchtime
+# must match the baseline's (make bench uses 2s): the pool-backed
+# benchmarks amortize a fixed warm-up allocation over the iteration count,
+# so a shorter candidate run inflates B/op and trips the gate on nothing.
+# Thresholds are generous but catch the failure mode that matters here:
+# instrumentation leaking cost into the hot path when tracing is disabled.
+benchdiff:
+	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=2s -run=^$$ $(BENCH_PKGS) \
+		| $(GO) run ./tools/benchjson -o /tmp/cascade-benchdiff.json -note "benchdiff candidate" 2>/dev/null
+	$(GO) run ./tools/benchdiff -old BENCH_pr2.json -new /tmp/cascade-benchdiff.json
 
 # benchsmoke runs every captured benchmark once so check catches bit-rot in
 # the harness (and the benchjson parser) without paying measurement time.

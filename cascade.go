@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -135,6 +136,12 @@ type RunConfig struct {
 	// ratio, cut reasons) and simulated device (occupancy) — for Prometheus
 	// export via obs.Registry.WritePrometheus.
 	Obs *obs.Registry
+	// Tracer, when non-nil, instruments the run with hierarchical spans: one
+	// root span per batch with per-phase children (TG-Diffuser cut, SG-Filter
+	// update, ABS decision, embed/forward, backward, optimizer step, memory
+	// update). Build one with NewTracer, feeding it a Chrome trace writer
+	// and/or flight recorder. Nil costs nothing on the hot path.
+	Tracer *Tracer
 }
 
 // Result summarizes a finished run.
@@ -244,6 +251,7 @@ func NewRun(cfg RunConfig) (*Run, error) {
 		Model: model, Sched: r.sched, Data: tr, Val: val,
 		LR: cfg.LR, ValBatch: cfg.ValBatch, Seed: cfg.Seed,
 		Task: cfg.Task, OnBatch: cfg.OnBatch, Obs: cfg.Obs,
+		Tracer: cfg.Tracer,
 	}
 	if !cfg.SkipDevice {
 		dev := DevicePreset(cfg.Scheduler)
@@ -315,6 +323,40 @@ type Registry = obs.Registry
 
 // NewMetricsRegistry builds an empty metrics registry for RunConfig.Obs.
 func NewMetricsRegistry() *Registry { return obs.NewRegistry() }
+
+// Tracer re-exports the hierarchical span tracer for RunConfig.Tracer.
+type Tracer = obs.Tracer
+
+// TracerOptions re-exports the tracer's consumer wiring.
+type TracerOptions = obs.TracerOptions
+
+// ChromeTraceWriter re-exports the Chrome trace-event exporter (the
+// -trace-chrome flag; load the output in Perfetto / chrome://tracing).
+type ChromeTraceWriter = obs.ChromeTraceWriter
+
+// FlightRecorder re-exports the always-on crash-evidence ring buffer (the
+// -flight-dir flag; dumps on health rollback, replica eviction and breaker
+// open).
+type FlightRecorder = obs.FlightRecorder
+
+// NewTracer builds a span tracer from its consumers.
+func NewTracer(opt TracerOptions) *Tracer { return obs.NewTracer(opt) }
+
+// NewChromeTrace starts a streaming Chrome trace-event export into w.
+func NewChromeTrace(w io.Writer) *ChromeTraceWriter { return obs.NewChromeTrace(w) }
+
+// NewFlightRecorder builds a flight recorder retaining roughly the last
+// lastN batch span trees; dumps land in dir together with a snapshot of reg
+// (nil reg omits the snapshot).
+func NewFlightRecorder(dir string, lastN int, reg *Registry) *FlightRecorder {
+	return obs.NewFlightRecorder(dir, lastN, reg)
+}
+
+// NewLogger builds the structured logger behind the -log-level/-log-json
+// flags; a non-empty traceID is stamped onto every record.
+func NewLogger(w io.Writer, level string, jsonOut bool, traceID string) *slog.Logger {
+	return obs.NewLogger(w, level, jsonOut, traceID)
+}
 
 // TaskKind re-exports the training objective selector.
 type TaskKind = train.Task
@@ -448,6 +490,11 @@ type DistributedConfig struct {
 	CheckpointDir string
 	// Obs, when non-nil, receives eviction/rejoin/sync metrics.
 	Obs *Registry
+	// Tracer, when non-nil, instruments every replica's batches plus the
+	// epoch barrier and weight averaging with spans.
+	Tracer *Tracer
+	// Recorder, when non-nil, dumps the span ring on replica eviction.
+	Recorder *FlightRecorder
 }
 
 // DistributedResult reports a distributed run.
@@ -475,7 +522,7 @@ func TrainDistributed(cfg DistributedConfig) (*DistributedResult, error) {
 		LR: cfg.LR, Seed: cfg.Seed, Workers: cfg.Workers,
 		EpochTimeout: cfg.EpochTimeout,
 		Rejoin:       cfg.Rejoin, CheckpointDir: cfg.CheckpointDir,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Tracer: cfg.Tracer, Recorder: cfg.Recorder,
 	})
 	if err != nil {
 		return nil, err

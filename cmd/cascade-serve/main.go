@@ -40,6 +40,11 @@ func main() {
 	rate := flag.Float64("rate", 0, "sustained admission rate in requests/second (token bucket; 0 = unlimited)")
 	staleOK := flag.Bool("stale-ok", false, "degrade /score to a stale-snapshot replica instead of shedding when the fresh path is saturated or its breaker is open")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long the scoring circuit breaker stays open before probing")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file here (pre-training batches + per-request spans; open in Perfetto)")
+	flightDir := flag.String("flight-dir", "", "flight-recorder dump directory; the span ring is dumped here when the scoring breaker opens")
+	flightKeep := flag.Int("flight-keep", 64, "how many recent span trees the flight recorder retains")
+	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -61,10 +66,33 @@ func main() {
 	// cascade_*, device_*) and serving metrics (serve_*) both land on
 	// GET /metrics.
 	reg := cascade.NewMetricsRegistry()
+	var (
+		tracer *cascade.Tracer
+		flight *cascade.FlightRecorder
+	)
+	if *traceChrome != "" || *flightDir != "" {
+		topt := cascade.TracerOptions{Registry: reg}
+		if *traceChrome != "" {
+			f, err := os.Create(*traceChrome)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cascade-serve: trace-chrome: %v\n", err)
+				os.Exit(1)
+			}
+			chrome := cascade.NewChromeTrace(f)
+			topt.Chrome = chrome
+			defer chrome.Close()
+		}
+		if *flightDir != "" {
+			flight = cascade.NewFlightRecorder(*flightDir, *flightKeep, reg)
+			topt.Flight = flight
+		}
+		tracer = cascade.NewTracer(topt)
+	}
+	logger := cascade.NewLogger(os.Stderr, *logLevel, *logJSON, tracer.ID())
 	run, err := cascade.NewRun(cascade.RunConfig{
 		Dataset: ds, Model: *model, Scheduler: cascade.SchedCascade,
 		BaseBatch: base, Epochs: *epochs, MemoryDim: *memdim, TimeDim: 8, Seed: *seed,
-		Obs: reg,
+		Obs: reg, Tracer: tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
@@ -95,6 +123,13 @@ func main() {
 		serve.WithRegistry(reg),
 		serve.WithLimits(load.Limits{MaxInflight: *maxInflight, QueueDepth: *queueDepth, Rate: *rate}),
 		serve.WithBreaker(load.BreakerConfig{Cooldown: *breakerCooldown}),
+		serve.WithLogger(logger),
+	}
+	if tracer != nil {
+		opts = append(opts, serve.WithTracer(tracer))
+	}
+	if flight != nil {
+		opts = append(opts, serve.WithFlightRecorder(flight))
 	}
 	if *staleOK {
 		sm, sp, err := run.NewScoringReplica()
@@ -124,7 +159,8 @@ func main() {
 	})
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics, GET /healthz, GET /readyz)\n", *addr)
+	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics, GET /healthz, GET /readyz, GET /debug/pipeline)\n", *addr)
+	logger.Info("serving", "addr", *addr)
 	// StartDrain flips /readyz to 503 for the whole drain window, so load
 	// balancers stop routing here while in-flight requests finish.
 	if err := serve.RunGracefulNotify(httpSrv, nil, stop, *shutdownTimeout, srv.StartDrain); err != nil {

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -47,6 +48,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data-parallel replicas; >1 switches to distributed training with epoch-boundary weight averaging")
 	epochTimeout := flag.Duration("epoch-timeout", 0, "distributed epoch-barrier deadline; stragglers past it are evicted (0 waits forever)")
 	rejoin := flag.Bool("rejoin", false, "let evicted replicas rejoin from the latest averaged checkpoint (distributed mode; pairs with -checkpoint-dir for on-disk restore)")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file here (open in Perfetto / chrome://tracing; one lane per pipeline phase)")
+	flightDir := flag.String("flight-dir", "", "keep a flight recorder of recent batch span trees; dumps into this directory on health rollback / replica eviction")
+	flightKeep := flag.Int("flight-keep", 64, "how many recent batch span trees the flight recorder retains")
+	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -70,12 +76,54 @@ func main() {
 	fmt.Printf("dataset %s: %d events, %d nodes, feat dim %d; base batch %d\n",
 		ds.Name, ds.NumEvents(), ds.NumNodes, ds.EdgeFeatDim, *base)
 
+	// Observability bundle shared by the single-process and distributed
+	// paths. The registry exists whenever anything consumes it — the
+	// -metrics-out dump, flight-recorder snapshots, or the tracer's phase
+	// summaries.
+	var reg *cascade.Registry
+	if *metricsOut != "" || *traceChrome != "" || *flightDir != "" {
+		reg = cascade.NewMetricsRegistry()
+	}
+	var (
+		tracer *cascade.Tracer
+		flight *cascade.FlightRecorder
+	)
+	if *traceChrome != "" || *flightDir != "" {
+		topt := cascade.TracerOptions{Registry: reg}
+		if *traceChrome != "" {
+			f, err := os.Create(*traceChrome)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cascade-train: trace-chrome: %v\n", err)
+				os.Exit(1)
+			}
+			chrome := cascade.NewChromeTrace(f)
+			topt.Chrome = chrome
+			// Close terminates the JSON array; skipped on os.Exit error
+			// paths, which Perfetto tolerates (the ] is optional in the
+			// trace-event format).
+			defer func() {
+				if err := chrome.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "cascade-train: trace-chrome: %v\n", err)
+				} else {
+					fmt.Printf("chrome trace written to %s\n", *traceChrome)
+				}
+			}()
+		}
+		if *flightDir != "" {
+			flight = cascade.NewFlightRecorder(*flightDir, *flightKeep, reg)
+			topt.Flight = flight
+		}
+		tracer = cascade.NewTracer(topt)
+	}
+	logger := cascade.NewLogger(os.Stderr, *logLevel, *logJSON, tracer.ID())
+
 	if *replicas > 1 {
 		runDistributed(ds, distFlags{
 			replicas: *replicas, model: *model, useCascade: *scheduler == "Cascade",
 			base: *base, epochs: *epochs, memdim: *memdim, timedim: *timedim,
 			lr: float32(*lr), seed: *seed, epochTimeout: *epochTimeout,
 			rejoin: *rejoin, ckptDir: *ckptDir, metricsOut: *metricsOut,
+			reg: reg, tracer: tracer, flight: flight, logger: logger,
 		})
 		return
 	}
@@ -117,7 +165,6 @@ func main() {
 			}
 		}
 	}
-	var reg *cascade.Registry
 	metricsFile := os.Stdout
 	if *metricsOut != "" {
 		// Open the dump target up front: failing after hours of training
@@ -131,9 +178,9 @@ func main() {
 			defer f.Close()
 			metricsFile = f
 		}
-		reg = cascade.NewMetricsRegistry()
-		cfg.Obs = reg
 	}
+	cfg.Obs = reg
+	cfg.Tracer = tracer
 	run, err := cascade.NewRun(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
@@ -167,11 +214,15 @@ func main() {
 		defer f.Close()
 	}
 
+	logger.Info("training starting", "model", *model, "dataset", ds.Name,
+		"scheduler", *scheduler, "epochs", *epochs, "base_batch", *base)
 	printEpoch := func(st train.EpochStats) {
 		fmt.Printf("%5d %8d %10.1f %12.5f %12v %8v %7.1f%% %7.1f%%\n",
 			st.Epoch, st.Batches, st.MeanBatchSize, st.Loss,
 			st.WallTime.Round(1e6), st.DeviceTime.Round(1e5),
 			100*st.MeanOccupancy, 100*st.StableRatio)
+		logger.Debug("epoch complete", "epoch", st.Epoch, "batches", st.Batches,
+			"loss", st.Loss, "wall_ms", st.WallTime.Milliseconds())
 	}
 	printHeader := func() {
 		fmt.Printf("%5s %8s %10s %12s %12s %8s %8s %8s\n",
@@ -183,7 +234,7 @@ func main() {
 		mgr, err := resilience.NewManager(run.Trainer(), resilience.Options{
 			Dir: *ckptDir, EveryBatches: *ckptEvery, Keep: *ckptKeep,
 			Health: train.HealthConfig{Enabled: *health},
-			Obs:    reg,
+			Obs:    reg, Recorder: flight,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
@@ -277,7 +328,7 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
-	if reg != nil {
+	if reg != nil && *metricsOut != "" {
 		if err := reg.WritePrometheus(metricsFile); err != nil {
 			fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
 			os.Exit(1)
@@ -286,6 +337,7 @@ func main() {
 			fmt.Printf("metrics written to %s\n", *metricsOut)
 		}
 	}
+	logger.Info("training complete", "epochs", *epochs)
 	if cs := run.CascadeScheduler(); cs != nil {
 		stats := cs.Sensor().Stats()
 		fmt.Printf("cascade: Maxr=%d (profiled max/mean/min = %.0f/%.0f/%.0f over %d base batches), preprocess %v, lookup %v\n",
@@ -307,12 +359,15 @@ type distFlags struct {
 	rejoin          bool
 	ckptDir         string
 	metricsOut      string
+	reg             *cascade.Registry
+	tracer          *cascade.Tracer
+	flight          *cascade.FlightRecorder
+	logger          *slog.Logger
 }
 
 // runDistributed is the -replicas>1 path: data-parallel training with
 // epoch-boundary weight averaging, barrier eviction, and optional rejoin.
 func runDistributed(ds *cascade.Dataset, f distFlags) {
-	var reg *cascade.Registry
 	metricsFile := os.Stdout
 	if f.metricsOut != "" {
 		if f.metricsOut != "-" {
@@ -324,14 +379,16 @@ func runDistributed(ds *cascade.Dataset, f distFlags) {
 			defer out.Close()
 			metricsFile = out
 		}
-		reg = cascade.NewMetricsRegistry()
 	}
 	fmt.Printf("distributed: %d replicas, rejoin=%v\n", f.replicas, f.rejoin)
+	f.logger.Info("distributed training starting", "replicas", f.replicas,
+		"model", f.model, "epochs", f.epochs)
 	res, err := cascade.TrainDistributed(cascade.DistributedConfig{
 		Dataset: ds, Replicas: f.replicas, Model: f.model, UseCascade: f.useCascade,
 		BaseBatch: f.base, Epochs: f.epochs, MemoryDim: f.memdim, TimeDim: f.timedim,
 		LR: f.lr, Seed: f.seed, EpochTimeout: f.epochTimeout,
-		Rejoin: f.rejoin, CheckpointDir: f.ckptDir, Obs: reg,
+		Rejoin: f.rejoin, CheckpointDir: f.ckptDir,
+		Obs: f.reg, Tracer: f.tracer, Recorder: f.flight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-train: %v\n", err)
@@ -349,8 +406,8 @@ func runDistributed(ds *cascade.Dataset, f distFlags) {
 	}
 	fmt.Printf("syncs %d, wall %v, validation loss %.5f\n",
 		res.SyncCount, res.WallTime.Round(1e6), res.ValLoss)
-	if reg != nil {
-		if err := reg.WritePrometheus(metricsFile); err != nil {
+	if f.reg != nil && f.metricsOut != "" {
+		if err := f.reg.WritePrometheus(metricsFile); err != nil {
 			fmt.Fprintf(os.Stderr, "cascade-train: metrics-out: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,20 @@
+package batching
+
+import "github.com/cascade-ml/cascade/internal/obs"
+
+// SpanScheduler is the optional tracing-aware extension of Scheduler.
+// Schedulers that can attribute their internal phases (Cascade's TG-Diffuser
+// boundary lookup, SG-Filter update, ABS decay decision) implement it; the
+// trainer duck-types for it exactly like the maxr/stable reporters and falls
+// back to plain Next/OnBatchEnd otherwise. parent may be nil (tracing
+// disabled) — implementations must tolerate that, which the nil-safe span
+// API makes free.
+type SpanScheduler interface {
+	Scheduler
+	// NextSpanned is Next with the decision recorded as child spans of
+	// parent (phase lanes + cut/boundary attrs).
+	NextSpanned(parent *obs.Span) (Batch, bool)
+	// OnBatchEndSpanned is OnBatchEnd with the filter/sensor updates
+	// recorded as child spans of parent.
+	OnBatchEndSpanned(fb Feedback, parent *obs.Span)
+}

@@ -95,16 +95,26 @@ func (d *TGDiffuser) LastTolerableEvent(stable func(int32) bool) int {
 }
 
 // AdvancePointers consumes every relevant event with index < ed from every
-// node's entry (the pointer-update loop closing Algorithm 3).
-func (d *TGDiffuser) AdvancePointers(ed int) {
-	parallel.For(len(d.active), d.workers, func(i int) {
+// node's entry (the pointer-update loop closing Algorithm 3). It returns the
+// maximum number of relevant events any single node absorbed in this batch —
+// the batch's revisit depth. A depth beyond Maxr+1 means a non-dependency
+// cut (floor/chunk/safety) pushed some node past its endurance; the
+// scheduler surfaces that as the staleness metrics.
+func (d *TGDiffuser) AdvancePointers(ed int) int {
+	negMax := parallel.MinIntReduce(len(d.active), d.workers, func(i int) int {
 		entry := d.table.Entries[d.active[i]]
 		p := d.ptrs[i]
 		for p < len(entry) && int(entry[p]) < ed {
 			p++
 		}
+		adv := p - d.ptrs[i]
 		d.ptrs[i] = p
+		return -adv
 	})
+	if negMax > 0 { // no active nodes: MinIntReduce returned +MaxInt
+		return 0
+	}
+	return -negMax
 }
 
 // ActiveNodes returns how many nodes have entries in the current table.

@@ -89,7 +89,10 @@ type Scheduler struct {
 	stableTrace []int
 }
 
-var _ batching.Scheduler = (*Scheduler)(nil)
+var (
+	_ batching.Scheduler     = (*Scheduler)(nil)
+	_ batching.SpanScheduler = (*Scheduler)(nil)
+)
 
 // NewScheduler preprocesses the event sequence (dependency table + ABS
 // profiling, Algorithm 1 lines 5–7) and returns a ready scheduler.
@@ -115,6 +118,11 @@ func NewScheduler(events []graph.Event, numNodes int, opt Options) *Scheduler {
 	if r := opt.Obs; r != nil {
 		r.Gauge("cascade_build_seconds").Set(s.buildTime.Seconds())
 		r.Gauge("cascade_maxr").Set(float64(s.abs.Maxr()))
+		r.Help("cascade_maxr", "Maximum Revisit Endurance currently in force (ABS-decayed).")
+		r.Help("cascade_dep_violation_events_total", "Events included past the TG-Diffuser dependency boundary by floor/chunk/safety cuts.")
+		r.Help("cascade_revisit_depth", "Relevant events the most-revisited node absorbed in the last batch (staleness proxy).")
+		r.Help("cascade_filter_stable_updates_total", "Memory updates the SG-Filter flagged stable (kept for dependency skipping).")
+		r.Help("cascade_filter_unstable_updates_total", "Memory updates below the SG-Filter similarity threshold (dropped).")
 	}
 	return s
 }
@@ -139,11 +147,44 @@ func (s *Scheduler) Reset() {
 	s.stableTrace = s.stableTrace[:0]
 }
 
+// nextInfo captures one boundary decision for span attrs and metrics.
+type nextInfo struct {
+	cut        string // which bound cut the batch: dependency/floor/chunk/end/safety
+	violations int    // events included past the dependency boundary
+	revisit    int    // max relevant events any node absorbed this batch
+	maxr       int
+	stable     int
+}
+
 // Next implements batching.Scheduler: Algorithm 1 lines 11–14.
 func (s *Scheduler) Next() (batching.Batch, bool) {
+	b, _, ok := s.next()
+	return b, ok
+}
+
+// NextSpanned implements batching.SpanScheduler: the boundary decision is
+// recorded as a tg_diffuser child span carrying the scheduler-introspection
+// attrs (cut kind, Maxr, stable count, dependency violations, revisit
+// depth). parent == nil degrades to plain Next.
+func (s *Scheduler) NextSpanned(parent *obs.Span) (batching.Batch, bool) {
+	sp := parent.Child("tg_diffuser", obs.PhaseDiffuser)
+	b, info, ok := s.next()
+	if ok {
+		sp.SetStr("cut", info.cut)
+		sp.SetInt("batch_size", int64(b.Size()))
+		sp.SetInt("maxr", int64(info.maxr))
+		sp.SetInt("stable_nodes", int64(info.stable))
+		sp.SetInt("dep_violation_events", int64(info.violations))
+		sp.SetInt("revisit_depth", int64(info.revisit))
+	}
+	sp.End()
+	return b, ok
+}
+
+func (s *Scheduler) next() (batching.Batch, nextInfo, bool) {
 	n := len(s.events)
 	if s.cursor >= n {
-		return batching.Batch{}, false
+		return batching.Batch{}, nextInfo{}, false
 	}
 	start := time.Now()
 	// Chunk switch: the final event of a chunk bounds all dependencies.
@@ -196,37 +237,81 @@ func (s *Scheduler) Next() (batching.Batch, bool) {
 		ed = s.cursor + 1
 		cut = "safety"
 	}
-	s.diffuser.AdvancePointers(ed)
+	// Dependency violations: events this batch includes past the diffuser's
+	// tolerable boundary (only a non-"dependency" cut can overshoot it).
+	violations := 0
+	if k != MaxEventIndex && ed > k+1 {
+		violations = ed - (k + 1)
+	}
+	revisit := s.diffuser.AdvancePointers(ed)
 	st := s.cursor
 	s.cursor = ed
 	s.lookupTime += time.Since(start)
 	s.batchSizes = append(s.batchSizes, ed-st)
 	s.maxrTrace = append(s.maxrTrace, s.diffuser.Maxr())
-	s.stableTrace = append(s.stableTrace, s.filter.StableCount())
+	stableCount := s.filter.StableCount()
+	s.stableTrace = append(s.stableTrace, stableCount)
 	if r := s.opt.Obs; r != nil {
 		r.Counter("cascade_batches_total").Inc()
 		r.Counter("cascade_cut_" + cut + "_total").Inc()
 		r.Histogram("cascade_batch_size", obs.SizeEdges...).Observe(float64(ed - st))
 		r.Gauge("cascade_maxr").Set(float64(s.diffuser.Maxr()))
-		r.Gauge("cascade_stable_nodes").Set(float64(s.filter.StableCount()))
+		r.Gauge("cascade_stable_nodes").Set(float64(stableCount))
+		r.Counter("cascade_dep_violation_events_total").Add(int64(violations))
+		if violations > 0 {
+			r.Counter("cascade_dep_violation_batches_total").Inc()
+		}
+		r.Gauge("cascade_revisit_depth").Set(float64(revisit))
 	}
-	return batching.Batch{St: st, Ed: ed}, true
+	info := nextInfo{
+		cut:        cut,
+		violations: violations,
+		revisit:    revisit,
+		maxr:       s.diffuser.Maxr(),
+		stable:     stableCount,
+	}
+	return batching.Batch{St: st, Ed: ed}, info, true
 }
 
 // OnBatchEnd implements batching.Scheduler: Algorithm 1 lines 19–20 plus
 // the ABS decay loop of §4.4.
 func (s *Scheduler) OnBatchEnd(fb batching.Feedback) {
+	s.OnBatchEndSpanned(fb, nil)
+}
+
+// OnBatchEndSpanned implements batching.SpanScheduler: the SG-Filter update
+// and the ABS decay decision each become a child span of parent, carrying
+// the keep/drop counts and the loss/Maxr state they acted on. parent == nil
+// records nothing (OnBatchEnd delegates here).
+func (s *Scheduler) OnBatchEndSpanned(fb batching.Feedback, parent *obs.Span) {
 	start := time.Now()
 	if !s.opt.DisableSGFilter && len(fb.Nodes) > 0 && fb.PreMem != nil && fb.PostMem != nil {
+		fsp := parent.Child("sg_filter", obs.PhaseFilter)
+		preStable, preTotal := s.filter.StableUpdates(), s.filter.Updates()
 		s.filter.Update(fb.Nodes, fb.PreMem, fb.PostMem)
+		kept := s.filter.StableUpdates() - preStable
+		dropped := s.filter.Updates() - preTotal - kept
+		if r := s.opt.Obs; r != nil {
+			r.Counter("cascade_filter_stable_updates_total").Add(kept)
+			r.Counter("cascade_filter_unstable_updates_total").Add(dropped)
+		}
+		fsp.SetInt("kept_stable", kept)
+		fsp.SetInt("dropped_unstable", dropped)
+		fsp.SetInt("stable_nodes", int64(s.filter.StableCount()))
+		fsp.End()
 	}
+	asp := parent.Child("abs_decision", obs.PhaseABS)
+	asp.SetFloat("loss", fb.Loss)
 	if maxr, changed := s.abs.ObserveLoss(fb.Loss); changed && !s.maxrPinned {
 		s.diffuser.SetMaxr(maxr)
+		asp.SetInt("decayed_to", int64(maxr))
 		if r := s.opt.Obs; r != nil {
 			r.Counter("cascade_maxr_decays_total").Inc()
 			r.Gauge("cascade_maxr").Set(float64(maxr))
 		}
 	}
+	asp.SetInt("maxr", int64(s.diffuser.Maxr()))
+	asp.End()
 	if r := s.opt.Obs; r != nil {
 		r.Gauge("cascade_stable_ratio").Set(s.filter.StableUpdateRatio())
 	}

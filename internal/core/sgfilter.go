@@ -78,6 +78,15 @@ func (f *SGFilter) StableUpdateRatio() float64 {
 	return float64(f.stableUpdates) / float64(f.updates)
 }
 
+// Updates returns how many memory updates the filter has inspected this
+// epoch (the denominator of Fig. 5's ratio).
+func (f *SGFilter) Updates() int64 { return f.updates }
+
+// StableUpdates returns how many of this epoch's updates cleared θsim — the
+// "keep" side of the filter's keep/drop accounting (dropped = Updates −
+// StableUpdates).
+func (f *SGFilter) StableUpdates() int64 { return f.stableUpdates }
+
 // StableCount returns how many nodes are currently flagged stable.
 func (f *SGFilter) StableCount() int {
 	c := 0

@@ -86,7 +86,17 @@ func A100TGLite() Model {
 // occupancy. train selects whether backward-pass work is included.
 func (m Model) BatchCost(s tensor.TapeStats, train bool) (c Cost) {
 	if m.Obs != nil {
+		m.Obs.Help("device_batch_cost_calls_total", "Simulated-device cost evaluations (one per batch per pass).")
+		m.Obs.Help("device_flops_total", "Floating-point operations charged to the simulated device (backward factor included).")
+		m.Obs.Help("device_kernels_total", "Kernel launches charged to the simulated device (backward factor included).")
 		m.Obs.Counter("device_batch_cost_calls_total").Inc()
+		work, kernels := s.Flops, float64(s.Kernels)
+		if train {
+			work *= m.BackwardFactor
+			kernels *= m.BackwardFactor
+		}
+		m.Obs.Counter("device_flops_total").Add(int64(work))
+		m.Obs.Counter("device_kernels_total").Add(int64(kernels))
 		defer func() {
 			m.Obs.Histogram("device_batch_occupancy", obs.RatioEdges...).Observe(c.Occupancy)
 			m.Obs.Histogram("device_batch_seconds", obs.LatencyEdges...).Observe(c.Time.Seconds())

@@ -88,6 +88,14 @@ type Config struct {
 	// non-nil, receives one event per eviction.
 	Obs   *obs.Registry
 	Trace *obs.TraceSink
+	// Tracer, when non-nil, is shared by every replica's trainer (batch
+	// span trees) and additionally records each epoch barrier + parameter
+	// averaging round as a dist_barrier span.
+	Tracer *obs.Tracer
+	// Recorder, when non-nil, dumps its span ring to disk whenever a
+	// replica is evicted — the postmortem shows what every replica's last
+	// batches were doing when one missed the barrier.
+	Recorder *obs.FlightRecorder
 	// Injector, when non-nil, is consulted at the per-replica fault points
 	// (dist/replica-die/<r>, dist/replica-hang/<r>, dist/replica-flap/<r>,
 	// dist/report-drop/<r>) for chaos tests.
@@ -172,6 +180,7 @@ func Train(cfg Config) (*Result, error) {
 		trainer, err := train.NewTrainer(train.Config{
 			Model: model, Sched: sched, Data: shards[r], Val: valSet,
 			LR: cfg.LR, ValBatch: cfg.BaseBatch, Seed: cfg.Seed + int64(r),
+			Obs: cfg.Obs, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return replica{}, err
@@ -228,6 +237,14 @@ func Train(cfg Config) (*Result, error) {
 		cfg.Trace.Emit(map[string]any{
 			"event": "replica_evicted", "replica": r, "epoch": e + 1, "reason": reason,
 		})
+		if path, err := cfg.Recorder.Dump("replica_evicted"); err != nil {
+			cfg.Trace.Emit(map[string]any{"event": "flight_dump_failed", "error": err.Error()})
+		} else if path != "" {
+			if cfg.Obs != nil {
+				cfg.Obs.Counter("dist_flight_dumps_total").Inc()
+			}
+			cfg.Trace.Emit(map[string]any{"event": "flight_dump", "path": path, "reason": "replica_evicted"})
+		}
 	}
 
 	// lastCkpt holds the fleet's newest post-averaging state for rejoiners;
@@ -291,6 +308,12 @@ func Train(cfg Config) (*Result, error) {
 				deliver(epochReport{r: r, loss: st.Loss, err: err})
 			}(r, replicas[r].trainer)
 		}
+		// The barrier wait plus the averaging round is one dist_barrier span:
+		// its duration is the synchronization overhead of the epoch, and its
+		// attrs record who made it.
+		bsp := cfg.Tracer.Start("dist_barrier", obs.PhaseBarrier)
+		bsp.SetInt("epoch", int64(e+1))
+		bsp.SetInt("expected", int64(expected))
 		var timeout <-chan time.Time
 		var timer *time.Timer
 		if cfg.EpochTimeout > 0 {
@@ -329,7 +352,9 @@ func Train(cfg Config) (*Result, error) {
 			timer.Stop()
 		}
 		survivors := aliveIndices(alive)
+		bsp.SetInt("survivors", int64(len(survivors)))
 		if len(survivors) == 0 {
+			bsp.End()
 			res.WallTime = time.Since(start)
 			return res, fmt.Errorf("distributed: all %d replicas evicted by epoch %d", width, e+1)
 		}
@@ -337,9 +362,12 @@ func Train(cfg Config) (*Result, error) {
 			cfg.Obs.Gauge("dist_replicas_alive").Set(float64(len(survivors)))
 		}
 		if len(survivors) > 1 {
+			asp := bsp.Child("average_params", obs.PhaseBarrier)
 			averageParams(replicas, survivors)
+			asp.End()
 			res.SyncCount++
 		}
+		bsp.End()
 		// Capture the post-averaging state from the first survivor so an
 		// evicted replica can adopt it later. Only the weights and optimizer
 		// moments matter to a rejoiner (its own shard rebuilds stream state

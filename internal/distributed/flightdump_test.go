@@ -1,0 +1,89 @@
+package distributed
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// TestReplicaEvictionFlightDump: evicting a dead replica must dump the span
+// ring exactly once (reason "replica_evicted"), with the surviving
+// replicas' batch trees inside.
+func TestReplicaEvictionFlightDump(t *testing.T) {
+	cfg := distData(t)
+	cfg.Epochs = 2
+	cfg.Injector = faultinject.New()
+	// Die at the second epoch-start hit: epoch 1 completes on both replicas
+	// first, so the span ring deterministically holds batch trees when the
+	// eviction dump fires.
+	cfg.Injector.Arm(faultinject.ReplicaPoint(faultinject.PointReplicaDie, 1), 2)
+	cfg.Obs = obs.NewRegistry()
+	dir := t.TempDir()
+	rec := obs.NewFlightRecorder(dir, 16, cfg.Obs)
+	rec.SetClock(func() time.Time {
+		return time.Date(2026, 8, 5, 13, 0, 0, 0, time.UTC)
+	})
+	cfg.Recorder = rec
+	cfg.Tracer = obs.NewTracer(obs.TracerOptions{Flight: rec, Registry: cfg.Obs})
+
+	res, err := Train(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", res.Evicted)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("dump files %v, want exactly one", files)
+	}
+	if !strings.Contains(files[0], "replica_evicted") {
+		t.Fatalf("dump file %q does not carry the trigger reason", files[0])
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Reason string `json:"reason"`
+		Time   string `json:"time"`
+		Spans  []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if d.Reason != "replica_evicted" {
+		t.Fatalf("reason %q", d.Reason)
+	}
+	if d.Time != "2026-08-05T13:00:00Z" {
+		t.Fatalf("dump time %q not from the injected clock", d.Time)
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("dump has no span trees — survivor batches should be in the ring")
+	}
+	if _, ok := d.Metrics["dist_replica_evictions_total"]; !ok {
+		t.Fatal("metrics snapshot missing dist_replica_evictions_total")
+	}
+	if got := cfg.Obs.Counter("dist_flight_dumps_total").Value(); got != 1 {
+		t.Fatalf("dist_flight_dumps_total %d, want 1", got)
+	}
+}

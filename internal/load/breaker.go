@@ -45,6 +45,10 @@ type BreakerConfig struct {
 	Gauge string
 	// Obs receives the state gauge; nil disables.
 	Obs *obs.Registry
+	// OnOpen fires on every closed/half-open → open transition (trip). It
+	// runs under the breaker's mutex, so it must be fast and must not call
+	// back into this breaker. Typical use: flight-recorder dump.
+	OnOpen func()
 }
 
 // Breaker is a three-state circuit breaker: Closed (all calls pass;
@@ -162,10 +166,14 @@ func (b *Breaker) Trip() {
 }
 
 func (b *Breaker) trip() {
+	wasOpen := b.state == BreakerOpen
 	b.failures = 0
 	b.probing = false
 	b.openedAt = b.cfg.Now()
 	b.export(BreakerOpen)
+	if !wasOpen && b.cfg.OnOpen != nil {
+		b.cfg.OnOpen()
+	}
 }
 
 // State reports the breaker's stored position (no lazy transition — Allow

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readDump(t *testing.T, path string) flightDump {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(buf, &d); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	return d
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.Gauge("cascade_batch_size").Set(144)
+	fr := NewFlightRecorder(dir, 32, reg)
+	fr.SetClock(func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) })
+	tr := NewTracer(TracerOptions{Flight: fr})
+
+	for b := 0; b < 3; b++ {
+		root := tr.Start("batch", PhaseOther)
+		root.SetInt("batch", int64(b))
+		c := root.Child("embed", PhaseEmbed)
+		c.End()
+		root.End()
+	}
+	if got := fr.Retained(); got != 3 {
+		t.Fatalf("retained = %d, want 3", got)
+	}
+
+	path, err := fr.Dump("health_rollback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.Contains(filepath.Base(path), "health_rollback") {
+		t.Fatalf("dump path %q", path)
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("dump wrote %d files, want exactly 1", len(files))
+	}
+
+	d := readDump(t, path)
+	if d.Reason != "health_rollback" {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	if d.Time != "2026-08-05T12:00:00Z" {
+		t.Fatalf("time = %q (injected clock ignored)", d.Time)
+	}
+	if len(d.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(d.Spans))
+	}
+	// Trees must come out oldest-first with their children and attrs.
+	for i, s := range d.Spans {
+		if s.Name != "batch" || len(s.Children) != 1 || s.Children[0].Phase != "embed_forward" {
+			t.Fatalf("span %d malformed: %+v", i, s)
+		}
+		if int(s.Attrs["batch"].(float64)) != i {
+			t.Fatalf("span %d out of order: attrs=%v", i, s.Attrs)
+		}
+	}
+	if d.Metrics["cascade_batch_size"] != 144 {
+		t.Fatalf("registry snapshot missing: %v", d.Metrics)
+	}
+
+	// A second dump gets a fresh sequence number — one file per trigger.
+	p2, err := fr.Dump("breaker_open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == path {
+		t.Fatal("dump reused a file name")
+	}
+	files, _ = os.ReadDir(dir)
+	if len(files) != 2 {
+		t.Fatalf("now %d files, want 2", len(files))
+	}
+}
+
+// TestFlightRecorderBounded pins the ring-buffer retention: only the last N
+// root trees survive, oldest evicted first.
+func TestFlightRecorderBounded(t *testing.T) {
+	const keep = 16
+	fr := NewFlightRecorder(t.TempDir(), keep, nil)
+	tr := NewTracer(TracerOptions{Flight: fr})
+	const total = 100
+	for b := 0; b < total; b++ {
+		root := tr.Start("batch", PhaseOther)
+		root.SetInt("batch", int64(b))
+		// Children must not occupy ring slots.
+		root.Child("embed", PhaseEmbed).End()
+		root.End()
+	}
+	if got := fr.Retained(); got != keep {
+		t.Fatalf("retained = %d, want %d", got, keep)
+	}
+	path, err := fr.Dump("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := readDump(t, path)
+	if len(d.Spans) != keep {
+		t.Fatalf("dumped %d trees, want %d", len(d.Spans), keep)
+	}
+	for _, s := range d.Spans {
+		if b := int(s.Attrs["batch"].(float64)); b < total-keep {
+			t.Fatalf("retained stale batch %d (older than last %d)", b, keep)
+		}
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	for in, want := range map[string]string{
+		"health_rollback": "health_rollback",
+		"Breaker Open!":   "breaker_open_",
+		"":                "unknown",
+		"../../etc":       "______etc",
+	} {
+		if got := sanitizeReason(in); got != want {
+			t.Fatalf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestFlightDumpNaNAttrs: the NaN-loss batch is exactly the tree a health
+// dump must serialize, and encoding/json rejects non-finite floats — they
+// must come out as strings.
+func TestFlightDumpNaNAttrs(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, 8, nil)
+	tr := NewTracer(TracerOptions{Flight: f})
+	sp := tr.Start("batch", PhaseOther)
+	sp.SetFloat("loss", math.NaN())
+	sp.SetFloat("grad_norm", math.Inf(1))
+	sp.End()
+	path, err := f.Dump("health_rollback")
+	if err != nil {
+		t.Fatalf("dump with NaN attrs failed: %v", err)
+	}
+	d := readDump(t, path)
+	if len(d.Spans) != 1 {
+		t.Fatalf("spans %d", len(d.Spans))
+	}
+	if got := d.Spans[0].Attrs["loss"]; got != "NaN" {
+		t.Fatalf("loss attr %v (%T), want \"NaN\"", got, got)
+	}
+	if got := d.Spans[0].Attrs["grad_norm"]; got != "+Inf" {
+		t.Fatalf("grad_norm attr %v, want \"+Inf\"", got)
+	}
+}

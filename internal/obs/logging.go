@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps a -log-level flag value onto a slog level. Unknown
+// strings (and "") default to Info — the CLI must never fail to start over
+// a typo in a log flag.
+func ParseLogLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds the structured logger behind the -log-level/-log-json
+// flags: text or JSON handler at the given level, writing to w (the CLIs
+// pass stderr so the stats tables on stdout stay machine-readable). A
+// non-empty traceID is attached to every record, correlating log lines
+// with Chrome trace files and flight-recorder dumps from the same run.
+func NewLogger(w io.Writer, level string, jsonOut bool, traceID string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: ParseLogLevel(level)}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	l := slog.New(h)
+	if traceID != "" {
+		l = l.With("trace_id", traceID)
+	}
+	return l
+}

@@ -1,10 +1,12 @@
 // Package obs is the observability substrate of the repo's deployment
 // story: a small, dependency-free metrics registry (atomic counters,
 // gauges, fixed-bucket histograms and wall-clock timers) plus a JSONL
-// trace sink. The training loop, the Cascade scheduler, the simulated
-// device and the serving layer all publish into a Registry; the serving
-// layer exposes it in Prometheus text format at GET /metrics, and the
-// cmd binaries can dump it after a run.
+// trace sink and a hierarchical span tracer (span.go) with Chrome-trace,
+// flight-recorder and percentile-summary consumers. The training loop,
+// the Cascade scheduler, the simulated device and the serving layer all
+// publish into a Registry; the serving layer exposes it in Prometheus
+// text format at GET /metrics, and the cmd binaries can dump it after a
+// run.
 //
 // Design constraints, in order:
 //
@@ -18,6 +20,9 @@
 //
 // Metric names follow the Prometheus convention (snake_case,
 // `_total` suffix for counters, base-unit `_seconds` histograms).
+// Exposition is strict Prometheus text format: label values and HELP
+// text are escaped, families are emitted in a stable sorted order, and
+// the output round-trips through the parser in promtext_test.go.
 package obs
 
 import (
@@ -25,6 +30,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,18 +132,25 @@ func (h *Histogram) snapshot() (edges []float64, counts []int64, sum float64, to
 // call NewRegistry. All methods are safe for concurrent use; getters
 // create the metric on first access so instrumented code never nil-checks.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	lcounters  map[string]map[string]*Counter // family → rendered labels → counter
+	lgauges    map[string]map[string]*Gauge
+	help       map[string]string
+	collectors []func(io.Writer) error
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		lcounters: make(map[string]map[string]*Counter),
+		lgauges:   make(map[string]map[string]*Gauge),
+		help:      make(map[string]string),
 	}
 }
 
@@ -206,6 +220,123 @@ func (r *Registry) Histogram(name string, edges ...float64) *Histogram {
 	return h
 }
 
+// CounterWith returns the counter for the given family name and label set,
+// creating it if needed. Label values may contain any bytes — they are
+// escaped at exposition time. Nil-safe like Counter.
+func (r *Registry) CounterWith(name string, labels map[string]string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	key := renderLabels(labels)
+	r.mu.RLock()
+	c, ok := r.lcounters[name][key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.lcounters[name]
+	if fam == nil {
+		fam = make(map[string]*Counter)
+		r.lcounters[name] = fam
+	}
+	if c, ok = fam[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	fam[key] = c
+	return c
+}
+
+// GaugeWith returns the gauge for the given family name and label set
+// (nil-safe like Gauge).
+func (r *Registry) GaugeWith(name string, labels map[string]string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	key := renderLabels(labels)
+	r.mu.RLock()
+	g, ok := r.lgauges[name][key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.lgauges[name]
+	if fam == nil {
+		fam = make(map[string]*Gauge)
+		r.lgauges[name] = fam
+	}
+	if g, ok = fam[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	fam[key] = g
+	return g
+}
+
+// Help sets the HELP text emitted for the named metric family. The text is
+// escaped at exposition time, so newlines and backslashes are safe.
+// Nil-safe no-op on a nil registry.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// RegisterCollector adds a callback invoked at the end of every
+// WritePrometheus — the hook the span tracer uses to append its
+// pipeline_phase_seconds summary family. Collectors must emit complete,
+// well-formed exposition lines. Nil-safe.
+func (r *Registry) RegisterCollector(fn func(io.Writer) error) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a flat point-in-time view of every scalar series:
+// counters and gauges under their name (labeled series as name{labels}),
+// histograms as name_count and name_sum. The flight recorder embeds this
+// in every dump. Nil-safe: a nil registry returns nil.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64,
+		len(r.counters)+len(r.gauges)+2*len(r.hists)+len(r.lcounters)+len(r.lgauges))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, fam := range r.lcounters {
+		for labels, c := range fam {
+			out[name+"{"+labels+"}"] = float64(c.Value())
+		}
+	}
+	for name, fam := range r.lgauges {
+		for labels, g := range fam {
+			out[name+"{"+labels+"}"] = g.Value()
+		}
+	}
+	for name, h := range r.hists {
+		out[name+"_count"] = float64(h.Count())
+		out[name+"_sum"] = h.Sum()
+	}
+	return out
+}
+
 // Standard bucket edge sets.
 var (
 	// LatencyEdges covers request/stage latencies from 100µs to 10s.
@@ -216,10 +347,98 @@ var (
 	RatioEdges = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 )
 
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote and newline must be written as \\, \" and \n.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal in HELP).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float exactly as fmt's %v does (shortest
+// round-trippable form), shared by the exposition writers.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels produces the canonical `k1="v1",k2="v2"` form: keys sorted,
+// values escaped. Identical label sets always render identically, which is
+// what makes the rendered string usable as a series key.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// writeHeader emits the optional HELP line and the TYPE line for a family.
+func (r *Registry) writeHeader(w io.Writer, name, typ string, help map[string]string) error {
+	if h, ok := help[name]; ok && h != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(h)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format (one family per metric; histograms expand to cumulative
-// `_bucket{le=…}`, `_sum` and `_count` series), names sorted for stable
-// output.
+// `_bucket{le=…}`, `_sum` and `_count` series). Output is deterministic:
+// families sorted by name within each kind (counters, gauges, histograms,
+// then registered collectors), labeled series sorted by their canonical
+// label rendering, label values and HELP text escaped.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -237,31 +456,81 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lcounters := make(map[string]map[string]*Counter, len(r.lcounters))
+	for k, fam := range r.lcounters {
+		cp := make(map[string]*Counter, len(fam))
+		for lk, v := range fam {
+			cp[lk] = v
+		}
+		lcounters[k] = cp
+	}
+	lgauges := make(map[string]map[string]*Gauge, len(r.lgauges))
+	for k, fam := range r.lgauges {
+		cp := make(map[string]*Gauge, len(fam))
+		for lk, v := range fam {
+			cp[lk] = v
+		}
+		lgauges[k] = cp
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	collectors := append([]func(io.Writer) error(nil), r.collectors...)
 	r.mu.RUnlock()
 
-	for _, name := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Value()); err != nil {
+	// Counters: union of unlabeled and labeled families, one TYPE line each.
+	for _, name := range unionKeys(counters, lcounters) {
+		if err := r.writeHeader(w, name, "counter", help); err != nil {
 			return err
 		}
+		if c, ok := counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+				return err
+			}
+		}
+		fam := lcounters[name]
+		for _, lk := range sortedKeys(fam) {
+			if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, lk, fam[lk].Value()); err != nil {
+				return err
+			}
+		}
 	}
-	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, gauges[name].Value()); err != nil {
+	for _, name := range unionKeys(gauges, lgauges) {
+		if err := r.writeHeader(w, name, "gauge", help); err != nil {
 			return err
+		}
+		if g, ok := gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value())); err != nil {
+				return err
+			}
+		}
+		fam := lgauges[name]
+		for _, lk := range sortedKeys(fam) {
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", name, lk, formatFloat(fam[lk].Value())); err != nil {
+				return err
+			}
 		}
 	}
 	for _, name := range sortedKeys(hists) {
 		edges, counts, sum, total := hists[name].snapshot()
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := r.writeHeader(w, name, "histogram", help); err != nil {
 			return err
 		}
 		var cum int64
 		for i, e := range edges {
 			cum += counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, e, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(e), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n", name, total, name, sum, name, total); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, total, name, formatFloat(sum), name, total); err != nil {
+			return err
+		}
+	}
+	for _, fn := range collectors {
+		if err := fn(w); err != nil {
 			return err
 		}
 	}
@@ -272,6 +541,27 @@ func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unionKeys merges the key sets of an unlabeled and a labeled family map,
+// sorted.
+func unionKeys[A, B any](a map[string]A, b map[string]map[string]B) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// logBuckets is the bucket count of a LogHist: bucket i holds durations d
+// with 2^(i-1) ≤ d < 2^i nanoseconds (bucket 0 holds sub-nanosecond /
+// zero observations), covering everything up to ~292 years.
+const logBuckets = 64
+
+// LogHist is a fixed-bucket base-2 log histogram of durations: Observe is a
+// single atomic increment (no locks, no allocation), and quantiles are
+// answered from the bucket counts with at most a factor-√2 relative error —
+// exactly the trade the streaming per-phase summaries need. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type LogHist struct {
+	counts [logBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// logBucket maps a duration to its bucket index.
+func logBucket(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= logBuckets {
+		b = logBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *LogHist) Observe(d time.Duration) {
+	h.counts[logBucket(d)].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() int64 { return h.total.Load() }
+
+// Sum returns the total observed time.
+func (h *LogHist) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Quantile returns the duration at quantile p ∈ [0, 1], interpolated as the
+// geometric midpoint of the bucket containing the p-th observation. Counts
+// are read without a global snapshot, so a quantile taken under concurrent
+// writes is approximate — fine for monitoring.
+func (h *LogHist) Quantile(p float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < logBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return time.Duration(1)
+			}
+			// Bucket i spans [2^(i-1), 2^i) ns; geometric midpoint.
+			lo := math.Pow(2, float64(i-1))
+			return time.Duration(lo * math.Sqrt2)
+		}
+	}
+	return h.Sum() // unreachable: cum == total ≥ rank by the last bucket
+}
+
+// PhaseStats aggregates one LogHist per pipeline phase. A nil *PhaseStats
+// is inert (Observe is a no-op, Summary returns nil).
+type PhaseStats struct {
+	phases [NumPhases]LogHist
+}
+
+// NewPhaseStats returns empty per-phase statistics.
+func NewPhaseStats() *PhaseStats { return &PhaseStats{} }
+
+// Observe records one span duration under its phase (nil-safe).
+func (p *PhaseStats) Observe(ph Phase, d time.Duration) {
+	if p == nil {
+		return
+	}
+	if int(ph) >= NumPhases {
+		ph = PhaseOther
+	}
+	p.phases[ph].Observe(d)
+}
+
+// Hist exposes the named phase's histogram (nil when the receiver is nil).
+func (p *PhaseStats) Hist(ph Phase) *LogHist {
+	if p == nil || int(ph) >= NumPhases {
+		return nil
+	}
+	return &p.phases[ph]
+}
+
+// PhaseSummary is one phase's percentile digest — the rows of the
+// /debug/pipeline endpoint.
+type PhaseSummary struct {
+	Phase string  `json:"phase"`
+	Count int64   `json:"count"`
+	SumS  float64 `json:"sum_seconds"`
+	P50S  float64 `json:"p50_seconds"`
+	P95S  float64 `json:"p95_seconds"`
+	P99S  float64 `json:"p99_seconds"`
+}
+
+// Summary digests every phase with at least one observation (nil-safe).
+func (p *PhaseStats) Summary() []PhaseSummary {
+	if p == nil {
+		return nil
+	}
+	var out []PhaseSummary
+	for i := 0; i < NumPhases; i++ {
+		h := &p.phases[i]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, PhaseSummary{
+			Phase: Phase(i).String(),
+			Count: n,
+			SumS:  h.Sum().Seconds(),
+			P50S:  h.Quantile(0.50).Seconds(),
+			P95S:  h.Quantile(0.95).Seconds(),
+			P99S:  h.Quantile(0.99).Seconds(),
+		})
+	}
+	return out
+}
+
+// WritePrometheus renders the phase digests as one Prometheus summary
+// family, `pipeline_phase_seconds{phase=…,quantile=…}`. It is the collector
+// NewTracer registers into a Registry. Nil-safe.
+func (p *PhaseStats) WritePrometheus(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	sums := p.Summary()
+	if len(sums) == 0 {
+		return nil
+	}
+	const name = "pipeline_phase_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Span duration per pipeline phase.\n# TYPE %s summary\n", name, name); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		ph := escapeLabelValue(s.Phase)
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", s.P50S}, {"0.95", s.P95S}, {"0.99", s.P99S}} {
+			if _, err := fmt.Fprintf(w, "%s{phase=\"%s\",quantile=\"%s\"} %s\n",
+				name, ph, q.q, formatFloat(q.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{phase=\"%s\"} %s\n%s_count{phase=\"%s\"} %d\n",
+			name, ph, formatFloat(s.SumS), name, ph, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

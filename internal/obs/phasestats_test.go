@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogHistQuantiles(t *testing.T) {
+	var h LogHist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 90 fast observations (~1µs) and 10 slow (~1ms): p50 must land in the
+	// fast bucket, p99 in the slow one, both within the factor-√2 error of
+	// the log bucketing.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if want := 90*time.Microsecond + 10*time.Millisecond; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 500*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	if p99 < 500*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms", p99)
+	}
+	if a, b := h.Quantile(-1), h.Quantile(2); a > b {
+		t.Fatalf("quantile clamping broken: %v > %v", a, b)
+	}
+}
+
+func TestPhaseStatsSummary(t *testing.T) {
+	ps := NewPhaseStats()
+	ps.Observe(PhaseEmbed, 2*time.Millisecond)
+	ps.Observe(PhaseEmbed, 2*time.Millisecond)
+	ps.Observe(PhaseBackward, 8*time.Millisecond)
+	ps.Observe(Phase(200), time.Millisecond) // out of range → other
+
+	sums := ps.Summary()
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d, want 3 (embed, backward, other)", len(sums))
+	}
+	byPhase := map[string]PhaseSummary{}
+	for _, s := range sums {
+		byPhase[s.Phase] = s
+	}
+	if byPhase["embed_forward"].Count != 2 {
+		t.Fatalf("embed count = %d", byPhase["embed_forward"].Count)
+	}
+	if got := byPhase["embed_forward"].SumS; got != 0.004 {
+		t.Fatalf("embed sum = %v", got)
+	}
+	if byPhase["other"].Count != 1 {
+		t.Fatalf("out-of-range phase not folded into other: %v", byPhase)
+	}
+	if p50 := byPhase["backward"].P50S; p50 < 0.004 || p50 > 0.016 {
+		t.Fatalf("backward p50 = %v, want ~0.008", p50)
+	}
+}
+
+func TestPhaseStatsPrometheus(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(TracerOptions{Registry: reg})
+	s := tr.Start("batch", PhaseOther)
+	s.Child("embed", PhaseEmbed).End()
+	s.End()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pipeline_phase_seconds summary",
+		`pipeline_phase_seconds{phase="embed_forward",quantile="0.5"}`,
+		`pipeline_phase_seconds{phase="embed_forward",quantile="0.99"}`,
+		`pipeline_phase_seconds_count{phase="embed_forward"} 1`,
+		`pipeline_phase_seconds_count{phase="other"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText is a strict parser for the Prometheus text format subset
+// this package emits. It rejects malformed lines, unescaped characters,
+// samples before their TYPE line, and unsorted family order — the golden
+// round-trip the exposition-correctness satellite requires.
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	types := map[string]string{}
+	var familyOrder []string
+	curFamily := ""
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				t.Fatalf("line %d: malformed HELP %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			types[name] = typ
+			familyOrder = append(familyOrder, name)
+			curFamily = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		s := parsePromSample(t, ln+1, line)
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.name, "_bucket"), "_sum"), "_count")
+		if s.name != curFamily && base != curFamily {
+			t.Fatalf("line %d: sample %q outside its family %q", ln+1, s.name, curFamily)
+		}
+		samples = append(samples, s)
+	}
+	// Families of the same kind must come out sorted (the registry emits
+	// counters, then gauges, then histograms, then collectors).
+	kindRank := map[string]int{"counter": 0, "gauge": 1, "histogram": 2, "summary": 3}
+	for i := 1; i < len(familyOrder); i++ {
+		a, b := familyOrder[i-1], familyOrder[i]
+		if kindRank[types[a]] == kindRank[types[b]] && a > b {
+			t.Fatalf("families out of order: %q before %q", a, b)
+		}
+	}
+	return samples
+}
+
+// parsePromSample parses `name{labels} value` with strict escape handling.
+func parsePromSample(t *testing.T, ln int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.name = line[:i]
+	if s.name == "" {
+		t.Fatalf("line %d: empty metric name %q", ln, line)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			key := line[i:j]
+			if key == "" || j+1 >= len(line) || line[j+1] != '"' {
+				t.Fatalf("line %d: malformed label in %q", ln, line)
+			}
+			i = j + 2
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					t.Fatalf("line %d: unterminated label value in %q", ln, line)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\n' {
+					t.Fatalf("line %d: raw newline in label value", ln)
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						t.Fatalf("line %d: dangling escape in %q", ln, line)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: invalid escape \\%c", ln, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			s.labels[key] = val.String()
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			t.Fatalf("line %d: malformed label list in %q", ln, line)
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		t.Fatalf("line %d: missing value separator in %q", ln, line)
+	}
+	raw := line[i+1:]
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil && raw != "+Inf" && raw != "-Inf" && raw != "NaN" {
+		t.Fatalf("line %d: bad value %q: %v", ln, raw, err)
+	}
+	s.value = v
+	return s
+}
+
+// TestPromTextGoldenRoundTrip is the exposition-correctness golden test:
+// metrics with hostile label values and HELP text must render to output a
+// strict parser accepts and whose parsed values round-trip exactly.
+func TestPromTextGoldenRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total").Add(7)
+	r.Help("plain_total", "A counter with\nnewline and back\\slash help.")
+	r.Gauge("occupancy").Set(0.625)
+	hostile := map[string]string{
+		"path":  `C:\temp\"quoted"` + "\nline2",
+		"phase": "embed",
+	}
+	r.CounterWith("events_total", hostile).Add(3)
+	r.CounterWith("events_total", map[string]string{"phase": "backward"}).Add(2)
+	r.Counter("events_total").Add(5) // unlabeled + labeled in one family
+	r.GaugeWith("lane_depth", map[string]string{"lane": "a,b=c"}).Set(1.5)
+	r.Histogram("lat_seconds", 0.1, 1).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	samples := parsePromText(t, first)
+
+	get := func(name string, labels map[string]string) float64 {
+		t.Helper()
+		for _, s := range samples {
+			if s.name != name || len(s.labels) != len(labels) {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return s.value
+			}
+		}
+		t.Fatalf("no sample %s%v in:\n%s", name, labels, first)
+		return 0
+	}
+	if get("plain_total", nil) != 7 {
+		t.Fatal("plain_total mangled")
+	}
+	if get("occupancy", nil) != 0.625 {
+		t.Fatal("occupancy mangled")
+	}
+	// The hostile label value must round-trip byte-exact through
+	// escape → parse → unescape.
+	if get("events_total", hostile) != 3 {
+		t.Fatal("hostile label value did not round-trip")
+	}
+	if get("events_total", map[string]string{"phase": "backward"}) != 2 {
+		t.Fatal("second labeled series lost")
+	}
+	if get("events_total", nil) != 5 {
+		t.Fatal("unlabeled sample lost from mixed family")
+	}
+	if get("lane_depth", map[string]string{"lane": "a,b=c"}) != 1.5 {
+		t.Fatal("comma/equals label value did not round-trip")
+	}
+	if get("lat_seconds_bucket", map[string]string{"le": "1"}) != 1 {
+		t.Fatal("histogram bucket mangled")
+	}
+	if get("lat_seconds_count", nil) != 1 {
+		t.Fatal("histogram count mangled")
+	}
+
+	// HELP must be escaped (no raw newline may split the comment).
+	if !strings.Contains(first, `# HELP plain_total A counter with\nnewline and back\\slash help.`) {
+		t.Fatalf("HELP not escaped:\n%s", first)
+	}
+
+	// Output must be deterministic across renders.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Fatal("exposition output not stable across renders")
+	}
+}
+
+// TestSnapshot pins the flat registry view the flight recorder embeds.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(3.5)
+	r.CounterWith("c_total", map[string]string{"k": "v"}).Inc()
+	r.Histogram("d_seconds", 1).Observe(0.5)
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{
+		"a_total":         2,
+		"b":               3.5,
+		`c_total{k="v"}`:  1,
+		"d_seconds_count": 1,
+		"d_seconds_sum":   0.5,
+	} {
+		if snap[k] != want {
+			t.Fatalf("snapshot[%q] = %v, want %v (full: %v)", k, snap[k], want, snap)
+		}
+	}
+	var nilReg *Registry
+	if nilReg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+}

@@ -2,10 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrTraceClosed is returned by Emit after Close.
+var ErrTraceClosed = errors.New("obs: trace sink closed")
 
 // TraceSink writes one JSON record per line (JSONL) to an underlying
 // writer. Emit is safe for concurrent use; records are never interleaved.
@@ -16,6 +20,7 @@ type TraceSink struct {
 	enc     *json.Encoder
 	closer  io.Closer
 	records atomic.Int64
+	closed  bool
 	err     error
 }
 
@@ -31,13 +36,20 @@ func NewTrace(w io.Writer) *TraceSink {
 
 // Emit appends one record. A nil sink is a no-op, so call sites can emit
 // unconditionally. The first write error sticks and is returned by every
-// later Emit and by Close.
+// later Emit and by Close; emitting after Close returns ErrTraceClosed
+// instead of writing to a closed file.
 func (t *TraceSink) Emit(v any) error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		if t.err != nil {
+			return t.err
+		}
+		return ErrTraceClosed
+	}
 	if t.err != nil {
 		return t.err
 	}
@@ -58,13 +70,15 @@ func (t *TraceSink) Records() int64 {
 }
 
 // Close closes the underlying writer when it is closable and returns the
-// sticky write error, if any.
+// sticky write error, if any. Close is idempotent; later Emits fail with
+// ErrTraceClosed.
 func (t *TraceSink) Close() error {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.closed = true
 	if t.closer != nil {
 		if cerr := t.closer.Close(); cerr != nil && t.err == nil {
 			t.err = cerr

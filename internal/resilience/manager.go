@@ -33,6 +33,10 @@ type Options struct {
 	// optional.
 	Obs   *obs.Registry
 	Trace *obs.TraceSink
+	// Recorder, when non-nil, dumps its flight ring (the last N batch span
+	// trees plus a metrics snapshot) to disk on every health rollback, so the
+	// offending batch's timeline survives the restore.
+	Recorder *obs.FlightRecorder
 	// Injector, when non-nil, is installed into the trainer and consulted by
 	// the checkpoint writer (tests and chaos runs).
 	Injector *faultinject.Injector
@@ -177,6 +181,17 @@ func (m *Manager) Run(epochs int) ([]train.EpochStats, error) {
 		var he *train.HealthError
 		if !errors.As(err, &he) {
 			return out, err
+		}
+		// Dump the flight ring before restoring: the offending batch's span
+		// tree is still in the ring, and the metrics snapshot still reflects
+		// the pre-rollback scheduler state (ABS, filter counters).
+		if m.opt.Recorder != nil {
+			if path, derr := m.opt.Recorder.Dump("health_rollback"); derr != nil {
+				m.opt.Trace.Emit(map[string]any{"event": "flight_dump_failed", "error": derr.Error()})
+			} else {
+				m.count("resilience_flight_dumps_total")
+				m.opt.Trace.Emit(map[string]any{"event": "flight_dump", "path": path, "reason": "health_rollback"})
+			}
 		}
 		if m.lastGood == nil {
 			return out, fmt.Errorf("resilience: %w; no checkpoint to roll back to", he)

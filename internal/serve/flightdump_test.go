@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/load"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// TestBreakerOpenFlightDump: the closed→open transition of the scoring
+// breaker must dump the span ring exactly once (reason "breaker_open"),
+// with the preceding requests' spans inside. Re-opening from half-open
+// after the cooldown produces a second, separate dump.
+func TestBreakerOpenFlightDump(t *testing.T) {
+	clk := struct {
+		mu sync.Mutex
+		t  time.Time
+	}{t: time.Unix(0, 0)}
+	now := func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		return clk.t
+	}
+	inj := faultinject.New()
+	// Stall scores 1-3: two misses trip the breaker, the third re-opens it
+	// from half-open after the cooldown.
+	inj.ArmDelay(faultinject.PointServeSlowScore, 120*time.Millisecond, 1, 2, 3)
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	rec := obs.NewFlightRecorder(dir, 16, reg)
+	rec.SetClock(func() time.Time {
+		return time.Date(2026, 8, 5, 14, 0, 0, 0, time.UTC)
+	})
+	tracer := obs.NewTracer(obs.TracerOptions{Flight: rec, Registry: reg})
+	s := buildServer(t, overloadData(t),
+		WithRegistry(reg), WithInjector(inj),
+		WithTracer(tracer), WithFlightRecorder(rec),
+		WithBreaker(load.BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Second, Now: now}))
+	h := s.Handler()
+
+	slowScore := func() {
+		req := httptest.NewRequest("POST", "/score", strings.NewReader(`{"pairs":[{"src":1,"dst":61}],"time":1e7}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Timeout-Ms", "30")
+		recw := httptest.NewRecorder()
+		h.ServeHTTP(recw, req)
+		if recw.Code != http.StatusServiceUnavailable {
+			t.Fatalf("deadline-missed score: %d %s, want 503", recw.Code, recw.Body)
+		}
+	}
+	slowScore()
+	slowScore()
+	if st := s.breaker.State(); st != load.BreakerOpen {
+		t.Fatalf("breaker %v, want open", st)
+	}
+
+	files := func() []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "flight-") {
+				out = append(out, e.Name())
+			}
+		}
+		return out
+	}
+	got := files()
+	if len(got) != 1 {
+		t.Fatalf("dump files %v, want exactly one after the open transition", got)
+	}
+	if !strings.Contains(got[0], "breaker_open") {
+		t.Fatalf("dump file %q does not carry the trigger reason", got[0])
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, got[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Reason string `json:"reason"`
+		Time   string `json:"time"`
+		Spans  []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"spans"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if d.Reason != "breaker_open" {
+		t.Fatalf("reason %q", d.Reason)
+	}
+	if d.Time != "2026-08-05T14:00:00Z" {
+		t.Fatalf("dump time %q not from the injected clock", d.Time)
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("dump has no spans — the first missed request's span should be retained")
+	}
+	if got := reg.Counter("serve_flight_dumps_total").Value(); got != 1 {
+		t.Fatalf("serve_flight_dumps_total %d, want 1", got)
+	}
+
+	// Cooldown elapses, the half-open probe stalls too → re-open → exactly
+	// one more dump.
+	clk.mu.Lock()
+	clk.t = clk.t.Add(11 * time.Second)
+	clk.mu.Unlock()
+	slowScore()
+	if got := files(); len(got) != 2 {
+		t.Fatalf("dump files %v, want two after the re-open", got)
+	}
+}
+
+// TestDebugPipelineEndpoint: /debug/pipeline serves the tracer's per-phase
+// summaries and the flight ring's retention as JSON, and degrades to empty
+// data with tracing disabled.
+func TestDebugPipelineEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(t.TempDir(), 8, reg)
+	tracer := obs.NewTracer(obs.TracerOptions{Flight: rec, Registry: reg})
+	s := buildServer(t, overloadData(t),
+		WithRegistry(reg), WithTracer(tracer), WithFlightRecorder(rec))
+	h := s.Handler()
+
+	// One request through the instrumented mux populates the "other" lane.
+	if rec := get(t, h, "/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	recw := get(t, h, "/debug/pipeline")
+	if recw.Code != http.StatusOK {
+		t.Fatalf("debug/pipeline: %d", recw.Code)
+	}
+	var resp struct {
+		TraceID string `json:"trace_id"`
+		Phases  []struct {
+			Phase string  `json:"phase"`
+			Count int64   `json:"count"`
+			P99S  float64 `json:"p99_seconds"`
+		} `json:"phases"`
+		Flight map[string]any `json:"flight"`
+	}
+	if err := json.Unmarshal(recw.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("no trace_id")
+	}
+	found := false
+	for _, p := range resp.Phases {
+		if p.Phase == "other" && p.Count > 0 && p.P99S > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no populated 'other' phase summary in %s", recw.Body)
+	}
+	if resp.Flight == nil {
+		t.Fatal("no flight status")
+	}
+
+	// Tracing disabled: endpoint still answers with empty data.
+	s2 := buildServer(t, overloadData(t), WithRegistry(obs.NewRegistry()))
+	recw2 := get(t, s2.Handler(), "/debug/pipeline")
+	if recw2.Code != http.StatusOK {
+		t.Fatalf("debug/pipeline without tracer: %d", recw2.Code)
+	}
+	var resp2 struct {
+		TraceID string          `json:"trace_id"`
+		Phases  json.RawMessage `json:"phases"`
+	}
+	if err := json.Unmarshal(recw2.Body.Bytes(), &resp2); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if resp2.TraceID != "" {
+		t.Fatalf("trace_id %q with tracing disabled", resp2.TraceID)
+	}
+}

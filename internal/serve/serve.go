@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"mime"
 	"net/http"
 	"sync"
@@ -59,8 +60,11 @@ type Server struct {
 	scored   int64
 	started  time.Time
 
-	metrics *obs.Registry
-	trace   *obs.TraceSink
+	metrics  *obs.Registry
+	trace    *obs.TraceSink
+	tracer   *obs.Tracer
+	recorder *obs.FlightRecorder
+	logger   *slog.Logger
 
 	// Overload resilience (see overload.go). All optional: nil admission
 	// controller, breaker and injector are inert, nil stale disables the
@@ -116,6 +120,27 @@ func WithStaleReplica(model models.TGNN, predictor *nn.MLP, every time.Duration)
 	}
 }
 
+// WithTracer turns every instrumented request into a span (routes land in
+// the "other" lane) and backs GET /debug/pipeline with the tracer's
+// per-phase latency summaries. Nil is fine and keeps the endpoint working
+// with empty data.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// WithFlightRecorder attaches the flight recorder: a breaker open
+// transition dumps the last N span trees to disk (reason "breaker_open"),
+// and /debug/pipeline reports how many trees the ring currently retains.
+func WithFlightRecorder(f *obs.FlightRecorder) Option {
+	return func(s *Server) { s.recorder = f }
+}
+
+// WithLogger emits one structured log record per request (route, status,
+// duration, trace id) at Debug for 2xx/3xx and Warn for errors.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
 // WithInjector arms deterministic fault points (slow/refused scoring) for
 // the chaos suite. Nil is the production default: every point is inert.
 func WithInjector(inj *faultinject.Injector) Option {
@@ -140,9 +165,33 @@ func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Se
 	if s.breakerCfg != nil {
 		cfg := *s.breakerCfg
 		cfg.Obs = s.metrics
+		if s.recorder != nil {
+			// The open transition is the moment the fresh path is declared
+			// down — capture the last N request/batch span trees while the
+			// evidence is still in the ring. OnOpen runs under the breaker
+			// mutex; Dump never touches the breaker, so no reentrancy.
+			rec, log, user := s.recorder, s.logger, cfg.OnOpen
+			cfg.OnOpen = func() {
+				if path, err := rec.Dump("breaker_open"); err != nil {
+					logWarn(log, "flight dump failed", "reason", "breaker_open", "error", err.Error())
+				} else {
+					s.metrics.Counter("serve_flight_dumps_total").Inc()
+					logWarn(log, "flight dump written", "reason", "breaker_open", "path", path)
+				}
+				if user != nil {
+					user()
+				}
+			}
+		}
 		s.breaker = load.NewBreaker(cfg)
 	}
 	return s
+}
+
+func logWarn(l *slog.Logger, msg string, args ...any) {
+	if l != nil {
+		l.Warn(msg, args...)
+	}
 }
 
 // Metrics exposes the server's registry (what GET /metrics renders).
@@ -182,6 +231,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.Handle("GET /debug/pipeline", s.instrument("debug_pipeline", s.handleDebugPipeline))
 	return mux
 }
 
@@ -202,9 +252,13 @@ func (w *statusWriter) WriteHeader(code int) {
 func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		sp := s.tracer.Start("serve_"+route, obs.PhaseOther)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next(sw, r)
 		elapsed := time.Since(start)
+		sp.SetStr("route", route)
+		sp.SetInt("status", int64(sw.status))
+		sp.End()
 		s.metrics.Counter("serve_" + route + "_requests_total").Inc()
 		if sw.status >= 400 {
 			s.metrics.Counter("serve_" + route + "_errors_total").Inc()
@@ -213,6 +267,16 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 		_ = s.trace.Emit(map[string]any{
 			"route": route, "status": sw.status, "duration_ns": elapsed.Nanoseconds(),
 		})
+		if s.logger != nil {
+			lvl := slog.LevelDebug
+			if sw.status >= 400 {
+				lvl = slog.LevelWarn
+			}
+			s.logger.Log(r.Context(), lvl, "request",
+				"route", route, "status", sw.status,
+				"duration_ms", float64(elapsed.Nanoseconds())/1e6,
+				"span_id", sp.ID())
+		}
 	})
 }
 
@@ -389,6 +453,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"breaker":        s.breaker.State().String(),
 		"draining":       s.draining.Load(),
 	})
+}
+
+// handleDebugPipeline serves the tracing subsystem's live view: per-phase
+// latency percentiles (p50/p95/p99 from the streaming log-histograms) and
+// the flight recorder's retention. Works with tracing disabled — the
+// summaries are simply empty.
+func (s *Server) handleDebugPipeline(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"trace_id": s.tracer.ID(),
+		"phases":   s.tracer.Stats().Summary(),
+	}
+	if s.recorder != nil {
+		resp["flight"] = map[string]any{"retained": s.recorder.Retained()}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

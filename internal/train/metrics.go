@@ -124,7 +124,7 @@ func (t *Trainer) ValidateMetrics() Metrics {
 // finishStep recycles the batch's tape into the arena.
 func (t *Trainer) scoreBatch(ds *graph.Dataset, events []graph.Event) (float64, []float32) {
 	prep := t.prepareLink(ds, events)
-	lossT, logits, upd, _, _ := t.forwardPrepared(prep)
+	lossT, logits, upd, _, _ := t.forwardPrepared(prep, nil)
 	var scores []float32
 	if logits != nil {
 		scores = append([]float32(nil), logits.Value.Data...)

@@ -15,7 +15,7 @@ import (
 // taken before finishStep recycles the batch's tape into the arena.
 func (t *Trainer) stepClassOn(events []graph.Event, labels []uint8, learn bool) (float64, []float32) {
 	prep := t.prepareClass(events, labels)
-	lossT, logits, upd, _, _ := t.forwardPrepared(prep)
+	lossT, logits, upd, _, _ := t.forwardPrepared(prep, nil)
 	var scores []float32
 	if logits != nil {
 		scores = append([]float32(nil), logits.Value.Data[:len(events)]...)

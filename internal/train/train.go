@@ -64,6 +64,12 @@ type Config struct {
 	// allocation and arena counters) — see README.md's Observability
 	// section for the metric inventory.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records every training batch as a span tree:
+	// one root span per batch with children for the pipeline phases
+	// (memory update, embed/forward, backward, optimizer step) plus the
+	// scheduler's own spans when it implements batching.SpanScheduler.
+	// nil keeps the hot path allocation-free (the nil-span fast path).
+	Tracer *obs.Tracer
 	// DisablePrefetch turns off the batch-preparation pipeline: batch k+1's
 	// negative sampling and input vectors are then built on the main
 	// goroutine after batch k completes, instead of overlapping its
@@ -266,6 +272,25 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 		return st, err
 	}
 	_, schedCkpt := t.cfg.Sched.(batching.Checkpointable)
+	// Tracing: when enabled and the scheduler can attribute its own phases,
+	// route Next/OnBatchEnd through the spanned variants. With a nil tracer
+	// both helpers collapse to the plain calls and the loop below passes nil
+	// spans everywhere — the zero-allocation disabled path.
+	tracer := t.cfg.Tracer
+	spanSched, _ := t.cfg.Sched.(batching.SpanScheduler)
+	schedNext := func(parent *obs.Span) (batching.Batch, bool) {
+		if tracer != nil && spanSched != nil {
+			return spanSched.NextSpanned(parent)
+		}
+		return t.cfg.Sched.Next()
+	}
+	schedEnd := func(fb batching.Feedback, parent *obs.Span) {
+		if tracer != nil && spanSched != nil {
+			spanSched.OnBatchEndSpanned(fb, parent)
+			return
+		}
+		t.cfg.Sched.OnBatchEnd(fb)
+	}
 	// The loop is software-pipelined: while batch k's backward pass and
 	// message generation run on this goroutine, batch k+1's host-side
 	// preparation (negative sampling, node/timestamp vectors, targets)
@@ -285,14 +310,20 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 	// TestPrefetchMatchesSerial), and a restored run re-prepares batch k+1
 	// from identical state.
 	var prep *preparedBatch
-	if b, ok := t.cfg.Sched.Next(); ok {
+	if b, ok := schedNext(nil); ok {
 		prep = t.prepareSched(b)
 	}
 	for prep != nil {
 		allocBefore := tensor.AllocSnapshot()
 		poolBefore := tensor.PoolSnapshot()
 		events := prep.events
-		lossT, _, upd, tape, tm := t.forwardPrepared(prep)
+		// One root span per batch; the phase children below put the batch on
+		// the Chrome-trace lanes and into the flight-recorder ring.
+		root := tracer.Start("batch", obs.PhaseOther)
+		root.SetInt("epoch", int64(t.epoch))
+		root.SetInt("batch", int64(st.Batches))
+		root.SetInt("size", int64(len(events)))
+		lossT, _, upd, tape, tm := t.forwardPrepared(prep, root)
 		var loss float64
 		if lossT != nil {
 			loss = float64(lossT.Item())
@@ -301,6 +332,8 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 			// Nothing is in flight yet this iteration: free the batch's tape
 			// and abort before the bad loss reaches the scheduler feedback.
 			upd.FreeTape(lossT)
+			root.SetStr("health_error", he.Error())
+			root.End()
 			return fail(he)
 		}
 		lossSum += loss * float64(len(events))
@@ -323,7 +356,7 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 		if !upd.Empty() {
 			fb.Nodes, fb.PreMem, fb.PostMem = upd.Nodes, upd.Pre, upd.Post
 		}
-		t.cfg.Sched.OnBatchEnd(fb)
+		schedEnd(fb, root)
 		// Scheduler signals are sampled after the feedback call so the
 		// trace reflects any ABS decay this batch triggered.
 		var maxr int
@@ -342,18 +375,19 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 		var next *preparedBatch
 		var prepCh chan *preparedBatch
 		if !ckptDue {
-			if nb, ok := t.cfg.Sched.Next(); ok {
+			if nb, ok := schedNext(root); ok {
 				if t.cfg.DisablePrefetch {
-					next = t.prepareSched(nb)
+					next = t.prepareSpanned(nb, root)
 				} else {
 					ch := make(chan *preparedBatch, 1)
-					go func() { ch <- t.prepareSched(nb) }()
+					go func() { ch <- t.prepareSpanned(nb, root) }()
 					prepCh = ch
 				}
 			}
 		}
 		if lossT != nil {
 			mark := time.Now()
+			bsp := root.Child("backward", obs.PhaseBackward)
 			t.opt.ZeroGrad()
 			lossT.Backward()
 			if t.inj.Fire(faultinject.PointTrainNaNGrad) {
@@ -361,17 +395,29 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 			}
 			if he := t.checkGrad(st.Batches-1, loss); he != nil {
 				// Skip the step so the weights keep their last finite values,
-				// then join the prefetch before unwinding.
+				// then join the prefetch before unwinding. Ending the batch's
+				// span tree first lands it in the flight-recorder ring, so a
+				// rollback dump includes the offending batch.
 				upd.FreeTape(lossT)
 				joinPrefetch(prepCh, next).release()
+				bsp.SetFloat("grad_norm", he.GradNorm)
+				bsp.End()
+				root.SetStr("health_error", he.Error())
+				root.SetFloat("loss", loss)
+				root.End()
 				return fail(he)
 			}
+			bsp.End()
+			osp := root.Child("optimizer_step", obs.PhaseOptim)
 			t.opt.Step()
+			osp.End()
 			tm.Backward = time.Since(mark)
 		}
 		if len(events) > 0 {
 			mark := time.Now()
+			msp := root.Child("memory_messages", obs.PhaseMemory)
 			t.cfg.Model.EndBatch(events)
+			msp.End()
 			tm.End = time.Since(mark)
 		}
 		// The batch's tape — loss graph plus the BeginBatch memory update —
@@ -395,6 +441,14 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 				PoolMisses: pool.Misses, PoolFloatsRecycled: pool.FloatsRecycled,
 			})
 		}
+		root.SetFloat("loss", loss)
+		root.SetInt("maxr", int64(maxr))
+		root.SetFloat("stable_ratio", stableRatio)
+		if t.cfg.Device != nil {
+			root.SetInt("device_ns", cost.Time.Nanoseconds())
+			root.SetFloat("occupancy", cost.Occupancy)
+		}
+		root.End()
 		if ckptDue {
 			c, err := t.capture(st.Batches, lossSum, eventSum, occSum, st.DeviceTime)
 			if err != nil {
@@ -404,9 +458,9 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 				return fail(fmt.Errorf("train: checkpoint hook at epoch %d batch %d: %w", t.epoch, st.Batches, err))
 			}
 			// Deferred Sched.Next: prepare batch k+1 serially now that the
-			// snapshot is taken.
+			// snapshot is taken (batch k's span is closed, so no parent).
 			prep = nil
-			if nb, ok := t.cfg.Sched.Next(); ok {
+			if nb, ok := schedNext(nil); ok {
 				prep = t.prepareSched(nb)
 			}
 		} else {
@@ -552,6 +606,19 @@ type preparedBatch struct {
 	prep time.Duration
 }
 
+// prepareSpanned is prepareSched bracketed by a batch_prep child span of the
+// current batch's root — under the prefetch pipeline the child starts and
+// ends on the prefetch goroutine while the root lives on the training
+// goroutine, which the span API supports (and may even outlive the root's
+// End; the sinks tolerate late children).
+func (t *Trainer) prepareSpanned(b batching.Batch, parent *obs.Span) *preparedBatch {
+	sp := parent.Child("batch_prep", obs.PhaseOther)
+	p := t.prepareSched(b)
+	sp.SetInt("size", int64(len(p.events)))
+	sp.End()
+	return p
+}
+
 // prepareSched materializes a scheduler batch into a preparedBatch. Safe to
 // run off the main goroutine: it reads only immutable dataset slices and
 // the trainer rng, which the pipeline hands to exactly one goroutine at a
@@ -631,18 +698,23 @@ func (t *Trainer) prepareClass(events []graph.Event, labels []uint8) *preparedBa
 // the loss. Backward, EndBatch and tape disposal stay with the caller so
 // TrainEpoch can overlap them with the next batch's preparation. For an
 // empty batch the loss and logits are nil (the BeginBatch update still
-// runs and must still be freed).
-func (t *Trainer) forwardPrepared(prep *preparedBatch) (loss, logits *tensor.Tensor, upd *models.MemoryUpdate, tape tensor.TapeStats, tm stageTiming) {
+// runs and must still be freed). parent, when non-nil, receives the memory
+// update and forward pass as child spans.
+func (t *Trainer) forwardPrepared(prep *preparedBatch, parent *obs.Span) (loss, logits *tensor.Tensor, upd *models.MemoryUpdate, tape tensor.TapeStats, tm stageTiming) {
 	model := t.cfg.Model
 	// Step 0 (lazy message application, see internal/models): previous
 	// batch's messages update memories on the tape.
 	mark := time.Now()
+	msp := parent.Child("memory_apply", obs.PhaseMemory)
 	upd = model.BeginBatch()
+	msp.SetInt("updated_nodes", int64(len(upd.Nodes)))
+	msp.End()
 	tm.Begin = time.Since(mark)
 	if len(prep.events) == 0 {
 		return nil, nil, upd, tensor.TapeStats{}, tm
 	}
 	mark = time.Now()
+	esp := parent.Child("embed_forward", obs.PhaseEmbed)
 	h := model.Embed(prep.nodes, prep.ts)
 	if prep.task == TaskNodeClassification {
 		logits = t.predictor.Forward(h)
@@ -654,6 +726,9 @@ func (t *Trainer) forwardPrepared(prep *preparedBatch) (loss, logits *tensor.Ten
 	}
 	loss = tensor.BCEWithLogitsT(logits, tensor.ConstScratch(prep.targets))
 	tape = tensor.StatsOf(loss)
+	esp.SetInt("tape_kernels", int64(tape.Kernels))
+	esp.SetFloat("tape_flops", tape.Flops)
+	esp.End()
 	tm.Embed = time.Since(mark)
 	return loss, logits, upd, tape, tm
 }
@@ -685,7 +760,7 @@ func (t *Trainer) finishStep(lossT *tensor.Tensor, upd *models.MemoryUpdate, eve
 // link-prediction batch, serially, recycling the tape before returning.
 func (t *Trainer) stepOn(ds *graph.Dataset, events []graph.Event, learn bool) float64 {
 	prep := t.prepareLink(ds, events)
-	lossT, _, upd, _, _ := t.forwardPrepared(prep)
+	lossT, _, upd, _, _ := t.forwardPrepared(prep, nil)
 	return t.finishStep(lossT, upd, events, learn)
 }
 

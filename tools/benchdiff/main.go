@@ -1,0 +1,148 @@
+// Command benchdiff compares two benchjson artifacts (see tools/benchjson)
+// and fails when any op present in both regresses beyond the per-metric
+// thresholds. It is the performance gate behind `make benchdiff`: the
+// committed BENCH_pr2.json is the reference, a fresh short run is the
+// candidate, and a tracing-disabled hot path must stay within noise.
+//
+// A regression on a metric means
+//
+//	new > old*(1 + pct/100) + slack
+//
+// where the absolute slack keeps tiny denominators (3 allocs/op, 32 B/op)
+// from tripping the percentage test on noise. Ops present in only one file
+// are reported but never fail the gate — the benchmark set is allowed to
+// grow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Op          string  `json:"op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Note    string   `json:"note,omitempty"`
+	Results []result `json:"results"`
+}
+
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	out := make(map[string]result, len(rep.Results))
+	for _, r := range rep.Results {
+		out[r.Op] = r
+	}
+	return out, nil
+}
+
+// worse reports whether new regresses past old by more than pct percent
+// plus slack absolute units.
+func worse(oldV, newV, pct, slack float64) bool {
+	return newV > oldV*(1+pct/100)+slack
+}
+
+func pctChange(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func main() {
+	oldPath := flag.String("old", "", "reference benchjson artifact (required)")
+	newPath := flag.String("new", "", "candidate benchjson artifact (required)")
+	maxNsPct := flag.Float64("max-ns-pct", 50, "max ns/op regression in percent")
+	maxBytesPct := flag.Float64("max-bytes-pct", 50, "max B/op regression in percent")
+	maxAllocsPct := flag.Float64("max-allocs-pct", 25, "max allocs/op regression in percent")
+	bytesSlack := flag.Float64("bytes-slack", 1024, "absolute B/op slack before the percentage test applies")
+	allocsSlack := flag.Float64("allocs-slack", 8, "absolute allocs/op slack before the percentage test applies")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	ops := make([]string, 0, len(oldRes))
+	for op := range oldRes {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+
+	var regressions []string
+	compared := 0
+	for _, op := range ops {
+		o := oldRes[op]
+		n, ok := newRes[op]
+		if !ok {
+			fmt.Printf("  %-32s only in %s (skipped)\n", op, *oldPath)
+			continue
+		}
+		compared++
+		line := fmt.Sprintf("  %-32s ns %+7.1f%%  B %+7.1f%%  allocs %+7.1f%%",
+			op, pctChange(o.NsPerOp, n.NsPerOp),
+			pctChange(float64(o.BytesPerOp), float64(n.BytesPerOp)),
+			pctChange(float64(o.AllocsPerOp), float64(n.AllocsPerOp)))
+		bad := ""
+		if worse(o.NsPerOp, n.NsPerOp, *maxNsPct, 0) {
+			bad += fmt.Sprintf(" ns/op %v→%v", o.NsPerOp, n.NsPerOp)
+		}
+		if worse(float64(o.BytesPerOp), float64(n.BytesPerOp), *maxBytesPct, *bytesSlack) {
+			bad += fmt.Sprintf(" B/op %d→%d", o.BytesPerOp, n.BytesPerOp)
+		}
+		if worse(float64(o.AllocsPerOp), float64(n.AllocsPerOp), *maxAllocsPct, *allocsSlack) {
+			bad += fmt.Sprintf(" allocs/op %d→%d", o.AllocsPerOp, n.AllocsPerOp)
+		}
+		if bad != "" {
+			line += "  REGRESSION:" + bad
+			regressions = append(regressions, op+":"+bad)
+		}
+		fmt.Println(line)
+	}
+	for op := range newRes {
+		if _, ok := oldRes[op]; !ok {
+			fmt.Printf("  %-32s only in %s (new op, skipped)\n", op, *newPath)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no ops in common")
+		os.Exit(1)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond thresholds (ns %.0f%%, B %.0f%%, allocs %.0f%%):\n",
+			len(regressions), *maxNsPct, *maxBytesPct, *maxAllocsPct)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d ops compared, no regression beyond thresholds\n", compared)
+}

@@ -3,14 +3,16 @@ GO ?= go
 # Packages whose tests exercise real concurrency; they get a second pass
 # under the race detector. tensor covers the parallel GEMM kernels, train
 # the batch-prep prefetch pipeline, distributed the replica barrier and
-# eviction paths, resilience the checkpoint/rollback machinery.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/distributed/... ./internal/resilience/... ./internal/load/...
+# eviction paths, resilience the checkpoint/rollback machinery, memstore
+# the sharded mailbox under concurrent read/push.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/...
 
 # The fault suite: injected NaN gradients with rollback, kill-and-resume
-# equivalence, checkpoint-write failures, replica death/hang eviction and
-# flap-then-rejoin, dropped barrier reports, overload shedding, stale
-# degradation, breaker trips, graceful drain — all under the race detector.
-FAULT_RE = ^(TestKillAndResume|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires)
+# equivalence (exact and bounded-staleness pipelines), checkpoint-write
+# failures, replica death/hang eviction and flap-then-rejoin, dropped
+# barrier reports, overload shedding, stale degradation, breaker trips,
+# graceful drain, torn mailbox reads — all under the race detector.
+FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires)
 
 # Hot-path micro-benchmarks captured in BENCH_pr2.json: the GEMM variants
 # (plain / ᵀA / ᵀB, ragged shapes), the GRU training step, one full
@@ -18,10 +20,10 @@ FAULT_RE = ^(TestKillAndResume|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStepTGN|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke
 
 build:
 	$(GO) build ./...
@@ -64,12 +66,17 @@ benchsmoke:
 # suite under -race, then a real checkpointed cascade-train run whose files
 # must pass the ckptcheck linter.
 faultsmoke:
-	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/...
+	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/... ./internal/memstore/...
 	rm -rf /tmp/cascade-faultsmoke-ckpt
 	$(GO) run ./cmd/cascade-train -events 800 -epochs 2 -health \
 		-checkpoint-dir /tmp/cascade-faultsmoke-ckpt -checkpoint-every 5 > /dev/null
 	$(GO) run ./tools/ckptcheck -dir /tmp/cascade-faultsmoke-ckpt
 	rm -rf /tmp/cascade-faultsmoke-ckpt
+
+# stalesmoke gates the bounded-staleness pipeline: s=0 twice must agree
+# bitwise, s=2 must actually serve stale reads within budget and diverge.
+stalesmoke:
+	$(GO) test -count=1 -run '^TestStaleSmoke$$' ./internal/train
 
 # chaossmoke drives the deterministic chaos harness end to end: a 10× burst
 # against a saturated scoring server must shed-not-collapse, and a flapping

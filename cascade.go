@@ -142,6 +142,12 @@ type RunConfig struct {
 	// update). Build one with NewTracer, feeding it a Chrome trace writer
 	// and/or flight recorder. Nil costs nothing on the hot path.
 	Tracer *Tracer
+	// Staleness is the bounded-staleness budget s: a training batch may
+	// read node memories at most s memory-update rounds behind, letting
+	// deferred updates collapse across batches instead of serializing
+	// every batch behind the memory-update stage. 0 (default) is the exact
+	// schedule, bitwise-identical to prior behavior. See DESIGN.md §12.
+	Staleness int
 }
 
 // Result summarizes a finished run.
@@ -251,7 +257,7 @@ func NewRun(cfg RunConfig) (*Run, error) {
 		Model: model, Sched: r.sched, Data: tr, Val: val,
 		LR: cfg.LR, ValBatch: cfg.ValBatch, Seed: cfg.Seed,
 		Task: cfg.Task, OnBatch: cfg.OnBatch, Obs: cfg.Obs,
-		Tracer: cfg.Tracer,
+		Tracer: cfg.Tracer, Staleness: cfg.Staleness,
 	}
 	if !cfg.SkipDevice {
 		dev := DevicePreset(cfg.Scheduler)

@@ -28,6 +28,7 @@ func main() {
 	flag.IntVar(&set.MemoryDim, "memdim", set.MemoryDim, "node memory width")
 	flag.IntVar(&set.TimeDim, "timedim", set.TimeDim, "time encoding width")
 	flag.IntVar(&set.FeatDim, "featdim", set.FeatDim, "edge feature width override")
+	flag.IntVar(&set.Staleness, "staleness", set.Staleness, "bounded-staleness budget for every run (0 = exact; the 'staleness' experiment sweeps its own)")
 	flag.Int64Var(&set.Seed, "seed", set.Seed, "random seed")
 	flag.IntVar(&set.Workers, "workers", set.Workers, "CPU workers (0 = all cores)")
 	flag.Parse()

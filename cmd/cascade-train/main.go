@@ -32,6 +32,7 @@ func main() {
 	lr := flag.Float64("lr", 1e-3, "Adam learning rate")
 	theta := flag.Float64("theta", 0.9, "SG-Filter similarity threshold")
 	seed := flag.Int64("seed", 1, "random seed")
+	staleness := flag.Int("staleness", 0, "bounded-staleness budget: forward passes may read node memories up to this many update rounds behind (0 = exact schedule)")
 	task := flag.String("task", "link", "task: link (edge prediction) or nodeclass (needs a labeled dataset, e.g. MOOC)")
 	metrics := flag.Bool("metrics", false, "also report ROC-AUC and Average Precision")
 	savePath := flag.String("save", "", "write a model checkpoint here after training")
@@ -139,6 +140,7 @@ func main() {
 		LR:        float32(*lr),
 		ThetaSim:  *theta,
 		Seed:      *seed,
+		Staleness: *staleness,
 	}
 	switch *task {
 	case "link":
@@ -217,10 +219,15 @@ func main() {
 	logger.Info("training starting", "model", *model, "dataset", ds.Name,
 		"scheduler", *scheduler, "epochs", *epochs, "base_batch", *base)
 	printEpoch := func(st train.EpochStats) {
-		fmt.Printf("%5d %8d %10.1f %12.5f %12v %8v %7.1f%% %7.1f%%\n",
+		fmt.Printf("%5d %8d %10.1f %12.5f %12v %8v %7.1f%% %7.1f%%",
 			st.Epoch, st.Batches, st.MeanBatchSize, st.Loss,
 			st.WallTime.Round(1e6), st.DeviceTime.Round(1e5),
 			100*st.MeanOccupancy, 100*st.StableRatio)
+		if *staleness > 0 {
+			fmt.Printf("  stale served %d (max %d/%d), applied rounds %d",
+				st.StaleServed, st.StaleMax, *staleness, st.StaleAppliedRounds)
+		}
+		fmt.Println()
 		logger.Debug("epoch complete", "epoch", st.Epoch, "batches", st.Batches,
 			"loss", st.Loss, "wall_ms", st.WallTime.Milliseconds())
 	}

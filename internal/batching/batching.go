@@ -46,6 +46,31 @@ func (b Batch) Events(events []graph.Event) []graph.Event {
 	return out
 }
 
+// UniqueNodes returns the distinct endpoint nodes of events in first-touch
+// order, appending to dst (pass nil, or a recycled slice to avoid the
+// allocation). This is the per-node dependency set the bounded-staleness
+// ledger budgets on: each listed node receives exactly one pending
+// memory-update round from the batch (messages collapse most-recent per
+// node).
+func UniqueNodes(events []graph.Event, dst []int32) []int32 {
+	seen := make(map[int32]struct{}, 2*len(events))
+	for _, e := range events {
+		for _, n := range [2]int32{e.Src, e.Dst} {
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				dst = append(dst, n)
+			}
+		}
+	}
+	return dst
+}
+
+// Nodes returns the batch's unique endpoint nodes in first-touch order,
+// materializing from the full event sequence.
+func (b Batch) Nodes(events []graph.Event) []int32 {
+	return UniqueNodes(b.Events(events), nil)
+}
+
 // Feedback is the runtime signal a trainer reports after finishing a batch.
 type Feedback struct {
 	// Loss is the batch's training loss.

@@ -270,3 +270,34 @@ func TestShuffledFixedIntraBatchChronology(t *testing.T) {
 		}
 	}
 }
+
+// TestUniqueNodes pins the first-touch dedup the staleness ledger relies
+// on: one entry per distinct endpoint, ordered by first appearance, for
+// both contiguous and indexed batches.
+func TestUniqueNodes(t *testing.T) {
+	events := []graph.Event{
+		{Src: 3, Dst: 1, Time: 1},
+		{Src: 1, Dst: 2, Time: 2},
+		{Src: 2, Dst: 3, Time: 3},
+		{Src: 4, Dst: 4, Time: 4},
+	}
+	got := UniqueNodes(events, nil)
+	want := []int32{3, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("unique nodes %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unique nodes %v, want %v", got, want)
+		}
+	}
+	// Append-into-dst reuses the caller's slice.
+	dst := make([]int32, 0, 8)
+	if got := UniqueNodes(events[:1], dst); len(got) != 2 || &got[0] != &dst[:1][0] {
+		t.Fatalf("dst reuse broken: %v", got)
+	}
+	b := Batch{Indices: []int{3, 0}}
+	if got := b.Nodes(events); len(got) != 3 || got[0] != 4 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("indexed batch nodes %v", got)
+	}
+}

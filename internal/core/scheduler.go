@@ -356,6 +356,18 @@ func (s *Scheduler) TableMemoryBytes() int64 {
 // FlagMemoryBytes reports the stable-flag array's size (Fig. 13c "SF").
 func (s *Scheduler) FlagMemoryBytes() int64 { return s.filter.MemoryBytes() }
 
+// RelevantCount reports how many events in [st, ed) are relevant to node n
+// per the dependency table — the per-node dependency weight the
+// bounded-staleness pipeline attaches to forced applies (a high count means
+// deferring the node would have starved many in-batch reads). Returns 0
+// when the scheduler runs chunked (Cascade_EX keeps no full table).
+func (s *Scheduler) RelevantCount(n int32, st, ed int) int {
+	if s.full == nil {
+		return 0
+	}
+	return s.full.CountInRange(n, st, ed)
+}
+
 // SensorMaxr reports the current Maxr (duck-typed by the trainer's epoch
 // statistics).
 func (s *Scheduler) SensorMaxr() int { return s.abs.Maxr() }

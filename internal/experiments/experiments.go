@@ -42,6 +42,10 @@ type Settings struct {
 	// FeatDim overrides dataset edge-feature width (0 keeps profile
 	// widths, which dominate runtime at small scales).
 	FeatDim int
+	// Staleness is the bounded-staleness budget every training run is
+	// executed under (0, the default, keeps every pipeline exact; the
+	// dedicated "staleness" experiment sweeps its own budgets regardless).
+	Staleness int
 	// Seed drives everything.
 	Seed int64
 	// Workers bounds CPU parallelism (≤0: all cores).
@@ -92,7 +96,7 @@ var IDs = []string{
 	"fig12a", "fig12b", "fig12c", "fig12d",
 	"fig13a", "fig13b", "fig13c",
 	"fig14", "fig15", "fig16",
-	"ablation-chunk", "ablation-maxr", "convergence",
+	"ablation-chunk", "ablation-maxr", "convergence", "staleness",
 }
 
 // Run dispatches one experiment by id.
@@ -138,6 +142,8 @@ func (r *Runner) Run(id string) error {
 		return r.AblationMaxr()
 	case "convergence":
 		return r.Convergence()
+	case "staleness":
+		return r.Staleness()
 	default:
 		return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs)
 	}
@@ -238,6 +244,7 @@ func (r *Runner) run(model, dsName string, kind cascade.SchedulerKind, batchOver
 		MemoryDim: r.Set.MemoryDim,
 		TimeDim:   r.Set.TimeDim,
 		ThetaSim:  theta,
+		Staleness: r.Set.Staleness,
 		Workers:   r.Set.Workers,
 		Seed:      r.Set.Seed,
 	}

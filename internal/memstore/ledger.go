@@ -1,0 +1,124 @@
+package memstore
+
+import "fmt"
+
+// StalenessLedger tracks, per node, how many memory-update rounds have been
+// queued against the node but not yet applied to its memory vector — the
+// unit the bounded-staleness pipeline (MSPipe, PAPERS.md) budgets on. The
+// trainer bumps a node's round count when a batch's EndBatch queues a
+// message for it (NoteQueued), zeroes it when a BeginBatch applies the
+// node's pending update (NoteApplied), and records every anchor read
+// (NoteServed) so /metrics can report how stale served memories actually
+// were. Not safe for concurrent use: the trainer drives it from the
+// single-goroutine batch loop.
+type StalenessLedger struct {
+	rounds []int32
+
+	// Cumulative counters since the last Reset (epoch start).
+	queued      int64 // node-rounds queued by EndBatch
+	applied     int64 // node-rounds cleared by partial applies
+	servedStale int64 // anchor reads that saw ≥1 unapplied round
+	servedFresh int64 // anchor reads that saw fully-applied memory
+	maxServed   int32 // worst staleness any read was served at
+}
+
+// NewStalenessLedger builds a zeroed ledger for numNodes nodes.
+func NewStalenessLedger(numNodes int) *StalenessLedger {
+	if numNodes <= 0 {
+		panic(fmt.Sprintf("memstore: staleness ledger for %d nodes", numNodes))
+	}
+	return &StalenessLedger{rounds: make([]int32, numNodes)}
+}
+
+// NumNodes reports the ledger's capacity.
+func (l *StalenessLedger) NumNodes() int { return len(l.rounds) }
+
+// Rounds returns how many queued-but-unapplied update rounds node n has.
+func (l *StalenessLedger) Rounds(n int32) int { return int(l.rounds[n]) }
+
+// NoteQueued records one new pending update round for each node (a batch's
+// unique event endpoints after EndBatch).
+func (l *StalenessLedger) NoteQueued(nodes []int32) {
+	for _, n := range nodes {
+		l.rounds[n]++
+	}
+	l.queued += int64(len(nodes))
+}
+
+// NoteApplied clears the listed nodes' pending rounds (their memories are
+// now fully up to date) and accounts the drained rounds.
+func (l *StalenessLedger) NoteApplied(nodes []int32) {
+	for _, n := range nodes {
+		l.applied += int64(l.rounds[n])
+		l.rounds[n] = 0
+	}
+}
+
+// NoteServed records that node n's memory was read at its current staleness
+// and returns that staleness in rounds.
+func (l *StalenessLedger) NoteServed(n int32) int {
+	r := l.rounds[n]
+	if r > 0 {
+		l.servedStale++
+	} else {
+		l.servedFresh++
+	}
+	if r > l.maxServed {
+		l.maxServed = r
+	}
+	return int(r)
+}
+
+// Counters returns the cumulative accounting since the last Reset.
+func (l *StalenessLedger) Counters() (queued, applied, servedStale, servedFresh int64, maxServed int) {
+	return l.queued, l.applied, l.servedStale, l.servedFresh, int(l.maxServed)
+}
+
+// Reset zeroes all per-node rounds and counters (epoch start).
+func (l *StalenessLedger) Reset() {
+	for i := range l.rounds {
+		l.rounds[i] = 0
+	}
+	l.queued, l.applied, l.servedStale, l.servedFresh, l.maxServed = 0, 0, 0, 0, 0
+}
+
+// MemoryBytes reports the ledger's resident size.
+func (l *StalenessLedger) MemoryBytes() int64 { return int64(len(l.rounds)) * 4 }
+
+// LedgerCheckpoint is the serializable deep copy of a StalenessLedger — the
+// staleness section of a full-state training checkpoint. Checkpoints taken
+// mid-epoch under s>0 must carry the ledger: the restored trainer owes the
+// deferred nodes exactly the rounds the original one did, or the resumed
+// run's apply schedule (and therefore its numerics) would diverge.
+type LedgerCheckpoint struct {
+	Rounds                                    []int32
+	Queued, Applied, ServedStale, ServedFresh int64
+	MaxServed                                 int32
+}
+
+// Checkpoint captures the ledger's full state.
+func (l *StalenessLedger) Checkpoint() *LedgerCheckpoint {
+	return &LedgerCheckpoint{
+		Rounds:      append([]int32(nil), l.rounds...),
+		Queued:      l.queued,
+		Applied:     l.applied,
+		ServedStale: l.servedStale,
+		ServedFresh: l.servedFresh,
+		MaxServed:   l.maxServed,
+	}
+}
+
+// RestoreCheckpoint overwrites the ledger with a same-shape checkpoint.
+func (l *StalenessLedger) RestoreCheckpoint(c *LedgerCheckpoint) error {
+	if c == nil {
+		return fmt.Errorf("memstore: nil ledger checkpoint")
+	}
+	if len(c.Rounds) != len(l.rounds) {
+		return fmt.Errorf("memstore: ledger checkpoint has %d nodes, ledger holds %d", len(c.Rounds), len(l.rounds))
+	}
+	copy(l.rounds, c.Rounds)
+	l.queued, l.applied = c.Queued, c.Applied
+	l.servedStale, l.servedFresh = c.ServedStale, c.ServedFresh
+	l.maxServed = c.MaxServed
+	return nil
+}

@@ -1,0 +1,63 @@
+package memstore
+
+import "testing"
+
+func TestStalenessLedgerRounds(t *testing.T) {
+	l := NewStalenessLedger(4)
+	l.NoteQueued([]int32{0, 1, 2})
+	l.NoteQueued([]int32{1, 2})
+	if l.Rounds(0) != 1 || l.Rounds(1) != 2 || l.Rounds(3) != 0 {
+		t.Fatalf("rounds %d %d %d", l.Rounds(0), l.Rounds(1), l.Rounds(3))
+	}
+	if got := l.NoteServed(1); got != 2 {
+		t.Fatalf("served staleness %d, want 2", got)
+	}
+	l.NoteServed(3)
+	l.NoteApplied([]int32{1, 3})
+	if l.Rounds(1) != 0 {
+		t.Fatal("apply must clear rounds")
+	}
+	queued, applied, stale, fresh, maxServed := l.Counters()
+	if queued != 5 || applied != 2 || stale != 1 || fresh != 1 || maxServed != 2 {
+		t.Fatalf("counters %d %d %d %d %d", queued, applied, stale, fresh, maxServed)
+	}
+	l.Reset()
+	if l.Rounds(2) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if q, _, _, _, _ := l.Counters(); q != 0 {
+		t.Fatal("counters survive reset")
+	}
+}
+
+func TestStalenessLedgerCheckpointRoundTrip(t *testing.T) {
+	l := NewStalenessLedger(3)
+	l.NoteQueued([]int32{0, 2})
+	l.NoteServed(2)
+	c := l.Checkpoint()
+	l.NoteQueued([]int32{0, 1, 2}) // diverge after the snapshot
+	l.NoteApplied([]int32{0})
+	if err := l.RestoreCheckpoint(c); err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds(0) != 1 || l.Rounds(1) != 0 || l.Rounds(2) != 1 {
+		t.Fatalf("restored rounds %d %d %d", l.Rounds(0), l.Rounds(1), l.Rounds(2))
+	}
+	queued, applied, stale, fresh, maxServed := l.Counters()
+	if queued != 2 || applied != 0 || stale != 1 || fresh != 0 || maxServed != 1 {
+		t.Fatalf("restored counters %d %d %d %d %d", queued, applied, stale, fresh, maxServed)
+	}
+	// Checkpoint must be a deep copy: mutating the ledger after capture
+	// cannot corrupt the snapshot.
+	c2 := l.Checkpoint()
+	l.NoteQueued([]int32{1})
+	if c2.Rounds[1] != 0 {
+		t.Fatal("checkpoint aliases ledger rounds")
+	}
+	if err := l.RestoreCheckpoint(&LedgerCheckpoint{Rounds: make([]int32, 99)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if err := l.RestoreCheckpoint(nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+}

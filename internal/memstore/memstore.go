@@ -5,6 +5,7 @@ package memstore
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/cascade-ml/cascade/internal/tensor"
 )
@@ -46,14 +47,19 @@ func (s *MemoryStore) Gather(nodes []int32) *tensor.Matrix {
 }
 
 // Write stores vals row i into node nodes[i] and stamps its last-update
-// time.
+// time. The stamp is clamped to the monotonic max: out-of-timestamp-order
+// updates (shuffled schedulers, deferred staleness applies) overwrite the
+// vector but may not make a node's clock run backwards — Δt features
+// (Eq. 2) and the staleness ledger both assume non-negative elapsed time.
 func (s *MemoryStore) Write(nodes []int32, vals *tensor.Matrix, t float64) {
 	if vals.Rows != len(nodes) || vals.Cols != s.Dim {
 		panic(fmt.Sprintf("memstore: write %dx%d for %d nodes × %d dims", vals.Rows, vals.Cols, len(nodes), s.Dim))
 	}
 	for i, n := range nodes {
 		copy(s.mem.Row(int(n)), vals.Row(i))
-		s.lastUpdate[n] = t
+		if t > s.lastUpdate[n] {
+			s.lastUpdate[n] = t
+		}
 	}
 }
 
@@ -82,10 +88,39 @@ type MailEntry struct {
 // Mailbox is APAN's asynchronous mailbox: a bounded ring of the K most
 // recent message vectors per node (Table 1: most_recent, num = 10). Memory
 // updates attend over the mailbox contents instead of a single message.
+//
+// Push/Read/Count are safe for concurrent use: per-node state is guarded by
+// a shard of mailShards mutexes keyed by node id, so readers on one node
+// never observe a half-written vector from a concurrent Push to the same
+// node, and pushes to distinct nodes rarely contend. Whole-mailbox
+// operations (Reset, Clone, Checkpoint, Restore, MemoryBytes) take every
+// shard and must not run concurrently with each other.
 type Mailbox struct {
 	NumNodes, K, Dim int
 	rings            [][]MailEntry
 	counts, heads    []int
+	locks            [mailShards]sync.Mutex
+}
+
+// mailShards is the number of lock shards guarding per-node mailbox state.
+// 64 keeps contention negligible at trainer concurrency (one pusher, a few
+// readers) without a per-node mutex footprint.
+const mailShards = 64
+
+func (m *Mailbox) lockNode(node int32) *sync.Mutex {
+	return &m.locks[uint32(node)%mailShards]
+}
+
+func (m *Mailbox) lockAll() {
+	for i := range m.locks {
+		m.locks[i].Lock()
+	}
+}
+
+func (m *Mailbox) unlockAll() {
+	for i := len(m.locks) - 1; i >= 0; i-- {
+		m.locks[i].Unlock()
+	}
 }
 
 // NewMailbox builds an empty mailbox keeping k messages of width dim per
@@ -103,11 +138,17 @@ func NewMailbox(numNodes, k, dim int) *Mailbox {
 }
 
 // Push appends a message for node, evicting the oldest beyond K. The vector
-// is copied.
+// is copied. Ring order is push-arrival order, not timestamp order: callers
+// pushing out of time order (deferred batches) still get coherent reads
+// because every entry carries its own Time and consumers (APAN's mailbox
+// attention) weight entries by that Time, never by ring position.
 func (m *Mailbox) Push(node int32, vec []float32, t float64) {
 	if len(vec) != m.Dim {
 		panic(fmt.Sprintf("memstore: mailbox push %d-dim vec, want %d", len(vec), m.Dim))
 	}
+	mu := m.lockNode(node)
+	mu.Lock()
+	defer mu.Unlock()
 	ring := m.rings[node]
 	if ring == nil {
 		ring = make([]MailEntry, m.K)
@@ -126,22 +167,42 @@ func (m *Mailbox) Push(node int32, vec []float32, t float64) {
 }
 
 // Read fills out (pre-sized ≥ K entries) with the node's messages, newest
-// first, and returns the count.
+// pushed first, and returns the count. Each entry's vector is copied into
+// out[i].Vec — the caller owns the result and a later Push cannot mutate it.
+// out[i].Vec buffers are reused when already Dim-capacity (so a warmed
+// caller-held scratch slice keeps the read allocation-free) and allocated
+// on first use otherwise.
 func (m *Mailbox) Read(node int32, out []MailEntry) int {
+	mu := m.lockNode(node)
+	mu.Lock()
+	defer mu.Unlock()
 	n := m.counts[node]
 	ring := m.rings[node]
+	h := m.heads[node]
 	for i := 0; i < n; i++ {
-		idx := (m.heads[node] - 1 - i + 2*m.K) % m.K
-		out[i] = ring[idx]
+		idx := (h - 1 - i + 2*m.K) % m.K
+		if cap(out[i].Vec) < m.Dim {
+			out[i].Vec = make([]float32, m.Dim)
+		}
+		out[i].Vec = out[i].Vec[:m.Dim]
+		copy(out[i].Vec, ring[idx].Vec)
+		out[i].Time = ring[idx].Time
 	}
 	return n
 }
 
 // Count returns the number of stored messages for node.
-func (m *Mailbox) Count(node int32) int { return m.counts[node] }
+func (m *Mailbox) Count(node int32) int {
+	mu := m.lockNode(node)
+	mu.Lock()
+	defer mu.Unlock()
+	return m.counts[node]
+}
 
 // Reset clears all messages.
 func (m *Mailbox) Reset() {
+	m.lockAll()
+	defer m.unlockAll()
 	for i := range m.counts {
 		m.counts[i] = 0
 		m.heads[i] = 0
@@ -151,6 +212,8 @@ func (m *Mailbox) Reset() {
 // MemoryBytes reports resident size for the space-breakdown experiment. It
 // counts allocated rings only (nodes that never received mail cost nothing).
 func (m *Mailbox) MemoryBytes() int64 {
+	m.lockAll()
+	defer m.unlockAll()
 	var b int64
 	for _, ring := range m.rings {
 		for _, e := range ring {
@@ -163,14 +226,17 @@ func (m *Mailbox) MemoryBytes() int64 {
 
 // WriteEach stores vals row i into node nodes[i], stamping each node with
 // its own timestamp (events within a batch update different nodes at
-// different times).
+// different times). Like Write, timestamps clamp to the monotonic max so a
+// node's last-update clock never regresses.
 func (s *MemoryStore) WriteEach(nodes []int32, vals *tensor.Matrix, times []float64) {
 	if vals.Rows != len(nodes) || vals.Cols != s.Dim || len(times) != len(nodes) {
 		panic(fmt.Sprintf("memstore: WriteEach %dx%d, %d nodes, %d times", vals.Rows, vals.Cols, len(nodes), len(times)))
 	}
 	for i, n := range nodes {
 		copy(s.mem.Row(int(n)), vals.Row(i))
-		s.lastUpdate[n] = times[i]
+		if times[i] > s.lastUpdate[n] {
+			s.lastUpdate[n] = times[i]
+		}
 	}
 }
 
@@ -195,6 +261,8 @@ func (s *MemoryStore) CopyFrom(other *MemoryStore) {
 
 // Clone returns a deep copy of the mailbox.
 func (m *Mailbox) Clone() *Mailbox {
+	m.lockAll()
+	defer m.unlockAll()
 	out := NewMailbox(m.NumNodes, m.K, m.Dim)
 	copy(out.counts, m.counts)
 	copy(out.heads, m.heads)
@@ -260,6 +328,8 @@ type MailboxCheckpoint struct {
 
 // Checkpoint captures the mailbox's full state.
 func (m *Mailbox) Checkpoint() *MailboxCheckpoint {
+	m.lockAll()
+	defer m.unlockAll()
 	c := &MailboxCheckpoint{
 		NumNodes: m.NumNodes, K: m.K, Dim: m.Dim,
 		Counts: append([]int(nil), m.counts...),
@@ -292,6 +362,8 @@ func (m *Mailbox) RestoreCheckpoint(c *MailboxCheckpoint) error {
 	if len(c.Counts) != len(m.counts) || len(c.Heads) != len(m.heads) || len(c.Rings) != len(m.rings) {
 		return fmt.Errorf("memstore: mailbox checkpoint arrays do not match node count %d", m.NumNodes)
 	}
+	m.lockAll()
+	defer m.unlockAll()
 	copy(m.counts, c.Counts)
 	copy(m.heads, c.Heads)
 	for n := range m.rings {

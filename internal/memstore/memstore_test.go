@@ -122,3 +122,108 @@ func TestMailboxProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMailboxReadCopies pins the aliasing fix: entries handed out by Read
+// must be caller-owned copies — a later Push to the same node (which reuses
+// the ring's backing buffers in place) may not mutate data a reader already
+// holds.
+func TestMailboxReadCopies(t *testing.T) {
+	mb := NewMailbox(1, 2, 2)
+	mb.Push(0, []float32{1, 1}, 1)
+	out := make([]MailEntry, 2)
+	mb.Read(0, out)
+	mb.Push(0, []float32{7, 7}, 2)
+	mb.Push(0, []float32{8, 8}, 3) // wraps: overwrites the slot entry 1 lived in
+	if out[0].Vec[0] != 1 || out[0].Vec[1] != 1 {
+		t.Fatalf("read result mutated by later push: %v", out[0].Vec)
+	}
+}
+
+// TestMailboxReadZeroAllocSteadyState pins the hot-path contract: once the
+// caller's scratch buffers are warmed (first read allocates them), repeated
+// reads allocate nothing.
+func TestMailboxReadZeroAllocSteadyState(t *testing.T) {
+	mb := NewMailbox(1, 4, 8)
+	for i := 0; i < 6; i++ {
+		mb.Push(0, make([]float32, 8), float64(i))
+	}
+	out := make([]MailEntry, 4)
+	mb.Read(0, out) // warm the scratch vectors
+	allocs := testing.AllocsPerRun(100, func() {
+		mb.Read(0, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Read allocates %v times per call", allocs)
+	}
+}
+
+// TestMailboxConcurrentReadPush drives concurrent Push and Read traffic on
+// the same node. Under -race this reproduced the pre-fix aliasing bug
+// (readers held slices the pusher wrote in place); now it must run clean,
+// and every vector a reader observes must be internally consistent (each
+// push writes a uniform vector, so a torn read shows mixed values).
+func TestMailboxConcurrentReadPush(t *testing.T) {
+	const dim = 16
+	mb := NewMailbox(2, 4, dim)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		vec := make([]float32, dim)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range vec {
+				vec[j] = float32(i)
+			}
+			mb.Push(0, vec, float64(i))
+			if i%3 == 0 {
+				mb.Push(1, vec, float64(i))
+			}
+		}
+	}()
+	out := make([]MailEntry, 4)
+	for r := 0; r < 2000; r++ {
+		n := mb.Read(0, out)
+		for i := 0; i < n; i++ {
+			v := out[i].Vec
+			for j := 1; j < dim; j++ {
+				if v[j] != v[0] {
+					t.Fatalf("torn read: entry %d = %v", i, v)
+				}
+			}
+		}
+		mb.Count(1)
+	}
+	close(stop)
+	<-done
+}
+
+// TestMemoryStoreMonotonicLastUpdate pins the timestamp-regression fix:
+// writes landing out of timestamp order update the vector but clamp the
+// last-update stamp to the monotonic max.
+func TestMemoryStoreMonotonicLastUpdate(t *testing.T) {
+	s := NewMemoryStore(3, 2)
+	s.Write([]int32{1}, tensor.FromSlice(1, 2, []float32{1, 1}), 10)
+	s.Write([]int32{1}, tensor.FromSlice(1, 2, []float32{2, 2}), 4) // late arrival
+	if s.Row(1)[0] != 2 {
+		t.Fatalf("late write must still land: %v", s.Row(1))
+	}
+	if got := s.LastUpdate(1); got != 10 {
+		t.Fatalf("lastUpdate regressed to %v, want clamp at 10", got)
+	}
+	s.WriteEach([]int32{1, 2}, tensor.FromSlice(2, 2, []float32{3, 3, 4, 4}), []float64{6, 5})
+	if got := s.LastUpdate(1); got != 10 {
+		t.Fatalf("WriteEach regressed lastUpdate to %v", got)
+	}
+	if got := s.LastUpdate(2); got != 5 {
+		t.Fatalf("fresh node stamp %v, want 5", got)
+	}
+	s.Write([]int32{1}, tensor.FromSlice(1, 2, []float32{5, 5}), 12)
+	if got := s.LastUpdate(1); got != 12 {
+		t.Fatalf("forward stamp not taken: %v", got)
+	}
+}

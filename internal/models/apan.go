@@ -54,7 +54,18 @@ func (m *APAN) Reset() {
 // BeginBatch applies pending updates: each touched node attends over its
 // mailbox (projected entries + time encodings) with its memory as query.
 func (m *APAN) BeginBatch() *MemoryUpdate {
-	nodes, msgs := m.takePending()
+	return m.applyPending(m.takePending())
+}
+
+// BeginBatchWhere applies only the pending updates whose node satisfies
+// need (bounded-staleness partial apply); the rest stay queued. A deferred
+// node's mailbox keeps accumulating in the meantime, so its eventual apply
+// attends over everything it missed.
+func (m *APAN) BeginBatchWhere(need func(int32) bool) *MemoryUpdate {
+	return m.applyPending(m.takePendingWhere(need))
+}
+
+func (m *APAN) applyPending(nodes []int32, msgs []pendingMsg) *MemoryUpdate {
 	if len(nodes) == 0 {
 		return &MemoryUpdate{}
 	}

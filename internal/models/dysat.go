@@ -51,7 +51,16 @@ func (m *DySAT) Reset() { m.resetBase() }
 // over its (uniformly sampled) neighborhood:
 // mem' = GAT([mem ‖ φ(Δt) ‖ e], neighbors' inputs).
 func (m *DySAT) BeginBatch() *MemoryUpdate {
-	nodes, msgs := m.takePending()
+	return m.applyPending(m.takePending())
+}
+
+// BeginBatchWhere applies only the pending messages whose node satisfies
+// need (bounded-staleness partial apply); the rest stay queued.
+func (m *DySAT) BeginBatchWhere(need func(int32) bool) *MemoryUpdate {
+	return m.applyPending(m.takePendingWhere(need))
+}
+
+func (m *DySAT) applyPending(nodes []int32, msgs []pendingMsg) *MemoryUpdate {
 	if len(nodes) == 0 {
 		return &MemoryUpdate{}
 	}

@@ -47,7 +47,16 @@ func (m *JODIE) Reset() { m.resetBase() }
 
 // BeginBatch applies pending messages: mem' = RNN(msg([s_other ‖ φ(Δt) ‖ e]), mem).
 func (m *JODIE) BeginBatch() *MemoryUpdate {
-	nodes, msgs := m.takePending()
+	return m.applyPending(m.takePending())
+}
+
+// BeginBatchWhere applies only the pending messages whose node satisfies
+// need (bounded-staleness partial apply); the rest stay queued.
+func (m *JODIE) BeginBatchWhere(need func(int32) bool) *MemoryUpdate {
+	return m.applyPending(m.takePendingWhere(need))
+}
+
+func (m *JODIE) applyPending(nodes []int32, msgs []pendingMsg) *MemoryUpdate {
 	if len(nodes) == 0 {
 		return &MemoryUpdate{}
 	}

@@ -350,3 +350,61 @@ func TestEnableFullHistory(t *testing.T) {
 		runBatches(t, m, d, 20, 5)
 	}
 }
+
+// TestBeginBatchWhereDefersUnselected covers the bounded-staleness partial
+// apply on every model: a need predicate selecting a subset applies exactly
+// that subset (in arrival order), keeps the rest queued, and a later
+// unrestricted BeginBatch drains the survivors. BeginBatchWhere(all) must
+// behave exactly like BeginBatch.
+func TestBeginBatchWhereDefersUnselected(t *testing.T) {
+	d := testDataset(t)
+	for _, name := range Names {
+		m := MustNew(name, d, 16, 4, 21)
+		pb, ok := m.(PartialBeginner)
+		if !ok {
+			t.Fatalf("%s does not implement PartialBeginner", name)
+		}
+		events := d.Events[:40]
+		m.EndBatch(events)
+		pendingSet := map[int32]bool{}
+		var pendingOrder []int32
+		for _, e := range events {
+			for _, n := range []int32{e.Src, e.Dst} {
+				if !pendingSet[n] {
+					pendingSet[n] = true
+					pendingOrder = append(pendingOrder, n)
+				}
+			}
+		}
+		upd := pb.BeginBatchWhere(func(n int32) bool { return n%2 == 0 })
+		applied := map[int32]bool{}
+		for i, n := range upd.Nodes {
+			if n%2 != 0 {
+				t.Fatalf("%s: applied unselected node %d", name, n)
+			}
+			applied[n] = true
+			_ = i
+		}
+		upd.FreeTape()
+		// The survivors must drain on the next full BeginBatch, in order.
+		var wantRest []int32
+		for _, n := range pendingOrder {
+			if n%2 != 0 {
+				wantRest = append(wantRest, n)
+			}
+		}
+		rest := m.BeginBatch()
+		if len(rest.Nodes) != len(wantRest) {
+			t.Fatalf("%s: %d deferred nodes drained, want %d", name, len(rest.Nodes), len(wantRest))
+		}
+		for i, n := range rest.Nodes {
+			if n != wantRest[i] {
+				t.Fatalf("%s: deferred drain order %v, want %v", name, rest.Nodes, wantRest)
+			}
+		}
+		rest.FreeTape()
+		if third := m.BeginBatch(); !third.Empty() {
+			t.Fatalf("%s: pending queue not empty after full drain", name)
+		}
+	}
+}

@@ -77,7 +77,16 @@ func (m *TGAT) Reset() { m.resetBase() }
 // the memory width with no learned transform). No parameters participate,
 // but the pre/post record still drives the SG-Filter.
 func (m *TGAT) BeginBatch() *MemoryUpdate {
-	nodes, msgs := m.takePending()
+	return m.applyPending(m.takePending())
+}
+
+// BeginBatchWhere applies only the pending messages whose node satisfies
+// need (bounded-staleness partial apply); the rest stay queued.
+func (m *TGAT) BeginBatchWhere(need func(int32) bool) *MemoryUpdate {
+	return m.applyPending(m.takePendingWhere(need))
+}
+
+func (m *TGAT) applyPending(nodes []int32, msgs []pendingMsg) *MemoryUpdate {
 	if len(nodes) == 0 {
 		return &MemoryUpdate{}
 	}

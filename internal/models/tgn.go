@@ -50,7 +50,16 @@ func (m *TGN) Reset() { m.resetBase() }
 
 // BeginBatch applies pending messages: mem' = GRU([s_other ‖ φ(Δt) ‖ e], mem).
 func (m *TGN) BeginBatch() *MemoryUpdate {
-	nodes, msgs := m.takePending()
+	return m.applyPending(m.takePending())
+}
+
+// BeginBatchWhere applies only the pending messages whose node satisfies
+// need (bounded-staleness partial apply); the rest stay queued.
+func (m *TGN) BeginBatchWhere(need func(int32) bool) *MemoryUpdate {
+	return m.applyPending(m.takePendingWhere(need))
+}
+
+func (m *TGN) applyPending(nodes []int32, msgs []pendingMsg) *MemoryUpdate {
 	if len(nodes) == 0 {
 		return &MemoryUpdate{}
 	}

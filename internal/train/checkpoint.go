@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/memstore"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
@@ -78,6 +79,13 @@ type CheckpointState struct {
 	EventSum     int
 	OccSum       float64
 	DeviceTimeNs int64
+	// Ledger is the bounded-staleness ledger state (nil when the trainer
+	// runs with Staleness == 0). It is serialized rather than flushed at
+	// the boundary: a restored trainer owes the deferred nodes exactly the
+	// rounds the original did, so the resumed apply schedule — and with it
+	// every number downstream — matches the uninterrupted run
+	// (TestStalenessKillAndResume).
+	Ledger *memstore.LedgerCheckpoint
 }
 
 // checkpointParams is the trainer's full parameter list with the predictor
@@ -127,6 +135,9 @@ func (t *Trainer) capture(batch int, lossSum float64, eventSum int, occSum float
 			return nil, fmt.Errorf("train: serializing scheduler state: %w", err)
 		}
 	}
+	if t.ledger != nil {
+		c.Ledger = t.ledger.Checkpoint()
+	}
 	if t.cfg.Obs != nil {
 		t.cfg.Obs.Counter("train_checkpoint_captures_total").Inc()
 	}
@@ -160,6 +171,17 @@ func (t *Trainer) RestoreCheckpoint(c *CheckpointState) error {
 		}
 		if err := ck.RestoreCheckpointState(c.Sched); err != nil {
 			return err
+		}
+	}
+	if t.ledger != nil {
+		if c.Ledger != nil {
+			if err := t.ledger.RestoreCheckpoint(c.Ledger); err != nil {
+				return err
+			}
+		} else {
+			// The checkpoint was taken without a staleness budget: nothing
+			// was deferred at the boundary, so the ledger starts clean.
+			t.ledger.Reset()
 		}
 	}
 	t.rngSrc.seekTo(t.cfg.Seed, c.RNGDraws)

@@ -16,6 +16,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/batching"
 	"github.com/cascade-ml/cascade/internal/device"
 	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/memstore"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/obs"
@@ -77,6 +78,21 @@ type Config struct {
 	// owned by exactly one goroutine at a time, in the serial draw order);
 	// the switch exists for debugging and the equivalence test.
 	DisablePrefetch bool
+	// Staleness is the bounded-staleness budget s (MSPipe-style, see
+	// DESIGN.md §12): a training batch's forward pass may read node
+	// memories that are at most s queued memory-update rounds behind. With
+	// s > 0 the trainer defers a node's pending update across batches and
+	// force-applies it only when one more round of lag would exceed the
+	// budget for a node the batch actually reads — deferred rounds collapse
+	// into one updater row (messages keep only the most recent per node),
+	// so the memory-update stage shrinks and the forward/backward/optimizer
+	// stages of the intervening batches run without waiting on it.
+	// s = 0 (the default) applies every pending round before every batch —
+	// bitwise-identical to the serial pipeline, pinned by
+	// TestStalenessZeroMatchesSerial. Validation always reads exact
+	// (fully-applied) memories regardless of s. Requires the model to
+	// implement models.PartialBeginner (all built-in models do).
+	Staleness int
 }
 
 // BatchTrace is the per-batch instrumentation record. It is what
@@ -129,6 +145,14 @@ type BatchTrace struct {
 	PoolHits           int64 `json:"pool_hits"`
 	PoolMisses         int64 `json:"pool_misses"`
 	PoolFloatsRecycled int64 `json:"pool_floats_recycled"`
+	// Bounded-staleness accounting (all zero when Config.Staleness == 0):
+	// StaleServed counts anchor reads this batch that saw memory ≥ 1 round
+	// behind, StaleForced the anchors whose pending rounds were
+	// force-applied to stay within budget, StaleApplied the nodes whose
+	// update actually ran (forced anchors that had a pending message).
+	StaleServed  int `json:"stale_served"`
+	StaleForced  int `json:"stale_forced"`
+	StaleApplied int `json:"stale_applied"`
 }
 
 // EpochStats reports one epoch of training.
@@ -154,6 +178,14 @@ type EpochStats struct {
 	// ValLoss is the isolated per-epoch validation loss (only filled by
 	// TrainWithValidation).
 	ValLoss float64
+	// Bounded-staleness epoch totals (zero when Config.Staleness == 0):
+	// StaleServed counts anchor reads served ≥ 1 round behind,
+	// StaleAppliedRounds the queued rounds drained by forced applies, and
+	// StaleMax the worst staleness any read was served at — which stays
+	// ≤ Config.Staleness by construction (TestStalenessBudgetEnforced).
+	StaleServed        int64
+	StaleAppliedRounds int64
+	StaleMax           int
 }
 
 // Trainer owns the predictor head and optimizer for one (model, scheduler,
@@ -176,12 +208,40 @@ type Trainer struct {
 	healthSum float64
 	inj       *faultinject.Injector
 	resume    *resumePoint
+
+	// Bounded-staleness state (all nil/zero when Config.Staleness == 0 —
+	// the s=0 hot path never touches these). ledger tracks per-node
+	// queued-but-unapplied update rounds; partial is the model's
+	// partial-apply capability; staleNeed/staleList are the recycled
+	// per-batch force-apply set; stale is the last batch's accounting.
+	ledger    *memstore.StalenessLedger
+	partial   models.PartialBeginner
+	staleNeed map[int32]bool
+	staleList []int32
+	stale     staleStats
+}
+
+// staleStats is one batch's bounded-staleness accounting.
+type staleStats struct {
+	forced    int // anchors force-applied to stay within budget
+	applied   int // nodes whose pending update ran (⊆ forced)
+	served    int // anchor reads served ≥ 1 round behind
+	fresh     int // anchor reads served fully fresh
+	maxRounds int // worst staleness served this batch
+	depWeight int // dependency-table weight of forced nodes (traced runs)
 }
 
 // maxrReporter and stableReporter are implemented by Cascade's scheduler;
 // the trainer duck-types so it does not depend on internal/core.
 type maxrReporter interface{ SensorMaxr() int }
 type stableReporter interface{ StableUpdateRatio() float64 }
+
+// relevantCounter is Cascade's dependency-table range count; traced
+// staleness runs attach the forced nodes' dependency weight to the
+// memory_apply span through it.
+type relevantCounter interface {
+	RelevantCount(n int32, st, ed int) int
+}
 
 // NewTrainer validates the configuration and builds the predictor head
 // (the final MLP of §2.2 scoring [h_src ‖ h_dst]) and the Adam optimizer
@@ -216,6 +276,17 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	if cfg.Task == TaskNodeClassification && cfg.Val != nil && cfg.Val.NumEvents() > 0 && cfg.Val.Labels == nil {
 		return nil, fmt.Errorf("train: node classification needs labeled validation data")
 	}
+	if cfg.Staleness < 0 {
+		return nil, fmt.Errorf("train: negative staleness bound %d", cfg.Staleness)
+	}
+	var partial models.PartialBeginner
+	if cfg.Staleness > 0 {
+		pb, ok := cfg.Model.(models.PartialBeginner)
+		if !ok {
+			return nil, fmt.Errorf("train: model %s cannot run with staleness %d: no partial BeginBatch (models.PartialBeginner)", cfg.Model.Name(), cfg.Staleness)
+		}
+		partial = pb
+	}
 	src := newCountingSource(cfg.Seed)
 	rng := rand.New(src)
 	embDim := cfg.Model.EmbedDim()
@@ -227,7 +298,13 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	params := append(cfg.Model.Params(), predictor.Params()...)
 	opt := nn.NewAdam(params, cfg.LR)
 	opt.GradClip = 5
-	return &Trainer{cfg: cfg, predictor: predictor, opt: opt, rng: rng, rngSrc: src}, nil
+	t := &Trainer{cfg: cfg, predictor: predictor, opt: opt, rng: rng, rngSrc: src}
+	if cfg.Staleness > 0 {
+		t.ledger = memstore.NewStalenessLedger(cfg.Data.NumNodes)
+		t.partial = partial
+		t.staleNeed = make(map[int32]bool)
+	}
+	return t, nil
 }
 
 // Predictor exposes the scoring head (examples use it for inference).
@@ -255,6 +332,11 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 		t.epoch++
 		t.cfg.Model.Reset()
 		t.cfg.Sched.Reset()
+		if t.ledger != nil {
+			// Memories and pending messages were just cleared; the ledger
+			// owes nothing.
+			t.ledger.Reset()
+		}
 	}
 	st := EpochStats{Epoch: t.epoch}
 
@@ -419,6 +501,12 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 			t.cfg.Model.EndBatch(events)
 			msp.End()
 			tm.End = time.Since(mark)
+			if t.ledger != nil {
+				// EndBatch queued one update round (the collapsed most-recent
+				// message) for each unique endpoint; the next batches' budget
+				// checks count from here.
+				t.ledger.NoteQueued(prep.touched)
+			}
 		}
 		// The batch's tape — loss graph plus the BeginBatch memory update —
 		// is dead: recycle every intermediate into the arena.
@@ -439,6 +527,8 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 				AllocMatrices: alloc.Matrices, AllocFloats: alloc.Floats,
 				PrepTime: prep.prep, PoolHits: pool.Hits,
 				PoolMisses: pool.Misses, PoolFloatsRecycled: pool.FloatsRecycled,
+				StaleServed: t.stale.served, StaleForced: t.stale.forced,
+				StaleApplied: t.stale.applied,
 			})
 		}
 		root.SetFloat("loss", loss)
@@ -484,6 +574,12 @@ func (t *Trainer) TrainEpochChecked() (EpochStats, error) {
 	}
 	if r, ok := t.cfg.Sched.(stableReporter); ok {
 		st.StableRatio = r.StableUpdateRatio()
+	}
+	if t.ledger != nil {
+		_, applied, servedStale, _, maxServed := t.ledger.Counters()
+		st.StaleServed = servedStale
+		st.StaleAppliedRounds = applied
+		st.StaleMax = maxServed
 	}
 	return st, nil
 }
@@ -573,6 +669,17 @@ func (t *Trainer) recordBatchObs(loss float64, size int, tape tensor.TapeStats, 
 	r.Counter("train_pool_hits_total").Add(pool.Hits)
 	r.Counter("train_pool_misses_total").Add(pool.Misses)
 	r.Counter("train_pool_floats_recycled_total").Add(pool.FloatsRecycled)
+	if t.ledger != nil {
+		r.Gauge("train_staleness_budget").Set(float64(t.cfg.Staleness))
+		r.Counter("train_staleness_served_total").Add(int64(t.stale.served))
+		r.Counter("train_staleness_fresh_total").Add(int64(t.stale.fresh))
+		r.Counter("train_staleness_forced_total").Add(int64(t.stale.forced))
+		r.Counter("train_staleness_applied_total").Add(int64(t.stale.applied))
+		r.Histogram("train_staleness_rounds", 0, 1, 2, 4, 8, 16).Observe(float64(t.stale.maxRounds))
+		r.Help("train_staleness_served_total", "Anchor memory reads served ≥ 1 update round behind (bounded-staleness pipeline).")
+		r.Help("train_staleness_forced_total", "Anchors force-applied because one more deferred round would exceed the staleness budget.")
+		r.Help("train_staleness_rounds", "Worst staleness (in update rounds) served per batch; bounded by train_staleness_budget.")
+	}
 }
 
 // batchLabels aligns the dataset's labels with a batch: contiguous batches
@@ -604,6 +711,16 @@ type preparedBatch struct {
 	srcIdx, dstIdx, negIdx []int
 	// prep is the host time spent building the fields above.
 	prep time.Duration
+	// train marks batches produced by the scheduler walk (prepareSched):
+	// only those participate in bounded staleness — validation batches
+	// (stepOn/prepareLink directly) always apply every pending update.
+	train bool
+	// touched / st / ed are the staleness ledger's per-batch dependency
+	// metadata, filled only when a ledger is active: touched is the batch's
+	// unique endpoint set (the nodes EndBatch will queue an update round
+	// for), st/ed the contiguous event range (zero for indexed batches).
+	touched []int32
+	st, ed  int
 }
 
 // prepareSpanned is prepareSched bracketed by a batch_prep child span of the
@@ -625,10 +742,22 @@ func (t *Trainer) prepareSpanned(b batching.Batch, parent *obs.Span) *preparedBa
 // time (so the draw order stays the serial order).
 func (t *Trainer) prepareSched(b batching.Batch) *preparedBatch {
 	events := b.Events(t.cfg.Data.Events)
+	var p *preparedBatch
 	if t.cfg.Task == TaskNodeClassification {
-		return t.prepareClass(events, batchLabels(t.cfg.Data.Labels, b))
+		p = t.prepareClass(events, batchLabels(t.cfg.Data.Labels, b))
+	} else {
+		p = t.prepareLink(t.cfg.Data, events)
 	}
-	return t.prepareLink(t.cfg.Data, events)
+	p.train = true
+	if t.ledger != nil {
+		// Computed here so the prefetch pipeline overlaps it with the
+		// previous batch's backward pass, like the rest of the prep work.
+		p.touched = batching.UniqueNodes(events, nil)
+		if b.Indices == nil {
+			p.st, p.ed = b.St, b.Ed
+		}
+	}
+	return p
 }
 
 // prepareLink builds step 1's inputs for a link-prediction batch: positive
@@ -703,10 +832,18 @@ func (t *Trainer) prepareClass(events []graph.Event, labels []uint8) *preparedBa
 func (t *Trainer) forwardPrepared(prep *preparedBatch, parent *obs.Span) (loss, logits *tensor.Tensor, upd *models.MemoryUpdate, tape tensor.TapeStats, tm stageTiming) {
 	model := t.cfg.Model
 	// Step 0 (lazy message application, see internal/models): previous
-	// batch's messages update memories on the tape.
+	// batch's messages update memories on the tape. Under a staleness
+	// budget, training batches apply only the anchors that would otherwise
+	// exceed it; everything else stays queued (DESIGN.md §12).
 	mark := time.Now()
 	msp := parent.Child("memory_apply", obs.PhaseMemory)
-	upd = model.BeginBatch()
+	if t.ledger != nil && prep.train {
+		upd = t.beginStale(prep, msp)
+		msp.SetInt("stale_forced", int64(t.stale.forced))
+		msp.SetInt("stale_served", int64(t.stale.served))
+	} else {
+		upd = model.BeginBatch()
+	}
 	msp.SetInt("updated_nodes", int64(len(upd.Nodes)))
 	msp.End()
 	tm.Begin = time.Since(mark)
@@ -715,6 +852,10 @@ func (t *Trainer) forwardPrepared(prep *preparedBatch, parent *obs.Span) (loss, 
 	}
 	mark = time.Now()
 	esp := parent.Child("embed_forward", obs.PhaseEmbed)
+	if t.ledger != nil && prep.train {
+		esp.SetInt("stale_served", int64(t.stale.served))
+		esp.SetInt("stale_max_rounds", int64(t.stale.maxRounds))
+	}
 	h := model.Embed(prep.nodes, prep.ts)
 	if prep.task == TaskNodeClassification {
 		logits = t.predictor.Forward(h)
@@ -731,6 +872,59 @@ func (t *Trainer) forwardPrepared(prep *preparedBatch, parent *obs.Span) (loss, 
 	esp.End()
 	tm.Embed = time.Since(mark)
 	return loss, logits, upd, tape, tm
+}
+
+// beginStale is BeginBatch under a bounded-staleness budget s: scan the
+// batch's anchor nodes (the src/dst/negative memories the forward pass is
+// about to read), force-apply the pending updates of exactly those whose
+// queued rounds exceed s, and leave every other node's update deferred.
+// Invariant: after the apply, every anchor read this batch is at most s
+// rounds behind — forced anchors are fresh, the rest were within budget
+// already. Forced nodes are always among the batch's embedded nodes, so the
+// updater's forward stays on the loss tape and keeps receiving gradients;
+// sampled-neighbor reads are best-effort (they may be staler than s, as in
+// MSPipe). Also records the batch's staleness accounting into t.stale and,
+// on traced runs with a dependency table, the forced nodes' dependency
+// weight over the batch range.
+func (t *Trainer) beginStale(prep *preparedBatch, msp *obs.Span) *models.MemoryUpdate {
+	budget := t.cfg.Staleness
+	need := t.staleNeed
+	clear(need)
+	t.staleList = t.staleList[:0]
+	for _, n := range prep.nodes {
+		if need[n] {
+			continue
+		}
+		if t.ledger.Rounds(n) > budget {
+			need[n] = true
+			t.staleList = append(t.staleList, n)
+		}
+	}
+	upd := t.partial.BeginBatchWhere(func(n int32) bool { return need[n] })
+	// Clear the whole force set, not just upd.Nodes: a forced node with no
+	// pending message (its queue was drained out of band, e.g. by a
+	// non-isolated Validate) owes nothing anymore either.
+	t.ledger.NoteApplied(t.staleList)
+	t.stale = staleStats{forced: len(t.staleList), applied: len(upd.Nodes)}
+	for _, n := range prep.nodes {
+		if r := t.ledger.NoteServed(n); r > 0 {
+			t.stale.served++
+			if r > t.stale.maxRounds {
+				t.stale.maxRounds = r
+			}
+		} else {
+			t.stale.fresh++
+		}
+	}
+	if msp != nil && prep.ed > prep.st {
+		if rc, ok := t.cfg.Sched.(relevantCounter); ok {
+			for _, n := range t.staleList {
+				t.stale.depWeight += rc.RelevantCount(n, prep.st, prep.ed)
+			}
+			msp.SetInt("stale_dep_weight", int64(t.stale.depWeight))
+		}
+	}
+	return upd
 }
 
 // finishStep completes a serial (non-pipelined) batch: backward pass when

@@ -4,8 +4,9 @@ GO ?= go
 # under the race detector. tensor covers the parallel GEMM kernels, train
 # the batch-prep prefetch pipeline, distributed the replica barrier and
 # eviction paths, resilience the checkpoint/rollback machinery, memstore
-# the sharded mailbox under concurrent read/push.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/...
+# the sharded mailbox under concurrent read/push, plan the captured
+# execution plans replayed under the prefetch pipeline.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/plan/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/...
 
 # The fault suite: injected NaN gradients with rollback, kill-and-resume
 # equivalence (exact and bounded-staleness pipelines), checkpoint-write
@@ -14,16 +15,17 @@ RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./in
 # graceful drain, torn mailbox reads — all under the race detector.
 FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires)
 
-# Hot-path micro-benchmarks captured in BENCH_pr2.json: the GEMM variants
-# (plain / ᵀA / ᵀB, ragged shapes), the GRU training step, one full
-# TrainEpoch, and the dependency-table build.
-BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStepTGN|BenchmarkDependencyTableBuild)
+# Hot-path micro-benchmarks captured in BENCH_pr7.json: the GEMM variants
+# (plain / ᵀA / ᵀB, ragged shapes), the GRU training step (fused and eager),
+# one full TrainEpoch for TGN and TGAT (compiled and eager), and the
+# dependency-table build.
+BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStep|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke
 
 build:
 	$(GO) build ./...
@@ -37,15 +39,17 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
-# bench regenerates BENCH_pr2.json: ns/op, B/op, allocs/op per hot-path op,
-# joined with the committed pre-optimization baseline as before/after.
+# bench regenerates BENCH_pr7.json: ns/op, B/op, allocs/op per hot-path op,
+# joined with the committed BENCH_pr2.json (pre-plan-capture) artifact as
+# before/after, so the record shows what plan replay + the AVX2 microkernels
+# bought over the blocked-GEMM-era numbers.
 bench:
 	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=2s -run=^$$ $(BENCH_PKGS) \
-		| $(GO) run ./tools/benchjson -baseline BENCH_baseline.json -o BENCH_pr2.json \
-			-note "make bench: blocked GEMM + tensor arena + prefetch pipeline"
+		| $(GO) run ./tools/benchjson -baseline BENCH_pr2.json -o BENCH_pr7.json \
+			-note "make bench: plan capture/replay + AVX2 FMA microkernels"
 
 # benchdiff is the performance regression gate: a fresh run of the captured
-# benchmarks against the committed BENCH_pr2.json artifact. The benchtime
+# benchmarks against the committed BENCH_pr7.json artifact. The benchtime
 # must match the baseline's (make bench uses 2s): the pool-backed
 # benchmarks amortize a fixed warm-up allocation over the iteration count,
 # so a shorter candidate run inflates B/op and trips the gate on nothing.
@@ -54,7 +58,7 @@ bench:
 benchdiff:
 	$(GO) test -bench='$(BENCH_RE)' -benchmem -benchtime=2s -run=^$$ $(BENCH_PKGS) \
 		| $(GO) run ./tools/benchjson -o /tmp/cascade-benchdiff.json -note "benchdiff candidate" 2>/dev/null
-	$(GO) run ./tools/benchdiff -old BENCH_pr2.json -new /tmp/cascade-benchdiff.json
+	$(GO) run ./tools/benchdiff -old BENCH_pr7.json -new /tmp/cascade-benchdiff.json
 
 # benchsmoke runs every captured benchmark once so check catches bit-rot in
 # the harness (and the benchjson parser) without paying measurement time.
@@ -77,6 +81,15 @@ faultsmoke:
 # bitwise, s=2 must actually serve stale reads within budget and diverge.
 stalesmoke:
 	$(GO) test -count=1 -run '^TestStaleSmoke$$' ./internal/train
+
+# plansmoke gates the plan capture/replay subsystem: the plan package's own
+# unit tests (fusion goldens, replay-vs-eager bitwise pins, the zero-alloc
+# steady-state pin) plus the trainer-level smoke test that a compiled run
+# hits the plan cache, fuses ops, never falls back, and reports it all
+# through the train_plan_* metrics.
+plansmoke:
+	$(GO) test -count=1 ./internal/plan/...
+	$(GO) test -count=1 -run '^TestPlanSmoke$$' ./internal/train
 
 # chaossmoke drives the deterministic chaos harness end to end: a 10× burst
 # against a saturated scoring server must shed-not-collapse, and a flapping

@@ -19,6 +19,18 @@ type GATLayer struct {
 	InDim, OutDim int
 	WSelf, WNeigh *Linear
 	ASelf, ANeigh *tensor.Tensor // attention vectors (OutDim × 1)
+
+	fused bool
+}
+
+// SetFused toggles the fused forward path: the projections collapse to
+// single linear nodes, the broadcast/LeakyReLU/mask/softmax score chain to
+// one tensor.GATScoresT node, and the residual combine to tensor.AddReLUT.
+// Bitwise identical to the eager chain.
+func (g *GATLayer) SetFused(on bool) {
+	g.fused = on
+	g.WSelf.SetFused(on)
+	g.WNeigh.SetFused(on)
 }
 
 // NewGATLayer builds a Glorot-initialized GAT layer.
@@ -46,8 +58,13 @@ func (g *GATLayer) Forward(self, neigh *tensor.Tensor, k int, mask *tensor.Matri
 	// Additive attention: score[i,k] = LeakyReLU(a_s·h_i + a_n·h_{ik}).
 	sSelf := tensor.MatMulT(hSelf, g.ASelf)    // (B × 1)
 	sNeigh := tensor.MatMulT(hNeigh, g.ANeigh) // (B·K × 1)
-	sSelfB := tensor.ColBroadcastT(sSelf, k)   // (B × K)
-	sNeighB := reshapeColumn(sNeigh, b, k)     // (B × K)
+	if g.fused {
+		alpha := tensor.GATScoresT(sSelf, sNeigh, k, 0.2, mask) // (B × K)
+		agg := tensor.WeightedSumGroupsT(hNeigh, alpha, k)      // (B × Out)
+		return tensor.AddReLUT(hSelf, agg)
+	}
+	sSelfB := tensor.ColBroadcastT(sSelf, k) // (B × K)
+	sNeighB := reshapeColumn(sNeigh, b, k)   // (B × K)
 	scores := tensor.LeakyReLUT(tensor.AddT(sSelfB, sNeighB), 0.2)
 	if mask != nil {
 		scores = tensor.AddT(scores, tensor.ConstScratch(maskToNegInf(mask)))
@@ -74,6 +91,19 @@ type TransformerLayer struct {
 	WQ, WK, WV *Linear
 	FF         *MLP
 	Norm       *LayerNorm
+
+	fused bool
+}
+
+// SetFused toggles the fused forward path: projections collapse to single
+// linear nodes and the dot/scale/mask/softmax score chain to one
+// tensor.AttnScoresT node. Bitwise identical to the eager chain.
+func (t *TransformerLayer) SetFused(on bool) {
+	t.fused = on
+	t.WQ.SetFused(on)
+	t.WK.SetFused(on)
+	t.WV.SetFused(on)
+	t.FF.SetFused(on)
 }
 
 // NewTransformerLayer builds a single-head transformer block with model
@@ -96,6 +126,11 @@ func (t *TransformerLayer) Forward(query, kv *tensor.Tensor, k int, mask *tensor
 	keys := t.WK.Forward(kv)
 	vals := t.WV.Forward(kv)
 	scale := float32(1 / math.Sqrt(float64(t.Dim)))
+	if t.fused {
+		alpha := tensor.AttnScoresT(q, keys, k, scale, mask)
+		agg := tensor.WeightedSumGroupsT(vals, alpha, k) // (B × Dim)
+		return t.Norm.Forward(tensor.AddT(q, t.FF.Forward(agg)))
+	}
 	scores := tensor.ScaleT(tensor.RowDotGroupsT(q, keys, k), scale) // (B × K)
 	if mask != nil {
 		scores = tensor.AddT(scores, tensor.ConstScratch(maskToNegInf(mask)))

@@ -9,9 +9,13 @@ import (
 
 // BenchmarkGRUStep measures one full memory-updater step — GRU forward over
 // a training-sized batch plus backward through the tape — the inner loop of
-// every BeginBatch. -benchmem makes the allocator traffic visible; the
-// tensor arena is judged on driving B/op toward zero here.
-func BenchmarkGRUStep(b *testing.B) {
+// every BeginBatch, on the fused kernel the trainer's compile mode enables
+// by default. -benchmem makes the allocator traffic visible; the tensor
+// arena is judged on driving B/op toward zero here.
+func BenchmarkGRUStep(b *testing.B)      { benchGRUStep(b, true) }
+func BenchmarkGRUStepEager(b *testing.B) { benchGRUStep(b, false) }
+
+func benchGRUStep(b *testing.B, fused bool) {
 	const (
 		batch  = 256
 		msgIn  = 172 // memory 100 + time 8 + edge feats 64
@@ -19,6 +23,7 @@ func BenchmarkGRUStep(b *testing.B) {
 	)
 	rng := rand.New(rand.NewSource(1))
 	cell := NewGRUCell(rng, msgIn, hidden)
+	cell.SetFused(fused)
 	x := tensor.NewMatrix(batch, msgIn)
 	h := tensor.NewMatrix(batch, hidden)
 	for i := range x.Data {

@@ -10,7 +10,15 @@ import (
 type Linear struct {
 	In, Out int
 	W, B    *tensor.Tensor
+
+	// fused routes Forward through the single-node fused kernel
+	// (tensor.LinearT). Bitwise identical to the eager chain; enabled by the
+	// trainer's compile mode (see SetFused).
+	fused bool
 }
+
+// SetFused toggles the fused forward path.
+func (l *Linear) SetFused(on bool) { l.fused = on }
 
 // NewLinear builds a Glorot-initialized linear layer.
 func NewLinear(rng *rand.Rand, in, out int) *Linear {
@@ -24,6 +32,9 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 
 // Forward applies the layer to a (batch × In) tensor.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if l.fused {
+		return tensor.LinearT(x, l.W, l.B)
+	}
 	return tensor.AddRowT(tensor.MatMulT(x, l.W), l.B)
 }
 
@@ -53,12 +64,36 @@ func applyAct(a Activation, x *tensor.Tensor) *tensor.Tensor {
 	}
 }
 
+// actKind maps an nn activation to the tensor-level fused activation kind.
+func actKind(a Activation) tensor.Act {
+	switch a {
+	case ActTanh:
+		return tensor.ActTanh
+	case ActSigmoid:
+		return tensor.ActSigmoid
+	default:
+		return tensor.ActReLU
+	}
+}
+
 // MLP is a stack of Linear layers with an activation between them (none
 // after the last layer). The paper's msg(·) module and the final edge
 // predictor are MLPs (§2.2).
 type MLP struct {
 	Layers []*Linear
 	Act    Activation
+
+	fused bool
+}
+
+// SetFused toggles the fused forward path: each hidden layer collapses to a
+// single linear+activation node (tensor.LinearActT), the last layer to
+// tensor.LinearT. Bitwise identical to the eager chain.
+func (m *MLP) SetFused(on bool) {
+	m.fused = on
+	for _, l := range m.Layers {
+		l.SetFused(on)
+	}
 }
 
 // NewMLP builds an MLP with the given layer widths, e.g. dims = [in, hidden,
@@ -76,6 +111,16 @@ func NewMLP(rng *rand.Rand, act Activation, dims ...int) *MLP {
 
 // Forward applies the stack.
 func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if m.fused {
+		for i, l := range m.Layers {
+			if i+1 < len(m.Layers) {
+				x = tensor.LinearActT(x, l.W, l.B, actKind(m.Act))
+			} else {
+				x = tensor.LinearT(x, l.W, l.B)
+			}
+		}
+		return x
+	}
 	for i, l := range m.Layers {
 		x = l.Forward(x)
 		if i+1 < len(m.Layers) {

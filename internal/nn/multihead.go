@@ -21,6 +21,15 @@ type MultiHeadGAT struct {
 	proj          *Linear
 }
 
+// SetFused propagates the fused-path toggle to every head and the output
+// projection.
+func (m *MultiHeadGAT) SetFused(on bool) {
+	for _, h := range m.heads {
+		h.SetFused(on)
+	}
+	m.proj.SetFused(on)
+}
+
 // NewMultiHeadGAT builds heads GAT layers of width outDim each plus the
 // output projection.
 func NewMultiHeadGAT(rng *rand.Rand, inDim, outDim, heads int) *MultiHeadGAT {
@@ -64,6 +73,15 @@ type MultiHeadTransformer struct {
 	heads []*TransformerLayer
 	proj  *Linear
 	norm  *LayerNorm
+}
+
+// SetFused propagates the fused-path toggle to every head and the output
+// projection.
+func (m *MultiHeadTransformer) SetFused(on bool) {
+	for _, h := range m.heads {
+		h.SetFused(on)
+	}
+	m.proj.SetFused(on)
 }
 
 // NewMultiHeadTransformer builds heads transformer blocks of width dim.

@@ -12,7 +12,14 @@ type RNNCell struct {
 	InDim, HiddenDim int
 	Wx, Wh           *tensor.Tensor
 	B                *tensor.Tensor
+
+	fused bool
 }
+
+// SetFused toggles the fused forward path (tensor.RNNStepT): two GEMMs plus a
+// single add+bias+tanh pass in one tape node. Bitwise identical to the eager
+// chain, including when x and h alias the same tensor.
+func (c *RNNCell) SetFused(on bool) { c.fused = on }
 
 // NewRNNCell builds a Glorot-initialized RNN cell.
 func NewRNNCell(rng *rand.Rand, inDim, hiddenDim int) *RNNCell {
@@ -28,6 +35,9 @@ func NewRNNCell(rng *rand.Rand, inDim, hiddenDim int) *RNNCell {
 // Forward computes the next hidden state for a batch: x is (B × InDim),
 // h is (B × HiddenDim).
 func (c *RNNCell) Forward(x, h *tensor.Tensor) *tensor.Tensor {
+	if c.fused {
+		return tensor.RNNStepT(x, h, c.Wx, c.Wh, c.B)
+	}
 	pre := tensor.AddRowT(tensor.AddT(tensor.MatMulT(x, c.Wx), tensor.MatMulT(h, c.Wh)), c.B)
 	return tensor.TanhT(pre)
 }
@@ -54,7 +64,14 @@ type GRUCell struct {
 	Uzr              *tensor.Tensor // fused hidden weights (H × 2H): [z | r]
 	Uh               *tensor.Tensor // candidate hidden weights (H × H)
 	Bz, Br, Bh       *tensor.Tensor
+
+	fused bool
 }
+
+// SetFused toggles the fused forward path (tensor.GRUStepT): three GEMMs plus
+// two fused gate passes in one tape node. Bitwise identical to the eager
+// slice/sigmoid/tanh chain.
+func (c *GRUCell) SetFused(on bool) { c.fused = on }
 
 // NewGRUCell builds a Glorot-initialized GRU cell.
 func NewGRUCell(rng *rand.Rand, inDim, hiddenDim int) *GRUCell {
@@ -73,6 +90,9 @@ func NewGRUCell(rng *rand.Rand, inDim, hiddenDim int) *GRUCell {
 // Forward computes the next hidden state for a batch: x is (B × InDim),
 // h is (B × HiddenDim).
 func (c *GRUCell) Forward(x, h *tensor.Tensor) *tensor.Tensor {
+	if c.fused {
+		return tensor.GRUStepT(x, h, c.Wf, c.Uzr, c.Uh, c.Bz, c.Br, c.Bh)
+	}
 	hd := c.HiddenDim
 	xw := tensor.MatMulT(x, c.Wf)           // (B × 3H)
 	hu := tensor.MatMulT(h, c.Uzr)          // (B × 2H)

@@ -18,7 +18,14 @@ type TimeEncoder struct {
 	Dim   int
 	Omega *tensor.Tensor // (1 × Dim) frequencies
 	Phase *tensor.Tensor // (1 × Dim) phases
+
+	fused bool
 }
+
+// SetFused toggles the fused forward path (tensor.TimeEncodeT): outer
+// product, phase add, and cosine in one tape node. Bitwise identical to the
+// eager chain.
+func (te *TimeEncoder) SetFused(on bool) { te.fused = on }
 
 // NewTimeEncoder builds a time encoder with log-spaced initial frequencies
 // ω_j = 1/10^(j·9/(d−1)) spanning [1, 1e−9].
@@ -41,6 +48,9 @@ func NewTimeEncoder(rng *rand.Rand, dim int) *TimeEncoder {
 
 // Forward encodes a batch of deltas (length B) into a (B × Dim) tensor.
 func (te *TimeEncoder) Forward(deltas []float32) *tensor.Tensor {
+	if te.fused {
+		return tensor.TimeEncodeT(deltas, te.Omega, te.Phase)
+	}
 	cm := tensor.NewMatrix(len(deltas), 1)
 	copy(cm.Data, deltas)
 	col := tensor.ConstScratch(cm)

@@ -1,0 +1,689 @@
+// Package plan captures the prediction-head tape of one eagerly executed
+// training batch into a compiled Plan: a fixed instruction program over
+// statically allocated output and gradient slabs. Steady-state replay runs
+// the same kernels as the eager tape — through the same GEMM entry points
+// and elementwise loops — but performs zero tape-node allocations, zero
+// arena size-class lookups, and fuses adjacent element-wise chains
+// (matmul→addrow→activation into one linear kernel, gathers into the
+// concat that consumes them) into single-loop instructions.
+//
+// Bit-exactness contract (shared with internal/tensor/fused.go): a compiled
+// Plan's forward value, loss, logits, and every gradient it accumulates into
+// boundary and parameter tensors are bitwise identical to the eager tape it
+// captured. Three invariants make that hold:
+//
+//  1. Capture order is a DFS post-order over all inputs with the boundary
+//     embedding treated as a leaf — exactly the order tensor.topoSort
+//     produces for the gradient-bearing subgraph (constant subtrees contain
+//     no gradient nodes, so pruning them never reorders gradient nodes).
+//     Backward executes the instruction list strictly reversed, so every
+//     shared gradient buffer (parameter grads, the boundary grad) receives
+//     its accumulations in the eager schedule's order.
+//  2. Static gradient slabs are zeroed before each backward, replicating the
+//     pool-zeroed buffers eager backFns allocate; zero-then-accumulate
+//     launders −0 to +0 identically.
+//  3. Fused kernels follow the proofs in fused.go: skipped identity copies
+//     are bitwise neutral because their sources are already laundered, and
+//     GEMMs keep the eager entry points (MatMulInto, MatMulTransBAccum,
+//     MatMulTransAAccum) so blocking and parallel splits round identically.
+package plan
+
+import (
+	"fmt"
+
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// refKind discriminates where an instruction operand lives.
+type refKind uint8
+
+const (
+	// refSlot is a static slab owned by the plan (an intermediate value).
+	refSlot refKind = iota
+	// refBoundary is the per-batch boundary embedding passed to Apply.
+	refBoundary
+	// refParam is a stable parameter tensor captured by pointer.
+	refParam
+	// refTargets is the per-batch target matrix passed to Apply.
+	refTargets
+)
+
+// ref names one operand of an instruction.
+type ref struct {
+	kind  refKind
+	slot  int            // refSlot: index into Plan.slots
+	param *tensor.Tensor // refParam: stable parameter pointer
+}
+
+// instKind is the opcode of a compiled instruction.
+type instKind uint8
+
+const (
+	iGather     instKind = iota // out[r] = a[idx[r]]
+	iConcatCols                 // out = [parts...] column-wise
+	iGatherCat                  // concat with trailing gathers folded in
+	iConcatRows                 // out = [parts...] row-wise
+	iMatMul                     // out = a·b
+	iAddRow                     // out = a + row b
+	iAct                        // out = act(a)
+	iLinear                     // out = act(a·b + row c), fused
+	iBCE                        // loss = meanBCE(a, targets)
+)
+
+// part is one segment of a concat instruction. idx is non-nil when the
+// segment is a folded gather: rows are pulled straight from src by index.
+type part struct {
+	src  ref
+	cols int
+	idx  []int
+}
+
+// inst is one compiled instruction. Operand roles by kind: iGather reads a;
+// iMatMul reads a·b; iAddRow reads a (matrix) and b (row); iAct reads a;
+// iLinear reads a (input), b (weight), c (bias); iBCE reads a (logits).
+type inst struct {
+	kind  instKind
+	out   int // slot index; -1 for iBCE (writes the loss slab)
+	a     ref
+	b     ref
+	c     ref
+	act   tensor.Act
+	idx   []int
+	parts []part
+	n     float32        // iBCE: element count divisor
+	gpre  *tensor.Matrix // iLinear with activation: pre-activation grad scratch
+}
+
+// slot is one captured intermediate: its static output slab and, when the
+// eager node required grad, its static gradient slab.
+type slot struct {
+	rows, cols int
+	req        bool
+	out        *tensor.Matrix
+	grad       *tensor.Matrix
+	consumers  int
+	dead       bool // fused into a neighbouring instruction
+}
+
+// Plan is a compiled prediction-head program keyed to one batch shape. It is
+// not safe for concurrent use; the trainer replays plans on the training
+// goroutine only.
+type Plan struct {
+	insts []inst
+	slots []slot
+
+	node     *tensor.Tensor // rearm-able tape node returned by Apply
+	lossSlab *tensor.Matrix // 1×1 static loss value
+	lossGrad *tensor.Matrix // 1×1 static loss grad (seeded by Backward)
+	logits   ref            // slot holding the pre-loss logits
+
+	hRows, hCols int
+	hReq         bool
+	tRows, tCols int
+
+	curH    *tensor.Tensor
+	targets *tensor.Matrix
+	inBuf   [1]*tensor.Tensor
+	back    func()
+
+	eagerOps int
+	fusedOps int
+}
+
+// Compile captures the tape between boundary (exclusive) and loss
+// (inclusive) into a Plan. loss must be a 1×1 "bcelogits" node whose targets
+// input is a constant leaf; every op between boundary and loss must be one
+// of the head primitives (gather, column/row concat, matmul, addrow,
+// relu/sigmoid/tanh, bcelogits). Any other op, or a stray constant leaf
+// inside the head, is a compile error — the caller falls back to eager
+// execution for that shape.
+func Compile(loss, boundary *tensor.Tensor) (*Plan, error) {
+	if loss == nil || boundary == nil {
+		return nil, fmt.Errorf("plan: nil capture root")
+	}
+	if loss.Op() != "bcelogits" {
+		return nil, fmt.Errorf("plan: loss op %q, want bcelogits", loss.Op())
+	}
+	ins := loss.Inputs()
+	if len(ins) != 2 {
+		return nil, fmt.Errorf("plan: bcelogits with %d inputs", len(ins))
+	}
+	tgt := ins[1]
+	if tgt.Op() != "const" || len(tgt.Inputs()) != 0 {
+		return nil, fmt.Errorf("plan: targets must be a const leaf, got %q", tgt.Op())
+	}
+	p := &Plan{
+		hRows: boundary.Value.Rows,
+		hCols: boundary.Value.Cols,
+		hReq:  boundary.RequiresGrad(),
+		tRows: tgt.Value.Rows,
+		tCols: tgt.Value.Cols,
+	}
+	c := &capturer{p: p, boundary: boundary, slotOf: map[*tensor.Tensor]int{}}
+	lref, err := c.visit(ins[0])
+	if err != nil {
+		return nil, err
+	}
+	if lref.kind != refSlot {
+		return nil, fmt.Errorf("plan: logits must be a computed node")
+	}
+	p.logits = lref
+	p.insts = append(p.insts, inst{
+		kind: iBCE, out: -1, a: lref,
+		n: float32(p.slots[lref.slot].rows * p.slots[lref.slot].cols),
+	})
+	p.eagerOps = len(p.insts)
+
+	p.fuseLinear()
+	p.foldGathers()
+	p.allocate()
+
+	p.lossSlab = tensor.NewStatic(1, 1)
+	p.lossGrad = tensor.NewStatic(1, 1)
+	p.node = tensor.NewPlanNode("plan")
+	p.node.Grad = p.lossGrad
+	p.node.SetMeta(p.cost())
+	p.back = p.backward
+	return p, nil
+}
+
+// capturer walks the eager tape in all-inputs DFS post-order.
+type capturer struct {
+	p        *Plan
+	boundary *tensor.Tensor
+	slotOf   map[*tensor.Tensor]int
+}
+
+func (c *capturer) visit(t *tensor.Tensor) (ref, error) {
+	if t == c.boundary {
+		return ref{kind: refBoundary}, nil
+	}
+	if i, ok := c.slotOf[t]; ok {
+		c.p.slots[i].consumers++
+		return ref{kind: refSlot, slot: i}, nil
+	}
+	switch t.Op() {
+	case "var":
+		return ref{kind: refParam, param: t}, nil
+	case "const":
+		return ref{}, fmt.Errorf("plan: stray const leaf in head")
+	}
+	var in inst
+	tIn := t.Inputs()
+	switch t.Op() {
+	case "gather":
+		idx, ok := t.Meta().([]int)
+		if !ok || len(tIn) != 1 {
+			return ref{}, fmt.Errorf("plan: gather without index meta")
+		}
+		src, err := c.visit(tIn[0])
+		if err != nil {
+			return ref{}, err
+		}
+		in.kind = iGather
+		in.a = src
+		in.idx = append([]int(nil), idx...)
+	case "concat", "concatrows":
+		if t.Op() == "concat" {
+			in.kind = iConcatCols
+		} else {
+			in.kind = iConcatRows
+		}
+		for _, x := range tIn {
+			src, err := c.visit(x)
+			if err != nil {
+				return ref{}, err
+			}
+			in.parts = append(in.parts, part{src: src, cols: x.Value.Cols})
+		}
+	case "matmul", "addrow":
+		if t.Op() == "matmul" {
+			in.kind = iMatMul
+		} else {
+			in.kind = iAddRow
+		}
+		a, err := c.visit(tIn[0])
+		if err != nil {
+			return ref{}, err
+		}
+		b, err := c.visit(tIn[1])
+		if err != nil {
+			return ref{}, err
+		}
+		in.a, in.b = a, b
+	case "relu", "sigmoid", "tanh":
+		src, err := c.visit(tIn[0])
+		if err != nil {
+			return ref{}, err
+		}
+		in.kind = iAct
+		in.a = src
+		switch t.Op() {
+		case "relu":
+			in.act = tensor.ActReLU
+		case "sigmoid":
+			in.act = tensor.ActSigmoid
+		default:
+			in.act = tensor.ActTanh
+		}
+	default:
+		return ref{}, fmt.Errorf("plan: unsupported op %q in head", t.Op())
+	}
+	// The slot index is assigned only now: visiting the inputs above has
+	// already appended their slots, making this node's post-order position.
+	in.out = len(c.p.slots)
+	c.p.slots = append(c.p.slots, slot{
+		rows: t.Value.Rows, cols: t.Value.Cols, req: t.RequiresGrad(), consumers: 1,
+	})
+	c.p.insts = append(c.p.insts, in)
+	c.slotOf[t] = in.out
+	return ref{kind: refSlot, slot: in.out}, nil
+}
+
+// fuseLinear peephole-fuses matmul→addrow[→activation] runs into single
+// iLinear instructions. Post-order emission makes the chain adjacent
+// whenever each intermediate has a single consumer, which is also exactly
+// the condition under which skipping its materialization is bitwise neutral
+// (the fused backward follows LinearActT's proof in fused.go).
+func (p *Plan) fuseLinear() {
+	var out []inst
+	for i := 0; i < len(p.insts); i++ {
+		in := p.insts[i]
+		if in.kind != iMatMul || i+1 >= len(p.insts) {
+			out = append(out, in)
+			continue
+		}
+		nx := p.insts[i+1]
+		if nx.kind != iAddRow || nx.a.kind != refSlot || nx.a.slot != in.out ||
+			p.slots[in.out].consumers != 1 {
+			out = append(out, in)
+			continue
+		}
+		lin := inst{kind: iLinear, out: nx.out, a: in.a, b: in.b, c: nx.b, act: tensor.ActNone}
+		p.slots[in.out].dead = true
+		i++
+		if i+1 < len(p.insts) {
+			ax := p.insts[i+1]
+			if ax.kind == iAct && ax.a.kind == refSlot && ax.a.slot == lin.out &&
+				p.slots[lin.out].consumers == 1 {
+				p.slots[lin.out].dead = true
+				lin.out = ax.out
+				lin.act = ax.act
+				i++
+			}
+		}
+		p.fusedOps++
+		out = append(out, lin)
+	}
+	p.insts = out
+}
+
+// foldGathers folds trailing gather instructions into the column-concat that
+// consumes them: forward copies rows straight from the gather source into
+// the concat slab, backward scatters the concat gradient block straight
+// back. Folding is restricted to a trailing run of single-consumer gathers
+// emitted immediately before the concat, so the reversed instruction list
+// still accumulates into the shared source gradient in the eager order
+// (concat block copies ascending, then folded scatters descending). The
+// scatter reads the concat gradient directly: that slab is zero-then-
+// accumulated, so it never holds −0 and the skipped per-gather intermediate
+// is a laundered identity.
+func (p *Plan) foldGathers() {
+	for j := 1; j < len(p.insts); j++ {
+		if p.insts[j].kind != iConcatCols {
+			continue
+		}
+		parts := p.insts[j].parts
+		k := j - 1
+		folded := false
+		for pi := len(parts) - 1; pi >= 0; pi-- {
+			pr := parts[pi]
+			if pr.src.kind != refSlot || p.slots[pr.src.slot].consumers != 1 {
+				break
+			}
+			if k < 0 || p.insts[k].kind != iGather || p.insts[k].out != pr.src.slot {
+				break
+			}
+			parts[pi].src = p.insts[k].a
+			parts[pi].idx = p.insts[k].idx
+			p.slots[pr.src.slot].dead = true
+			folded = true
+			k--
+		}
+		if folded {
+			p.insts[j].kind = iGatherCat
+			p.fusedOps++
+			// Drop the folded gather instructions (positions k+1..j-1).
+			p.insts = append(p.insts[:k+1], p.insts[j:]...)
+			j = k + 1
+		}
+	}
+}
+
+// allocate assigns the static output and gradient slabs: every live slot's
+// shape and size class is resolved once here, so replay performs no arena
+// lookups at all. iLinear instructions with an activation additionally get a
+// static pre-activation gradient scratch.
+func (p *Plan) allocate() {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.dead {
+			continue
+		}
+		s.out = tensor.NewStatic(s.rows, s.cols)
+		if s.req {
+			s.grad = tensor.NewStatic(s.rows, s.cols)
+		}
+	}
+	for i := range p.insts {
+		in := &p.insts[i]
+		if in.kind == iLinear && in.act != tensor.ActNone && p.slots[in.out].req {
+			in.gpre = tensor.NewStatic(p.slots[in.out].rows, p.slots[in.out].cols)
+		}
+	}
+}
+
+// cost summarizes the compiled program for the tape statistics a plan node
+// reports through tensor.StatsOf (the device cost model consumes these).
+func (p *Plan) cost() tensor.PlanCost {
+	var c tensor.PlanCost
+	note := func(rows int, flops float64) {
+		c.Kernels++
+		c.Flops += flops
+		c.RowSum += int64(rows)
+		if rows > c.MaxRows {
+			c.MaxRows = rows
+		}
+	}
+	for i := range p.insts {
+		in := &p.insts[i]
+		if in.kind == iBCE {
+			note(1, 8*float64(in.n))
+			continue
+		}
+		s := &p.slots[in.out]
+		out := float64(s.rows * s.cols)
+		switch in.kind {
+		case iMatMul:
+			note(s.rows, 2*out*float64(p.refCols(in.a)))
+		case iLinear:
+			note(s.rows, 2*out*float64(p.refCols(in.a))+9*out)
+		case iAct:
+			note(s.rows, 8*out)
+		default:
+			note(s.rows, out)
+		}
+	}
+	return c
+}
+
+// refCols returns the column count of a value operand.
+func (p *Plan) refCols(r ref) int {
+	switch r.kind {
+	case refSlot:
+		return p.slots[r.slot].cols
+	case refBoundary:
+		return p.hCols
+	case refParam:
+		return r.param.Value.Cols
+	default:
+		return p.tCols
+	}
+}
+
+// val resolves an operand's value matrix for the current Apply.
+func (p *Plan) val(r ref) *tensor.Matrix {
+	switch r.kind {
+	case refSlot:
+		return p.slots[r.slot].out
+	case refBoundary:
+		return p.curH.Value
+	case refParam:
+		return r.param.Value
+	default:
+		return p.targets
+	}
+}
+
+// gradOf resolves an operand's gradient accumulator, or nil when the
+// operand does not require grad — the same guard eager backFns apply.
+func (p *Plan) gradOf(r ref) *tensor.Matrix {
+	switch r.kind {
+	case refSlot:
+		return p.slots[r.slot].grad // nil when !req
+	case refBoundary:
+		if !p.hReq {
+			return nil
+		}
+		return p.curH.EnsureGrad()
+	case refParam:
+		if !r.param.RequiresGrad() {
+			return nil
+		}
+		return r.param.EnsureGrad()
+	default:
+		return nil
+	}
+}
+
+// Apply replays the plan on this batch's boundary embedding and targets.
+// It returns the rearmed loss node, or nil when the batch does not match
+// the captured shape signature (the caller falls back to eager execution).
+// The returned node plugs into the surrounding machinery unchanged:
+// Backward runs the plan's backward closure (then the boundary's own tape),
+// and FreeGraph releases the boundary subgraph plus any retained scratch
+// while the plan's static slabs survive for the next replay.
+func (p *Plan) Apply(h *tensor.Tensor, targets *tensor.Matrix) *tensor.Tensor {
+	if h == nil || targets == nil ||
+		h.Value.Rows != p.hRows || h.Value.Cols != p.hCols || h.RequiresGrad() != p.hReq ||
+		targets.Rows != p.tRows || targets.Cols != p.tCols {
+		return nil
+	}
+	p.curH = h
+	p.targets = targets
+	p.forward()
+	if p.hReq {
+		p.inBuf[0] = h
+		p.node.Rearm(p.lossSlab, p.inBuf[:], p.back, false)
+	} else {
+		p.node.Rearm(p.lossSlab, nil, p.back, true)
+	}
+	return p.node
+}
+
+// Logits exposes the static logits slab of the latest Apply. Callers that
+// outlive the batch must copy it; the next Apply overwrites it in place.
+func (p *Plan) Logits() *tensor.Matrix { return p.slots[p.logits.slot].out }
+
+// Node returns the plan's rearm-able tape node (the tensor Apply returns).
+func (p *Plan) Node() *tensor.Tensor { return p.node }
+
+// EagerOps returns the number of eager tape nodes the plan captured.
+func (p *Plan) EagerOps() int { return p.eagerOps }
+
+// Ops returns the number of compiled instructions after fusion.
+func (p *Plan) Ops() int { return len(p.insts) }
+
+// FusedOps returns the number of fusion rewrites applied at compile time.
+func (p *Plan) FusedOps() int { return p.fusedOps }
+
+// forward executes the instruction list into the static slabs. Every kernel
+// is the eager op's own loop (or its proven-bitwise fused form), and every
+// slab is fully overwritten, so no inter-batch state leaks through.
+func (p *Plan) forward() {
+	for i := range p.insts {
+		in := &p.insts[i]
+		switch in.kind {
+		case iGather:
+			tensor.GatherRowsInto(p.slots[in.out].out, p.val(in.a), in.idx)
+		case iConcatCols, iGatherCat:
+			out := p.slots[in.out].out
+			off := 0
+			for _, pt := range in.parts {
+				src := p.val(pt.src)
+				if pt.idx != nil {
+					for r, ix := range pt.idx {
+						copy(out.Row(r)[off:off+pt.cols], src.Row(ix))
+					}
+				} else {
+					for r := 0; r < out.Rows; r++ {
+						copy(out.Row(r)[off:off+pt.cols], src.Row(r))
+					}
+				}
+				off += pt.cols
+			}
+		case iConcatRows:
+			out := p.slots[in.out].out
+			off := 0
+			for _, pt := range in.parts {
+				src := p.val(pt.src)
+				copy(out.Data[off:off+len(src.Data)], src.Data)
+				off += len(src.Data)
+			}
+		case iMatMul:
+			tensor.MatMulInto(p.slots[in.out].out, p.val(in.a), p.val(in.b))
+		case iAddRow:
+			tensor.AddRowInto(p.slots[in.out].out, p.val(in.a), p.val(in.b))
+		case iAct:
+			tensor.ActInto(p.slots[in.out].out, p.val(in.a), in.act)
+		case iLinear:
+			out := p.slots[in.out].out
+			tensor.MatMulInto(out, p.val(in.a), p.val(in.b))
+			tensor.AddRowInto(out, out, p.val(in.c))
+			tensor.ActInto(out, out, in.act)
+		case iBCE:
+			p.lossSlab.Data[0] = tensor.BCEForward(p.val(in.a), p.targets)
+		}
+	}
+}
+
+// backward is the plan node's backFn: Backward has already seeded the loss
+// grad with 1. It zeroes the static gradient slabs (the eager pool-zeroed
+// buffers) and runs the instruction list strictly reversed, so shared
+// gradient accumulators — parameter grads, the boundary grad — see their
+// writes in the exact order the eager reversed-DFS schedule produces.
+func (p *Plan) backward() {
+	for i := range p.slots {
+		if g := p.slots[i].grad; g != nil {
+			g.Zero()
+		}
+	}
+	for i := len(p.insts) - 1; i >= 0; i-- {
+		in := &p.insts[i]
+		if in.kind != iBCE && !p.slots[in.out].req {
+			continue // eager node had no backFn
+		}
+		switch in.kind {
+		case iBCE:
+			if lg := p.gradOf(in.a); lg != nil {
+				g := p.lossGrad.Data[0] / in.n
+				tensor.BCEBackwardAccum(lg, p.val(in.a), p.targets, g)
+			}
+		case iConcatRows:
+			og := p.slots[in.out].grad
+			off := 0
+			for _, pt := range in.parts {
+				n := p.refLen(pt.src)
+				if tg := p.gradOf(pt.src); tg != nil {
+					src := og.Data[off : off+n]
+					for k, gv := range src {
+						tg.Data[k] += gv
+					}
+				}
+				off += n
+			}
+		case iConcatCols, iGatherCat:
+			og := p.slots[in.out].grad
+			// Non-folded blocks ascending (the eager concat backward)…
+			off := 0
+			for _, pt := range in.parts {
+				if pt.idx == nil {
+					if tg := p.gradOf(pt.src); tg != nil {
+						for r := 0; r < og.Rows; r++ {
+							grow := og.Row(r)[off : off+pt.cols]
+							trow := tg.Row(r)
+							for j := range grow {
+								trow[j] += grow[j]
+							}
+						}
+					}
+				}
+				off += pt.cols
+			}
+			// …then folded scatters descending (the gathers' own backwards,
+			// which ran after the concat's in the eager reversed schedule).
+			off = og.Cols
+			for pi := len(in.parts) - 1; pi >= 0; pi-- {
+				pt := in.parts[pi]
+				off -= pt.cols
+				if pt.idx == nil {
+					continue
+				}
+				if tg := p.gradOf(pt.src); tg != nil {
+					for r, ix := range pt.idx {
+						grow := og.Row(r)[off : off+pt.cols]
+						trow := tg.Row(ix)
+						for j := range grow {
+							trow[j] += grow[j]
+						}
+					}
+				}
+			}
+		case iMatMul:
+			og := p.slots[in.out].grad
+			if ag := p.gradOf(in.a); ag != nil {
+				tensor.MatMulTransBAccum(ag, og, p.val(in.b))
+			}
+			if bg := p.gradOf(in.b); bg != nil {
+				tensor.MatMulTransAAccum(bg, p.val(in.a), og)
+			}
+		case iAddRow:
+			og := p.slots[in.out].grad
+			if ag := p.gradOf(in.a); ag != nil {
+				tensor.AxpyInto(ag, og, 1)
+			}
+			if vg := p.gradOf(in.b); vg != nil {
+				tensor.ColSumsAccum(vg, og)
+			}
+		case iAct:
+			if ag := p.gradOf(in.a); ag != nil {
+				tensor.ActBackwardAccum(ag, p.slots[in.out].grad, p.slots[in.out].out, in.act)
+			}
+		case iLinear:
+			og := p.slots[in.out].grad
+			gpre := og
+			if in.act != tensor.ActNone {
+				in.gpre.Zero()
+				tensor.ActBackwardAccum(in.gpre, og, p.slots[in.out].out, in.act)
+				gpre = in.gpre
+			}
+			if bg := p.gradOf(in.c); bg != nil {
+				tensor.ColSumsAccum(bg, gpre)
+			}
+			if ag := p.gradOf(in.a); ag != nil {
+				tensor.MatMulTransBAccum(ag, gpre, p.val(in.b))
+			}
+			if wg := p.gradOf(in.b); wg != nil {
+				tensor.MatMulTransAAccum(wg, p.val(in.a), gpre)
+			}
+		case iGather:
+			if ag := p.gradOf(in.a); ag != nil {
+				tensor.ScatterRowsAccum(ag, p.slots[in.out].grad, in.idx)
+			}
+		}
+	}
+}
+
+// refLen returns the element count of a value operand.
+func (p *Plan) refLen(r ref) int {
+	switch r.kind {
+	case refSlot:
+		return p.slots[r.slot].rows * p.slots[r.slot].cols
+	case refBoundary:
+		return p.hRows * p.hCols
+	case refParam:
+		return len(r.param.Value.Data)
+	default:
+		return p.tRows * p.tCols
+	}
+}

@@ -1,0 +1,277 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/nn"
+	"github.com/cascade-ml/cascade/internal/tensor"
+)
+
+// The golden tests replicate the trainer's prediction heads (train.go
+// forwardPrepared) over a small fake embedding tape and pin the compiled
+// plan to the eager tape bitwise: loss, logits, every parameter gradient,
+// and the boundary gradient, across repeated replays with tape recycling in
+// between.
+
+func randMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewStatic(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func randTargets(rng *rand.Rand, rows int) *tensor.Matrix {
+	m := tensor.NewStatic(rows, 1)
+	for i := range m.Data {
+		if rng.Intn(2) == 1 {
+			m.Data[i] = 1
+		}
+	}
+	return m
+}
+
+// embedLike builds a tiny gradient-bearing "embedding" tape so the boundary
+// tensor has an upstream subgraph, as it does under the real trainer.
+func embedLike(x *tensor.Matrix, w0 *tensor.Tensor) *tensor.Tensor {
+	return tensor.TanhT(tensor.MatMulT(tensor.Const(x), w0))
+}
+
+// linkHead replays forwardPrepared's link-prediction head: shared source
+// gather, two concat+MLP branches, stacked logits, BCE loss.
+func linkHead(pred *nn.MLP, h *tensor.Tensor, b int, targets *tensor.Matrix) (loss, logits *tensor.Tensor) {
+	srcIdx := make([]int, b)
+	dstIdx := make([]int, b)
+	negIdx := make([]int, b)
+	for i := 0; i < b; i++ {
+		srcIdx[i], dstIdx[i], negIdx[i] = i, b+i, 2*b+i
+	}
+	hSrc := tensor.GatherRowsT(h, srcIdx)
+	pos := pred.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, dstIdx)))
+	neg := pred.Forward(tensor.ConcatColsT(hSrc, tensor.GatherRowsT(h, negIdx)))
+	logits = tensor.ConcatRowsT(pos, neg)
+	return tensor.BCEWithLogitsT(logits, tensor.Const(targets)), logits
+}
+
+func requireBits(t *testing.T, name string, want, got *tensor.Matrix) {
+	t.Helper()
+	if want == nil || got == nil {
+		t.Fatalf("%s: nil matrix (want %v, got %v)", name, want, got)
+	}
+	if len(want.Data) != len(got.Data) {
+		t.Fatalf("%s: length %d vs %d", name, len(want.Data), len(got.Data))
+	}
+	for i := range want.Data {
+		if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+			t.Fatalf("%s[%d]: eager %v (0x%08x) vs plan %v (0x%08x)",
+				name, i, want.Data[i], math.Float32bits(want.Data[i]),
+				got.Data[i], math.Float32bits(got.Data[i]))
+		}
+	}
+}
+
+type gradSnapshot struct {
+	name string
+	t    *tensor.Tensor
+	want *tensor.Matrix
+}
+
+func snapshotGrads(t *testing.T, params []nn.Param) []gradSnapshot {
+	t.Helper()
+	out := make([]gradSnapshot, 0, len(params))
+	for _, pm := range params {
+		if pm.T.Grad == nil {
+			t.Fatalf("param %s: no gradient after eager backward", pm.Name)
+		}
+		out = append(out, gradSnapshot{name: pm.Name, t: pm.T, want: pm.T.Grad.Clone()})
+	}
+	return out
+}
+
+func TestPlanLinkHeadGolden(t *testing.T) {
+	const d = 8
+	for _, b := range []int{1, 3, 6} {
+		rng := rand.New(rand.NewSource(42 + int64(b)))
+		x := randMat(rng, 3*b, d)
+		w0 := tensor.Var(randMat(rng, d, d))
+		pred := nn.NewMLP(rng, nn.ActReLU, 2*d, d, 1)
+		targets := randTargets(rng, 2*b)
+		params := append([]nn.Param{{Name: "w0", T: w0}}, pred.Params()...)
+
+		h1 := embedLike(x, w0)
+		loss1, logits1 := linkHead(pred, h1, b, targets)
+		pl, err := Compile(loss1, h1)
+		if err != nil {
+			t.Fatalf("b=%d: Compile: %v", b, err)
+		}
+		if pl.Ops() >= pl.EagerOps() || pl.FusedOps() == 0 {
+			t.Fatalf("b=%d: no fusion: %d insts from %d eager ops (%d fusions)",
+				b, pl.Ops(), pl.EagerOps(), pl.FusedOps())
+		}
+		loss1.Backward()
+		wantLoss := math.Float32bits(loss1.Value.Data[0])
+		wantLogits := logits1.Value.Clone()
+		wantH := h1.Grad.Clone()
+		grads := snapshotGrads(t, params)
+		tensor.FreeGraph(loss1)
+
+		// Two replays with tape recycling between: steady state must stay
+		// bitwise pinned to the eager run.
+		for round := 0; round < 2; round++ {
+			for _, pm := range params {
+				pm.T.Grad = nil
+			}
+			h := embedLike(x, w0)
+			out := pl.Apply(h, targets)
+			if out == nil {
+				t.Fatalf("b=%d round %d: Apply returned nil on matching shape", b, round)
+			}
+			if got := math.Float32bits(out.Value.Data[0]); got != wantLoss {
+				t.Fatalf("b=%d round %d: loss 0x%08x vs eager 0x%08x", b, round, got, wantLoss)
+			}
+			requireBits(t, "logits", wantLogits, pl.Logits())
+			out.Backward()
+			requireBits(t, "h.Grad", wantH, h.Grad)
+			for _, gs := range grads {
+				requireBits(t, gs.name, gs.want, gs.t.Grad)
+			}
+			tensor.FreeGraph(out)
+		}
+	}
+}
+
+func TestPlanClassHeadGolden(t *testing.T) {
+	const d, b = 8, 5
+	rng := rand.New(rand.NewSource(7))
+	x := randMat(rng, b, d)
+	w0 := tensor.Var(randMat(rng, d, d))
+	pred := nn.NewMLP(rng, nn.ActReLU, d, d, 1)
+	targets := randTargets(rng, b)
+	params := append([]nn.Param{{Name: "w0", T: w0}}, pred.Params()...)
+
+	h1 := embedLike(x, w0)
+	logits1 := pred.Forward(h1)
+	loss1 := tensor.BCEWithLogitsT(logits1, tensor.Const(targets))
+	pl, err := Compile(loss1, h1)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	loss1.Backward()
+	wantLoss := math.Float32bits(loss1.Value.Data[0])
+	wantLogits := logits1.Value.Clone()
+	wantH := h1.Grad.Clone()
+	grads := snapshotGrads(t, params)
+	tensor.FreeGraph(loss1)
+
+	for _, pm := range params {
+		pm.T.Grad = nil
+	}
+	h := embedLike(x, w0)
+	out := pl.Apply(h, targets)
+	if out == nil {
+		t.Fatal("Apply returned nil on matching shape")
+	}
+	if got := math.Float32bits(out.Value.Data[0]); got != wantLoss {
+		t.Fatalf("loss 0x%08x vs eager 0x%08x", got, wantLoss)
+	}
+	requireBits(t, "logits", wantLogits, pl.Logits())
+	out.Backward()
+	requireBits(t, "h.Grad", wantH, h.Grad)
+	for _, gs := range grads {
+		requireBits(t, gs.name, gs.want, gs.t.Grad)
+	}
+	tensor.FreeGraph(out)
+}
+
+func TestPlanShapeMissFallsBack(t *testing.T) {
+	const d, b = 8, 4
+	rng := rand.New(rand.NewSource(3))
+	x := randMat(rng, 3*b, d)
+	w0 := tensor.Var(randMat(rng, d, d))
+	pred := nn.NewMLP(rng, nn.ActReLU, 2*d, d, 1)
+	targets := randTargets(rng, 2*b)
+
+	h := embedLike(x, w0)
+	loss, _ := linkHead(pred, h, b, targets)
+	pl, err := Compile(loss, h)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Row-count miss.
+	if out := pl.Apply(embedLike(randMat(rng, 3*(b+1), d), w0), targets); out != nil {
+		t.Fatal("Apply accepted a boundary with the wrong row count")
+	}
+	// Target-shape miss.
+	if out := pl.Apply(embedLike(x, w0), randTargets(rng, 2*b+2)); out != nil {
+		t.Fatal("Apply accepted targets with the wrong shape")
+	}
+	// requiresGrad miss: a constant boundary against a grad-captured plan.
+	if out := pl.Apply(tensor.Const(randMat(rng, 3*b, d)), targets); out != nil {
+		t.Fatal("Apply accepted a const boundary for a grad-bearing plan")
+	}
+}
+
+func TestPlanUnsupportedOpErrors(t *testing.T) {
+	const d, b = 8, 2
+	rng := rand.New(rand.NewSource(9))
+	x := randMat(rng, 3*b, d)
+	w0 := tensor.Var(randMat(rng, d, d))
+	pred := nn.NewMLP(rng, nn.ActReLU, 2*d, d, 1)
+	targets := randTargets(rng, 2*b)
+
+	h := embedLike(x, w0)
+	loss, _ := linkHead(pred, h, b, targets)
+	// Loss root must be bcelogits.
+	if _, err := Compile(tensor.ScaleT(loss, 2), h); err == nil {
+		t.Fatal("Compile accepted a non-bcelogits root")
+	}
+	// Unsupported op inside the head.
+	scaled := tensor.ScaleT(embedLike(x, w0), 2)
+	loss2, _ := linkHead(pred, scaled, b, targets)
+	if _, err := Compile(loss2, embedLike(x, w0)); err == nil {
+		t.Fatal("Compile accepted an unsupported op in the head")
+	}
+	// Stray const leaf inside the head.
+	h3 := embedLike(x, w0)
+	mixed := tensor.ConcatColsT(tensor.GatherRowsT(h3, []int{0, 1}), tensor.Const(randMat(rng, 2, d)))
+	loss3 := tensor.BCEWithLogitsT(pred.Forward(mixed), tensor.Const(randTargets(rng, 2)))
+	if _, err := Compile(loss3, h3); err == nil {
+		t.Fatal("Compile accepted a stray const leaf")
+	}
+}
+
+// TestPlanZeroAllocSteadyState pins the tentpole allocation claim: once
+// compiled and warmed, a full Apply → Backward → FreeGraph cycle performs
+// zero heap allocations (static slabs, rearm-able node, pooled free stack).
+// The boundary is a constant here so the plan owns the entire tape — the
+// trainer-side embedding tape has its own (eager) allocation budget.
+func TestPlanZeroAllocSteadyState(t *testing.T) {
+	const d, b = 8, 4
+	rng := rand.New(rand.NewSource(11))
+	hM := randMat(rng, 3*b, d)
+	h := tensor.Const(hM)
+	pred := nn.NewMLP(rng, nn.ActReLU, 2*d, d, 1)
+	targets := randTargets(rng, 2*b)
+
+	loss, _ := linkHead(pred, h, b, targets)
+	pl, err := Compile(loss, h)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tensor.FreeGraph(loss)
+
+	run := func() {
+		out := pl.Apply(h, targets)
+		if out == nil {
+			t.Fatal("Apply returned nil on matching shape")
+		}
+		out.Backward()
+		tensor.FreeGraph(out)
+	}
+	run() // warm: parameter grads and the free-stack pool come alive here
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state compiled step allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,5 +1,12 @@
 package tensor
 
+import "sync"
+
+// freeStackPool recycles FreeGraph's DFS stack: the hot loop frees one tape
+// per batch and the stack would otherwise be this file's only steady-state
+// allocation.
+var freeStackPool = sync.Pool{New: func() any { return new([]*Tensor) }}
+
 // FreeGraph returns every tape-scoped matrix reachable from roots to the
 // tensor arena: the Value and Grad of each non-leaf node, any scratch
 // matrices ops retained for backward (Tensor.retainScratch), and the Value
@@ -18,7 +25,8 @@ func FreeGraph(roots ...*Tensor) {
 	// Iterative DFS over ALL inputs — unlike topoSort this must not stop at
 	// requiresGrad boundaries, because const subtrees (time encodings feeding
 	// detached memories, scratch masks) also hold tape storage.
-	var stack []*Tensor
+	stackp := freeStackPool.Get().(*[]*Tensor)
+	stack := (*stackp)[:0]
 	for _, r := range roots {
 		if r != nil && !r.freed {
 			r.freed = true
@@ -54,4 +62,12 @@ func FreeGraph(roots ...*Tensor) {
 		n.backFn = nil
 		n.scratchBufs = nil
 	}
+	// Clear node references before pooling so the stack does not pin freed
+	// tape headers across batches.
+	stack = stack[:cap(stack)]
+	for i := range stack {
+		stack[i] = nil
+	}
+	*stackp = stack[:0]
+	freeStackPool.Put(stackp)
 }

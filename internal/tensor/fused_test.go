@@ -1,0 +1,388 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Golden tests for the fused kernels: each fused op must be BITWISE
+// identical to the eager op chain it replaces — forward value, every
+// parameter gradient, and every input gradient — across ragged shapes
+// hitting every tile remainder. The only tolerated difference is the sign
+// of a zero (eager launders −0 through zeroed buffers in a few spots the
+// fused kernels provably cannot reach differently), so comparisons use
+// float32 == with an explicit NaN tripwire.
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+func mustEq(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got == nil || want == nil {
+		if got != want {
+			t.Fatalf("%s: one side nil (got %v, want %v)", name, got, want)
+		}
+		return
+	}
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		g, w := got.Data[i], want.Data[i]
+		if math.IsNaN(float64(g)) || math.IsNaN(float64(w)) {
+			t.Fatalf("%s[%d]: NaN (got %v, want %v)", name, i, g, w)
+		}
+		if g != w {
+			t.Fatalf("%s[%d]: got %x, want %x", name, i, math.Float32bits(g), math.Float32bits(w))
+		}
+	}
+}
+
+// scalarize reduces out to a scalar with non-uniform gradients: sum(out ⊙ c)
+// for a fixed random c, so backward sees arbitrary per-element grads.
+func scalarize(out *Tensor, c *Matrix) *Tensor {
+	return SumT(MulT(out, Const(c)))
+}
+
+func TestLinearActGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{1, 1}, {3, 5}, {7, 13}, {17, 32}, {33, 9}}
+	acts := []Act{ActNone, ActReLU, ActSigmoid, ActTanh}
+	for _, sh := range shapes {
+		for _, act := range acts {
+			b, in := sh[0], sh[1]
+			outDim := (in*2)%17 + 1
+			xm := randMat(rng, b, in)
+			wm := randMat(rng, in, outDim)
+			bm := randMat(rng, 1, outDim)
+			cm := randMat(rng, b, outDim)
+
+			run := func(fused bool) (*Matrix, *Matrix, *Matrix, *Matrix) {
+				x, w, bias := Var(xm.Clone()), Var(wm.Clone()), Var(bm.Clone())
+				var y *Tensor
+				if fused {
+					y = LinearActT(x, w, bias, act)
+				} else {
+					y = AddRowT(MatMulT(x, w), bias)
+					switch act {
+					case ActReLU:
+						y = ReLUT(y)
+					case ActSigmoid:
+						y = SigmoidT(y)
+					case ActTanh:
+						y = TanhT(y)
+					}
+				}
+				val := y.Value.Clone()
+				scalarize(y, cm).Backward()
+				return val, x.Grad.Clone(), w.Grad.Clone(), bias.Grad.Clone()
+			}
+			ev, exg, ewg, ebg := run(false)
+			fv, fxg, fwg, fbg := run(true)
+			mustEq(t, "linearact value", fv, ev)
+			mustEq(t, "linearact x.Grad", fxg, exg)
+			mustEq(t, "linearact w.Grad", fwg, ewg)
+			mustEq(t, "linearact b.Grad", fbg, ebg)
+		}
+	}
+}
+
+func TestRNNStepGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range [][2]int{{1, 1}, {4, 6}, {9, 13}, {21, 32}} {
+		b, hd := sh[0], sh[1]
+		in := hd + 3
+		xm := randMat(rng, b, in)
+		hm := randMat(rng, b, hd)
+		wxm := randMat(rng, in, hd)
+		whm := randMat(rng, hd, hd)
+		bm := randMat(rng, 1, hd)
+		cm := randMat(rng, b, hd)
+
+		run := func(fused bool) (*Matrix, []*Matrix) {
+			x, h := Var(xm.Clone()), Var(hm.Clone())
+			wx, wh, bias := Var(wxm.Clone()), Var(whm.Clone()), Var(bm.Clone())
+			var y *Tensor
+			if fused {
+				y = RNNStepT(x, h, wx, wh, bias)
+			} else {
+				y = TanhT(AddRowT(AddT(MatMulT(x, wx), MatMulT(h, wh)), bias))
+			}
+			val := y.Value.Clone()
+			scalarize(y, cm).Backward()
+			return val, []*Matrix{x.Grad, h.Grad, wx.Grad, wh.Grad, bias.Grad}
+		}
+		ev, eg := run(false)
+		fv, fg := run(true)
+		mustEq(t, "rnnstep value", fv, ev)
+		for i, name := range []string{"x", "h", "wx", "wh", "b"} {
+			mustEq(t, "rnnstep grad "+name, fg[i], eg[i])
+		}
+	}
+}
+
+// TestRNNStepGoldenAliased drives the DySAT pattern where the SAME tensor is
+// both input and hidden state: the h-side and x-side GEMMs accumulate into
+// one shared gradient buffer, so their order must match the eager tape.
+func TestRNNStepGoldenAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, sh := range [][2]int{{3, 5}, {11, 16}} {
+		b, hd := sh[0], sh[1]
+		xm := randMat(rng, b, hd)
+		wxm := randMat(rng, hd, hd)
+		whm := randMat(rng, hd, hd)
+		bm := randMat(rng, 1, hd)
+		cm := randMat(rng, b, hd)
+
+		run := func(fused bool) (*Matrix, *Matrix) {
+			x := Var(xm.Clone())
+			wx, wh, bias := Var(wxm.Clone()), Var(whm.Clone()), Var(bm.Clone())
+			var y *Tensor
+			if fused {
+				y = RNNStepT(x, x, wx, wh, bias)
+			} else {
+				y = TanhT(AddRowT(AddT(MatMulT(x, wx), MatMulT(x, wh)), bias))
+			}
+			val := y.Value.Clone()
+			scalarize(y, cm).Backward()
+			return val, x.Grad
+		}
+		ev, eg := run(false)
+		fv, fg := run(true)
+		mustEq(t, "rnnstep aliased value", fv, ev)
+		mustEq(t, "rnnstep aliased x.Grad", fg, eg)
+	}
+}
+
+func TestGRUStepGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sh := range [][2]int{{1, 1}, {4, 6}, {9, 13}, {21, 32}} {
+		for _, hReq := range []bool{false, true} {
+			b, hd := sh[0], sh[1]
+			in := hd*2 + 1
+			xm := randMat(rng, b, in)
+			hm := randMat(rng, b, hd)
+			wfm := randMat(rng, in, 3*hd)
+			uzrm := randMat(rng, hd, 2*hd)
+			uhm := randMat(rng, hd, hd)
+			bzm, brm, bhm := randMat(rng, 1, hd), randMat(rng, 1, hd), randMat(rng, 1, hd)
+			cm := randMat(rng, b, hd)
+
+			run := func(fused bool) (*Matrix, []*Matrix) {
+				x := Var(xm.Clone())
+				var h *Tensor
+				if hReq {
+					h = Var(hm.Clone())
+				} else {
+					h = Const(hm.Clone())
+				}
+				wf, uzr, uh := Var(wfm.Clone()), Var(uzrm.Clone()), Var(uhm.Clone())
+				bz, br, bh := Var(bzm.Clone()), Var(brm.Clone()), Var(bhm.Clone())
+				var y *Tensor
+				if fused {
+					y = GRUStepT(x, h, wf, uzr, uh, bz, br, bh)
+				} else {
+					xw := MatMulT(x, wf)
+					hu := MatMulT(h, uzr)
+					xz := SliceColsT(xw, 0, hd)
+					xr := SliceColsT(xw, hd, 2*hd)
+					xh := SliceColsT(xw, 2*hd, 3*hd)
+					hz := SliceColsT(hu, 0, hd)
+					hhr := SliceColsT(hu, hd, 2*hd)
+					z := SigmoidT(AddRowT(AddT(xz, hz), bz))
+					r := SigmoidT(AddRowT(AddT(xr, hhr), br))
+					rh := MulT(r, h)
+					cand := TanhT(AddRowT(AddT(xh, MatMulT(rh, uh)), bh))
+					y = AddT(h, MulT(z, SubT(cand, h)))
+				}
+				val := y.Value.Clone()
+				scalarize(y, cm).Backward()
+				return val, []*Matrix{x.Grad, h.Grad, wf.Grad, uzr.Grad, uh.Grad, bz.Grad, br.Grad, bh.Grad}
+			}
+			ev, eg := run(false)
+			fv, fg := run(true)
+			mustEq(t, "grustep value", fv, ev)
+			for i, name := range []string{"x", "h", "wf", "uzr", "uh", "bz", "br", "bh"} {
+				mustEq(t, "grustep grad "+name, fg[i], eg[i])
+			}
+		}
+	}
+}
+
+func TestTimeEncodeGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, sh := range [][2]int{{1, 1}, {5, 8}, {13, 7}, {29, 16}} {
+		b, dim := sh[0], sh[1]
+		deltas := make([]float32, b)
+		for i := range deltas {
+			if i%4 == 0 {
+				deltas[i] = 0 // exercise the zero-Δt GEMM short-circuit
+			} else {
+				deltas[i] = rng.Float32() * 10
+			}
+		}
+		om := randMat(rng, 1, dim)
+		ph := randMat(rng, 1, dim)
+		cm := randMat(rng, b, dim)
+
+		run := func(fused bool) (*Matrix, *Matrix, *Matrix) {
+			omega, phase := Var(om.Clone()), Var(ph.Clone())
+			var y *Tensor
+			if fused {
+				y = TimeEncodeT(deltas, omega, phase)
+			} else {
+				colm := NewMatrix(b, 1)
+				copy(colm.Data, deltas)
+				y = CosT(AddRowT(MatMulT(ConstScratch(colm), omega), phase))
+			}
+			val := y.Value.Clone()
+			scalarize(y, cm).Backward()
+			return val, omega.Grad, phase.Grad
+		}
+		ev, eog, epg := run(false)
+		fv, fog, fpg := run(true)
+		mustEq(t, "timeenc value", fv, ev)
+		mustEq(t, "timeenc omega.Grad", fog, eog)
+		mustEq(t, "timeenc phase.Grad", fpg, epg)
+	}
+}
+
+func TestGATScoresGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, sh := range [][2]int{{1, 1}, {4, 3}, {9, 7}, {17, 10}} {
+		for _, withMask := range []bool{false, true} {
+			b, k := sh[0], sh[1]
+			ssm := randMat(rng, b, 1)
+			snm := randMat(rng, b*k, 1)
+			var mask *Matrix
+			if withMask {
+				mask = NewMatrix(b, k)
+				for i := range mask.Data {
+					if rng.Intn(3) > 0 {
+						mask.Data[i] = 1
+					}
+				}
+				// keep at least one valid slot per row
+				for i := 0; i < b; i++ {
+					mask.Data[i*k] = 1
+				}
+			}
+			cm := randMat(rng, b, k)
+
+			run := func(fused bool) (*Matrix, *Matrix, *Matrix) {
+				sSelf, sNeigh := Var(ssm.Clone()), Var(snm.Clone())
+				var alpha *Tensor
+				if fused {
+					alpha = GATScoresT(sSelf, sNeigh, k, 0.2, mask)
+				} else {
+					scores := LeakyReLUT(AddT(ColBroadcastT(sSelf, k), ReshapeT(sNeigh, b, k)), 0.2)
+					if mask != nil {
+						neg := NewMatrix(b, k)
+						for i, v := range mask.Data {
+							if v == 0 {
+								neg.Data[i] = -1e9
+							}
+						}
+						scores = AddT(scores, ConstScratch(neg))
+					}
+					alpha = SoftmaxRowsT(scores)
+				}
+				val := alpha.Value.Clone()
+				scalarize(alpha, cm).Backward()
+				return val, sSelf.Grad, sNeigh.Grad
+			}
+			ev, esg, eng := run(false)
+			fv, fsg, fng := run(true)
+			mustEq(t, "gatscores value", fv, ev)
+			mustEq(t, "gatscores sSelf.Grad", fsg, esg)
+			mustEq(t, "gatscores sNeigh.Grad", fng, eng)
+		}
+	}
+}
+
+func TestAttnScoresGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, sh := range [][3]int{{1, 1, 1}, {4, 3, 6}, {9, 7, 13}, {15, 5, 32}} {
+		for _, withMask := range []bool{false, true} {
+			b, k, c := sh[0], sh[1], sh[2]
+			qm := randMat(rng, b, c)
+			km := randMat(rng, b*k, c)
+			scale := float32(1 / math.Sqrt(float64(c)))
+			var mask *Matrix
+			if withMask {
+				mask = NewMatrix(b, k)
+				for i := range mask.Data {
+					if rng.Intn(3) > 0 {
+						mask.Data[i] = 1
+					}
+				}
+				for i := 0; i < b; i++ {
+					mask.Data[i*k] = 1
+				}
+			}
+			cm := randMat(rng, b, k)
+
+			run := func(fused bool) (*Matrix, *Matrix, *Matrix) {
+				q, keys := Var(qm.Clone()), Var(km.Clone())
+				var alpha *Tensor
+				if fused {
+					alpha = AttnScoresT(q, keys, k, scale, mask)
+				} else {
+					scores := ScaleT(RowDotGroupsT(q, keys, k), scale)
+					if mask != nil {
+						neg := NewMatrix(b, k)
+						for i, v := range mask.Data {
+							if v == 0 {
+								neg.Data[i] = -1e9
+							}
+						}
+						scores = AddT(scores, ConstScratch(neg))
+					}
+					alpha = SoftmaxRowsT(scores)
+				}
+				val := alpha.Value.Clone()
+				scalarize(alpha, cm).Backward()
+				return val, q.Grad, keys.Grad
+			}
+			ev, eqg, ekg := run(false)
+			fv, fqg, fkg := run(true)
+			mustEq(t, "attnscores value", fv, ev)
+			mustEq(t, "attnscores q.Grad", fqg, eqg)
+			mustEq(t, "attnscores keys.Grad", fkg, ekg)
+		}
+	}
+}
+
+func TestAddReLUGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, sh := range [][2]int{{1, 1}, {6, 9}, {18, 24}} {
+		b, c := sh[0], sh[1]
+		am := randMat(rng, b, c)
+		bm := randMat(rng, b, c)
+		cm := randMat(rng, b, c)
+
+		run := func(fused bool) (*Matrix, *Matrix, *Matrix) {
+			a, bb := Var(am.Clone()), Var(bm.Clone())
+			var y *Tensor
+			if fused {
+				y = AddReLUT(a, bb)
+			} else {
+				y = ReLUT(AddT(a, bb))
+			}
+			val := y.Value.Clone()
+			scalarize(y, cm).Backward()
+			return val, a.Grad, bb.Grad
+		}
+		ev, eag, ebg := run(false)
+		fv, fag, fbg := run(true)
+		mustEq(t, "addrelu value", fv, ev)
+		mustEq(t, "addrelu a.Grad", fag, eag)
+		mustEq(t, "addrelu b.Grad", fbg, ebg)
+	}
+}

@@ -131,6 +131,13 @@ func gemmRows(dst, a, b *Matrix, lo, hi int) {
 		b1 := b.Data[(k+1)*n : (k+1)*n+n]
 		b2 := b.Data[(k+2)*n : (k+2)*n+n]
 		b3 := b.Data[(k+3)*n : (k+3)*n+n]
+		if useAVX2 {
+			for i := lo; i < hi; i++ {
+				ar := a.Data[i*kd+k : i*kd+k+4]
+				axpy4(dst.Data[i*n:i*n+n], b0, b1, b2, b3, ar[0], ar[1], ar[2], ar[3])
+			}
+			continue
+		}
 		i := lo
 		for ; i+2 <= hi; i += 2 {
 			ar0 := a.Data[i*kd+k : i*kd+k+4]
@@ -175,6 +182,10 @@ func gemmRows(dst, a, b *Matrix, lo, hi int) {
 // and no stores inside the k loop.
 func gemmTransB(dst, a, b *Matrix, lo, hi int, accumulate bool) {
 	n, kd := dst.Cols, a.Cols
+	if useAVX2 {
+		gemmTransBVec(dst, a, b, lo, hi, accumulate)
+		return
+	}
 	i := lo
 	for ; i+2 <= hi; i += 2 {
 		ar0 := a.Data[i*kd : i*kd+kd]
@@ -269,6 +280,43 @@ func gemmTransB(dst, a, b *Matrix, lo, hi int, accumulate bool) {
 	}
 }
 
+// gemmTransBVec is gemmTransB on the vector microkernel: per destination
+// row, four simultaneous eight-lane dot products against four b rows share
+// one streamed read of the a row.
+func gemmTransBVec(dst, a, b *Matrix, lo, hi int, accumulate bool) {
+	n, kd := dst.Cols, a.Cols
+	for i := lo; i < hi; i++ {
+		ar := a.Data[i*kd : i*kd+kd]
+		d := dst.Data[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			c0, c1, c2, c3 := dot4(ar,
+				b.Data[j*kd:j*kd+kd], b.Data[(j+1)*kd:(j+1)*kd+kd],
+				b.Data[(j+2)*kd:(j+2)*kd+kd], b.Data[(j+3)*kd:(j+3)*kd+kd])
+			if accumulate {
+				d[j] += c0
+				d[j+1] += c1
+				d[j+2] += c2
+				d[j+3] += c3
+			} else {
+				d[j], d[j+1], d[j+2], d[j+3] = c0, c1, c2, c3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b.Data[j*kd : j*kd+kd]
+			var c float32
+			for k, bv := range brow {
+				c += ar[k] * bv
+			}
+			if accumulate {
+				d[j] += c
+			} else {
+				d[j] = c
+			}
+		}
+	}
+}
+
 // gemmTransA accumulates dst += aᵀ[kLo:kHi)·b: a rank-(kHi-kLo) update of
 // the weight-shaped dst. The k loop is outermost in quads so the four b rows
 // stay hot in L1 while every pair of destination rows takes its broadcast
@@ -287,6 +335,12 @@ func gemmTransA(dst, a, b *Matrix, kLo, kHi int) {
 		b1 := b.Data[(k+1)*n : (k+1)*n+n]
 		b2 := b.Data[(k+2)*n : (k+2)*n+n]
 		b3 := b.Data[(k+3)*n : (k+3)*n+n]
+		if useAVX2 {
+			for i := 0; i < ac; i++ {
+				axpy4(dst.Data[i*n:i*n+n], b0, b1, b2, b3, ar0[i], ar1[i], ar2[i], ar3[i])
+			}
+			continue
+		}
 		i := 0
 		for ; i+2 <= ac; i += 2 {
 			a00, a01, a02, a03 := ar0[i], ar1[i], ar2[i], ar3[i]

@@ -291,6 +291,7 @@ func GatherRowsT(a *Tensor, idx []int) *Tensor {
 			}
 		}
 	}, a)
+	out.meta = idx // the plan capturer (internal/plan) replays the gather
 	return out
 }
 

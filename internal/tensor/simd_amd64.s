@@ -1,0 +1,140 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func hasAVX2FMA() bool
+//
+// CPUID leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28);
+// XGETBV(0): XMM|YMM state enabled by the OS (bits 1,2);
+// CPUID leaf 7 EBX: AVX2 (bit 5).
+TEXT ·hasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $0x18001000, DX // FMA | OSXSAVE | AVX
+	CMPL DX, $0x18001000
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX // XMM and YMM state live across context switches
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x20, BX // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpy4(d, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)
+//
+// d[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j], eight lanes per FMA.
+TEXT ·axpy4(SB), NOSPLIT, $0-136
+	MOVQ d_base+0(FP), DI
+	MOVQ d_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	VBROADCASTSS a0+120(FP), Y0
+	VBROADCASTSS a1+124(FP), Y1
+	VBROADCASTSS a2+128(FP), Y2
+	VBROADCASTSS a3+132(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX // DX = len(d) rounded down to a lane multiple
+vec:
+	CMPQ AX, DX
+	JGE  tail
+	VMOVUPS     (DI)(AX*4), Y4
+	VFMADD231PS (SI)(AX*4), Y0, Y4
+	VFMADD231PS (R8)(AX*4), Y1, Y4
+	VFMADD231PS (R9)(AX*4), Y2, Y4
+	VFMADD231PS (R10)(AX*4), Y3, Y4
+	VMOVUPS     Y4, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  vec
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSS      (DI)(AX*4), X4
+	VFMADD231SS (SI)(AX*4), X0, X4
+	VFMADD231SS (R8)(AX*4), X1, X4
+	VFMADD231SS (R9)(AX*4), X2, X4
+	VFMADD231SS (R10)(AX*4), X3, X4
+	VMOVSS      X4, (DI)(AX*4)
+	INCQ AX
+	JMP  tail
+done:
+	VZEROUPPER
+	RET
+
+// func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32)
+//
+// Four simultaneous dot products sharing one streamed read of a: eight-lane
+// FMA accumulators, horizontally reduced, then a scalar tail folded into the
+// reduced sums.
+TEXT ·dot4(SB), NOSPLIT, $0-136
+	MOVQ a_base+0(FP), DI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+vec:
+	CMPQ AX, DX
+	JGE  reduce
+	VMOVUPS     (DI)(AX*4), Y4
+	VFMADD231PS (SI)(AX*4), Y4, Y0
+	VFMADD231PS (R8)(AX*4), Y4, Y1
+	VFMADD231PS (R9)(AX*4), Y4, Y2
+	VFMADD231PS (R10)(AX*4), Y4, Y3
+	ADDQ $8, AX
+	JMP  vec
+reduce:
+	// Fold each YMM accumulator to a scalar in the low lane of its XMM.
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS       X4, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VEXTRACTF128 $1, Y1, X4
+	VADDPS       X4, X1, X1
+	VHADDPS      X1, X1, X1
+	VHADDPS      X1, X1, X1
+	VEXTRACTF128 $1, Y2, X4
+	VADDPS       X4, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VEXTRACTF128 $1, Y3, X4
+	VADDPS       X4, X3, X3
+	VHADDPS      X3, X3, X3
+	VHADDPS      X3, X3, X3
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSS      (DI)(AX*4), X4
+	VFMADD231SS (SI)(AX*4), X4, X0
+	VFMADD231SS (R8)(AX*4), X4, X1
+	VFMADD231SS (R9)(AX*4), X4, X2
+	VFMADD231SS (R10)(AX*4), X4, X3
+	INCQ AX
+	JMP  tail
+done:
+	VMOVSS X0, s0+120(FP)
+	VMOVSS X1, s1+124(FP)
+	VMOVSS X2, s2+128(FP)
+	VMOVSS X3, s3+132(FP)
+	VZEROUPPER
+	RET

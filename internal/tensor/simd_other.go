@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package tensor
+
+// Portable stand-ins for the amd64 vector microkernels. useAVX2 is a
+// compile-time false on other architectures, so the GEMM drivers never take
+// the vector branches; the bodies below keep the package buildable and the
+// semantics documented.
+
+const useAVX2 = false
+
+func axpy4(d, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	for j := range d {
+		d[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	for k, av := range a {
+		s0 += av * b0[k]
+		s1 += av * b1[k]
+		s2 += av * b2[k]
+		s3 += av * b3[k]
+	}
+	return
+}

@@ -28,6 +28,16 @@ func (s *TapeStats) Add(other TapeStats) {
 	}
 }
 
+// PlanCost is the pre-computed tape cost a compiled plan node carries as its
+// meta: the plan executor runs a fixed instruction program, so its stats are
+// computed once at compile time instead of per-batch graph walks.
+type PlanCost struct {
+	Kernels int
+	Flops   float64
+	RowSum  int64
+	MaxRows int
+}
+
 // StatsOf walks the full forward tape (including constant-input subgraphs —
 // those kernels run regardless of gradient requirements) and returns its
 // statistics.
@@ -39,7 +49,11 @@ func StatsOf(root *Tensor) TapeStats {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n.op != "var" && n.op != "const" {
+		if n.op == "plan" {
+			if c, ok := n.meta.(PlanCost); ok {
+				s.Add(TapeStats{Kernels: c.Kernels, Flops: c.Flops, RowSum: c.RowSum, MaxRows: c.MaxRows})
+			}
+		} else if n.op != "var" && n.op != "const" {
 			s.Kernels++
 			s.Flops += nodeFlops(n)
 			rows := n.Value.Rows
@@ -70,6 +84,27 @@ func nodeFlops(n *Tensor) float64 {
 	case "rowdotgroups", "weightedsumgroups":
 		// group·cols multiply-adds per output row element.
 		return 2 * float64(len(n.inputs[0].Value.Data))
+	case "linearact":
+		// GEMM + bias + activation in one node.
+		return 2*float64(n.inputs[0].Value.Rows)*float64(n.inputs[0].Value.Cols)*float64(n.inputs[1].Value.Cols) + 9*out
+	case "rnnstep":
+		// two GEMMs + fused tanh pass. inputs: (x, wx, h, wh, b).
+		x, wx, h, wh := n.inputs[0], n.inputs[1], n.inputs[2], n.inputs[3]
+		return 2*float64(x.Value.Rows)*float64(x.Value.Cols)*float64(wx.Value.Cols) +
+			2*float64(h.Value.Rows)*float64(h.Value.Cols)*float64(wh.Value.Cols) + 10*out
+	case "grustep":
+		// three GEMMs + fused gate passes. inputs: (h, x, wf, uzr, ...).
+		h, x, wf := n.inputs[0], n.inputs[1], n.inputs[2]
+		hd := float64(n.Value.Cols)
+		return 2*float64(x.Value.Rows)*float64(x.Value.Cols)*float64(wf.Value.Cols) +
+			2*float64(h.Value.Rows)*float64(h.Value.Cols)*(2*hd) +
+			2*float64(h.Value.Rows)*hd*hd + 24*out
+	case "timeenc":
+		return 2*out + 8*out // outer product + fused cos pass
+	case "gatscores", "attnscores":
+		return 10 * out // scores + mask + softmax per slot
+	case "addrelu":
+		return 2 * out
 	default:
 		return out
 	}

@@ -1,0 +1,118 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/obs"
+)
+
+// runCompiled trains two epochs with or without the plan pipeline and
+// returns per-batch losses, the final validation loss, and the cumulative
+// plan-hit count observed in the traces.
+func runCompiled(t *testing.T, model string, full, tr, val *graph.Dataset, staleness int, compile bool) ([]float64, float64, int) {
+	t.Helper()
+	m := models.MustNew(model, full, 16, 4, 5)
+	var losses []float64
+	hits := 0
+	tt, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 60),
+		Data: tr, Val: val,
+		LR: 2e-3, ValBatch: 100, Seed: 9,
+		Staleness: staleness,
+		Compile:   compile,
+		OnBatch: func(bt BatchTrace) {
+			losses = append(losses, bt.Loss)
+			hits += bt.PlanHit
+			if compile && bt.PlanHit == 1 && bt.PlanFusedOps == 0 {
+				t.Errorf("batch %d: plan hit with zero fused kernels", bt.Index)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.Train(2)
+	return losses, tt.Validate(), hits
+}
+
+// TestCompileMatchesEager pins the tentpole's exactness contract on every
+// Table 1 model, with and without the bounded-staleness pipeline: -compile
+// must be bitwise-identical to the eager head — same per-batch losses, same
+// validation loss — while actually replaying compiled plans for the bulk of
+// the batches (every fixed-size batch after the first two shapes is a hit).
+func TestCompileMatchesEager(t *testing.T) {
+	full, tr, val := trainValData(t)
+	for _, name := range models.Names {
+		for _, s := range []int{0, 2} {
+			t.Run(name+sLabel(s), func(t *testing.T) {
+				eager, eagerVal, _ := runCompiled(t, name, full, tr, val, s, false)
+				comp, compVal, hits := runCompiled(t, name, full, tr, val, s, true)
+				if len(eager) != len(comp) {
+					t.Fatalf("batch counts differ: %d vs %d", len(eager), len(comp))
+				}
+				for i := range eager {
+					if math.Float64bits(eager[i]) != math.Float64bits(comp[i]) {
+						t.Fatalf("batch %d loss diverged: eager %v vs compiled %v", i, eager[i], comp[i])
+					}
+				}
+				if math.Float64bits(eagerVal) != math.Float64bits(compVal) {
+					t.Fatalf("validation loss diverged: eager %v vs compiled %v", eagerVal, compVal)
+				}
+				if hits < len(comp)/2 {
+					t.Fatalf("only %d/%d training batches replayed a plan", hits, len(comp))
+				}
+			})
+		}
+	}
+}
+
+func sLabel(s int) string {
+	if s == 0 {
+		return "/s0"
+	}
+	return "/s2"
+}
+
+// TestPlanSmoke is the `make plansmoke` gate: one compiled TGN run must
+// compile exactly the shapes it sees, replay every repeat batch, execute
+// fused kernels, and report it all through the train_plan_* metrics.
+func TestPlanSmoke(t *testing.T) {
+	full, tr, val := trainValData(t)
+	r := obs.NewRegistry()
+	m := models.MustNew("TGN", full, 16, 4, 5)
+	tt, err := NewTrainer(Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 60),
+		Data: tr, Val: val, Seed: 9, Compile: true, Obs: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tt.TrainEpoch()
+	hits := r.Counter("train_plan_hits_total").Value()
+	misses := r.Counter("train_plan_misses_total").Value()
+	fused := r.Counter("train_plan_fused_ops_total").Value()
+	if hits+misses != int64(st.Batches) {
+		t.Fatalf("plan hits %d + misses %d ≠ %d batches (fallbacks?)", hits, misses, st.Batches)
+	}
+	// A fixed-size schedule has at most two shapes (full batches + remainder),
+	// so all but a couple of batches replay.
+	if misses > 2 || hits < int64(st.Batches)-2 {
+		t.Fatalf("plan cache ineffective: %d hits, %d misses over %d batches", hits, misses, st.Batches)
+	}
+	if fused == 0 {
+		t.Fatal("no fused kernels executed")
+	}
+	if r.Counter("train_plan_fallbacks_total").Value() != 0 {
+		t.Fatalf("unexpected plan fallbacks: %d", r.Counter("train_plan_fallbacks_total").Value())
+	}
+	if got := r.Gauge("train_plan_cache_size").Value(); got < 1 {
+		t.Fatalf("plan cache size %v, want ≥ 1", got)
+	}
+	if v := tt.Validate(); v <= 0 || math.IsNaN(v) {
+		t.Fatalf("validation loss %v", v)
+	}
+}

@@ -5,15 +5,18 @@ GO ?= go
 # the batch-prep prefetch pipeline, distributed the replica barrier and
 # eviction paths, resilience the checkpoint/rollback machinery, memstore
 # the sharded mailbox under concurrent read/push, plan the captured
-# execution plans replayed under the prefetch pipeline.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/plan/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/...
+# execution plans replayed under the prefetch pipeline, wal the segmented
+# ingest log's interval-sync goroutine against appends.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/plan/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/... ./internal/wal/...
 
 # The fault suite: injected NaN gradients with rollback, kill-and-resume
 # equivalence (exact and bounded-staleness pipelines), checkpoint-write
 # failures, replica death/hang eviction and flap-then-rejoin, dropped
 # barrier reports, overload shedding, stale degradation, breaker trips,
-# graceful drain, torn mailbox reads — all under the race detector.
-FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires)
+# graceful drain, torn mailbox reads, WAL disk faults (short write, fsync
+# error, rotate failure, snapshot failure) with read-only degradation and
+# kill-at-random-offset recovery — all under the race detector.
+FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires|TestInjectedWriteFailureBreaksLog|TestInjectedSyncFailureBreaksLog|TestInjectedRotateFailure|TestWALKillAtRandomOffset|TestWALFaultDegradesReadOnly|TestWALRotateFaultDegradesReadOnly|TestWALSnapshotFaultKeepsServing)
 
 # Hot-path micro-benchmarks captured in BENCH_pr7.json: the GEMM variants
 # (plain / ᵀA / ᵀB, ragged shapes), the GRU training step (fused and eager),
@@ -22,10 +25,10 @@ FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentR
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStep|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke walsmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke walsmoke
 
 build:
 	$(GO) build ./...
@@ -70,7 +73,7 @@ benchsmoke:
 # suite under -race, then a real checkpointed cascade-train run whose files
 # must pass the ckptcheck linter.
 faultsmoke:
-	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/... ./internal/memstore/...
+	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/... ./internal/memstore/... ./internal/wal/...
 	rm -rf /tmp/cascade-faultsmoke-ckpt
 	$(GO) run ./cmd/cascade-train -events 800 -epochs 2 -health \
 		-checkpoint-dir /tmp/cascade-faultsmoke-ckpt -checkpoint-every 5 > /dev/null
@@ -92,10 +95,19 @@ plansmoke:
 	$(GO) test -count=1 -run '^TestPlanSmoke$$' ./internal/train
 
 # chaossmoke drives the deterministic chaos harness end to end: a 10× burst
-# against a saturated scoring server must shed-not-collapse, and a flapping
-# training replica must rejoin from the latest on-disk checkpoint.
+# against a saturated scoring server must shed-not-collapse, a flapping
+# training replica must rejoin from the latest on-disk checkpoint, an
+# fsync-faulted WAL must degrade to read-only with zero acked-but-lost
+# events, and a SIGKILLed cascade-serve must recover bitwise from its WAL.
 chaossmoke:
 	$(GO) run ./tools/chaos -scenario all
+
+# walsmoke gates the ingest write-ahead log: the wal package's own tests
+# (framing, rotation, retention, torn-tail truncation at every byte offset)
+# plus the walcheck linter's selftest over clean/torn/corrupt logs.
+walsmoke:
+	$(GO) test -count=1 ./internal/wal/...
+	$(GO) run ./tools/walcheck -selftest
 
 # benchall runs the full experiment suite (every paper table/figure) once.
 benchall:

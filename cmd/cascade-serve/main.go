@@ -21,6 +21,7 @@ import (
 	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/serve"
+	"github.com/cascade-ml/cascade/internal/wal"
 )
 
 func main() {
@@ -45,6 +46,11 @@ func main() {
 	flightKeep := flag.Int("flight-keep", 64, "how many recent span trees the flight recorder retains")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory for /ingest durability; empty disables the WAL (crash loses ingested events)")
+	walSync := flag.String("wal-sync", "batch", "WAL sync policy: always (fsync per record), batch (fsync per ingest request), interval (fsync on -wal-sync-interval; acks may precede durability)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment file size cap in bytes (0 = 4 MiB default)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush cadence under -wal-sync interval")
+	walCompactEvery := flag.Int("wal-compact-every", 0, "compact (snapshot + truncate) after this many ingest batches (0 = 256 default, negative disables)")
 	flag.Parse()
 
 	profileEvents := map[string]int{
@@ -153,7 +159,37 @@ func main() {
 		defer sink.Close()
 		opts = append(opts, serve.WithTrace(sink))
 	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, serve.WithWAL(serve.WALConfig{
+			Dir:          *walDir,
+			SegmentBytes: *walSegmentBytes,
+			Sync:         policy,
+			SyncInterval: *walSyncInterval,
+			CompactEvery: *walCompactEvery,
+		}))
+	}
 	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes, opts...)
+	if *walDir != "" {
+		rec, err := srv.StartWAL()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: wal: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wal %s: snapshot %q, %d segments, replayed %d batches (%d events)",
+			*walDir, rec.SnapshotPath, rec.Log.Segments, rec.ReplayedRecords, rec.ReplayedEvents)
+		if rec.Log.TornBytes > 0 {
+			fmt.Printf(", truncated %d torn bytes", rec.Log.TornBytes)
+		}
+		fmt.Println()
+		logger.Info("wal recovered", "dir", *walDir, "snapshot", rec.SnapshotPath,
+			"replayed_batches", rec.ReplayedRecords, "replayed_events", rec.ReplayedEvents,
+			"torn_bytes", rec.Log.TornBytes)
+	}
 	httpSrv := serve.NewHTTPServer(srv.Handler(), serve.HTTPOptions{
 		Addr: *addr, RequestTimeout: *reqTimeout,
 	})
@@ -162,8 +198,16 @@ func main() {
 	fmt.Printf("serving on %s (POST /ingest, POST /score, GET /stats, GET /metrics, GET /healthz, GET /readyz, GET /debug/pipeline)\n", *addr)
 	logger.Info("serving", "addr", *addr)
 	// StartDrain flips /readyz to 503 for the whole drain window, so load
-	// balancers stop routing here while in-flight requests finish.
-	if err := serve.RunGracefulNotify(httpSrv, nil, stop, *shutdownTimeout, srv.StartDrain); err != nil {
+	// balancers stop routing here while in-flight requests finish; the flush
+	// hook fsyncs and closes the WAL after the drain, so a clean SIGTERM
+	// never leans on replay.
+	err = serve.RunGracefulFlush(httpSrv, nil, stop, *shutdownTimeout, srv.StartDrain, func() error {
+		if ferr := srv.FlushWAL(); ferr != nil {
+			return ferr
+		}
+		return srv.CloseWAL()
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
 		os.Exit(1)
 	}

@@ -94,6 +94,33 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
+// ValidateEvents applies the streaming subset of the Validate invariants to
+// a standalone event slice: finite timestamps, non-decreasing from `after`
+// onward, node ids within [0, numNodes), and no self loops. It is the
+// admission check for live ingest paths (serve's /ingest), where events
+// arrive without a surrounding Dataset but must uphold the same contract —
+// the typed errors (ErrNonFiniteTime, ErrUnsortedTimestamps, …) let callers
+// map violations to protocol-level rejections.
+func ValidateEvents(events []Event, numNodes int, after float64) error {
+	prev := after
+	for i, e := range events {
+		if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) {
+			return fmt.Errorf("%w: event %d t=%v", ErrNonFiniteTime, i, e.Time)
+		}
+		if e.Time < prev {
+			return fmt.Errorf("%w: event %d at t=%v after t=%v", ErrUnsortedTimestamps, i, e.Time, prev)
+		}
+		prev = e.Time
+		if e.Src < 0 || int(e.Src) >= numNodes || e.Dst < 0 || int(e.Dst) >= numNodes {
+			return fmt.Errorf("%w: event %d (%d→%d) with %d nodes", ErrNodeOutOfRange, i, e.Src, e.Dst, numNodes)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("%w: event %d on node %d", ErrSelfLoop, i, e.Src)
+		}
+	}
+	return nil
+}
+
 // EdgeFeature returns the feature row for event e, or nil when the dataset
 // has no edge features.
 func (d *Dataset) EdgeFeature(e Event) []float32 {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -64,6 +65,34 @@ func TestValidateRejectsBadFeature(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadFeatIndex", err)
 	}
 }
+
+func TestValidateEventsStreamInvariants(t *testing.T) {
+	good := []Event{{Src: 0, Dst: 1, Time: 5, FeatIdx: -1}, {Src: 1, Dst: 2, Time: 6, FeatIdx: -1}}
+	if err := ValidateEvents(good, 4, 4); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	cases := []struct {
+		events []Event
+		after  float64
+		want   error
+	}{
+		{[]Event{{Src: 0, Dst: 1, Time: nan()}}, 0, ErrNonFiniteTime},
+		{[]Event{{Src: 0, Dst: 1, Time: inf()}}, 0, ErrNonFiniteTime},
+		{[]Event{{Src: 0, Dst: 1, Time: 3}}, 4, ErrUnsortedTimestamps}, // behind the stream head
+		{[]Event{{Src: 0, Dst: 1, Time: 5}, {Src: 1, Dst: 2, Time: 4}}, 0, ErrUnsortedTimestamps},
+		{[]Event{{Src: 0, Dst: 9, Time: 5}}, 0, ErrNodeOutOfRange},
+		{[]Event{{Src: -1, Dst: 1, Time: 5}}, 0, ErrNodeOutOfRange},
+		{[]Event{{Src: 2, Dst: 2, Time: 5}}, 0, ErrSelfLoop},
+	}
+	for i, tc := range cases {
+		if err := ValidateEvents(tc.events, 4, tc.after); !errors.Is(err, tc.want) {
+			t.Fatalf("case %d: err = %v, want %v", i, err, tc.want)
+		}
+	}
+}
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }
 
 func TestEdgeFeatureLookup(t *testing.T) {
 	d := tinyDataset()

@@ -51,6 +51,20 @@ const (
 	// PointServeRefuse makes the fresh scoring path refuse a request
 	// outright, as a crashed upstream would (internal/serve).
 	PointServeRefuse = "serve/refuse"
+	// PointWALWrite fails a WAL record append after a deliberate short
+	// write, leaving a torn frame on disk — the recovery path must truncate
+	// it (internal/wal).
+	PointWALWrite = "wal/write"
+	// PointWALSync fails the WAL fsync, the way a dying disk surfaces: data
+	// accepted by the kernel but durability refused (internal/wal).
+	PointWALSync = "wal/sync"
+	// PointWALRotate fails segment creation at rotation — the disk-full
+	// case (internal/wal).
+	PointWALRotate = "wal/rotate"
+	// PointWALSnapshot fails the compaction snapshot write; the server must
+	// keep serving (the log is still intact) and retry later
+	// (internal/serve).
+	PointWALSnapshot = "wal/snapshot"
 )
 
 // ReplicaPoint names a per-replica fault point ("dist/replica-die/2").

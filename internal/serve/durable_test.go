@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/train"
+	"github.com/cascade-ml/cascade/internal/wal"
+)
+
+// walServer builds a deterministically-trained server with the WAL enabled.
+// Every call reproduces bitwise-identical weights and stream state (same
+// dataset seed, same trainer seed), which is what lets the recovery tests
+// compare a recovered process against an independently-built reference.
+func walServer(t *testing.T, cfg WALConfig, opts ...Option) (*Server, *WALRecovery) {
+	t.Helper()
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.002, Seed: 91, FeatDimOverride: 4, MinEvents: 600})
+	tr, val := ds.Split(0.8)
+	m := models.MustNew("JODIE", ds, 8, 4, 3)
+	trainer, err := train.NewTrainer(train.Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50),
+		Data: tr, Val: val, ValBatch: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.Train(2)
+	s := New(m, trainer.Predictor(), ds.NumNodes, append(opts, WithWAL(cfg))...)
+	rec, err := s.StartWAL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.CloseWAL() })
+	return s, rec
+}
+
+// fingerprint hashes the live stream state (node memories, pending
+// messages, RNG) — the bitwise-recovery criterion.
+func fingerprint(s *Server) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model.Snapshot().Fingerprint()
+}
+
+// ingestBatch posts the i-th deterministic event batch. Batches are the
+// replay unit, so tests that compare recovered state against a reference
+// must post the same batches in the same order — this helper is that order.
+func ingestBatch(t *testing.T, h http.Handler, i int) {
+	t.Helper()
+	rec := post(t, h, "/ingest", map[string]any{"events": deterministicBatch(i)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest batch %d: status %d: %s", i, rec.Code, rec.Body)
+	}
+}
+
+func deterministicBatch(i int) []map[string]any {
+	n := 3 + i%4
+	events := make([]map[string]any, n)
+	for j := 0; j < n; j++ {
+		events[j] = map[string]any{
+			"src":  (i*7 + j*3) % 30,
+			"dst":  32 + (i*5+j*11)%30,
+			"time": 1e7 + float64(i*16+j),
+		}
+	}
+	return events
+}
+
+func TestWALIngestDurableAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := walServer(t, WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes})
+	h := a.Handler()
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		ingestBatch(t, h, i)
+	}
+	want := fingerprint(a)
+	wantSeq := a.WALAppliedSeq()
+	if wantSeq != batches {
+		t.Fatalf("applied seq %d after %d batches", wantSeq, batches)
+	}
+	// "Crash": abandon a without flushing or closing. Sync policy batch
+	// means every acked batch is already on disk.
+	b, rec := walServer(t, WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes})
+	if rec.ReplayedRecords != batches {
+		t.Fatalf("replayed %d records, want %d (recovery %+v)", rec.ReplayedRecords, batches, rec)
+	}
+	if got := fingerprint(b); got != want {
+		t.Fatalf("recovered fingerprint %016x, want %016x", got, want)
+	}
+	if b.WALAppliedSeq() != wantSeq {
+		t.Fatalf("recovered applied seq %d, want %d", b.WALAppliedSeq(), wantSeq)
+	}
+	// The recovered log keeps accepting batches at the right sequence.
+	ingestBatch(t, b.Handler(), batches)
+	if b.WALAppliedSeq() != wantSeq+1 {
+		t.Fatalf("post-recovery applied seq %d, want %d", b.WALAppliedSeq(), wantSeq+1)
+	}
+	// /stats surfaces the wal section and the ?full=1 fingerprint.
+	var stats struct {
+		WAL struct {
+			AppliedSeq uint64 `json:"applied_seq"`
+			Broken     bool   `json:"broken"`
+		} `json:"wal"`
+		Fingerprint string `json:"state_fingerprint"`
+	}
+	res := get(t, b.Handler(), "/stats?full=1")
+	if err := json.Unmarshal(res.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.WAL.AppliedSeq != wantSeq+1 || stats.WAL.Broken {
+		t.Fatalf("stats wal %+v", stats.WAL)
+	}
+	if want := fmt.Sprintf("%016x", fingerprint(b)); stats.Fingerprint != want {
+		t.Fatalf("stats fingerprint %q, want %q", stats.Fingerprint, want)
+	}
+}
+
+// TestWALKillAtRandomOffset is the kill-at-random-offset pin: cut the tail
+// segment at arbitrary byte offsets (simulating a SIGKILL mid-write),
+// recover, and require the recovered state to be bitwise-identical to a
+// reference server that ingested exactly the recovered prefix of batches.
+func TestWALKillAtRandomOffset(t *testing.T) {
+	const batches = 6
+	src := t.TempDir()
+	a, _ := walServer(t, WALConfig{Dir: src, SegmentBytes: wal.MinSegmentBytes})
+	for i := 0; i < batches; i++ {
+		ingestBatch(t, a.Handler(), i)
+	}
+	names, err := wal.ListSegments(src)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segments: %v %v", names, err)
+	}
+	tail := names[len(names)-1]
+	tailData, err := os.ReadFile(filepath.Join(src, tail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic "random" cut offsets spread across the tail file.
+	cuts := []int64{1, int64(len(tailData)) / 3, int64(len(tailData)) - 9, int64(len(tailData)) - 1}
+	for _, cut := range cuts {
+		if cut < 0 || cut >= int64(len(tailData)) {
+			continue
+		}
+		dir := t.TempDir()
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if name == tail {
+				data = data[:cut]
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, _ := walServer(t, WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes})
+		applied := b.WALAppliedSeq()
+		if applied > batches {
+			t.Fatalf("cut=%d: recovered %d batches from a %d-batch log", cut, applied, batches)
+		}
+		// Reference: a fresh identically-trained server applies exactly the
+		// recovered prefix.
+		ref, _ := walServer(t, WALConfig{Dir: t.TempDir()})
+		for i := 0; i < int(applied); i++ {
+			ingestBatch(t, ref.Handler(), i)
+		}
+		if got, want := fingerprint(b), fingerprint(ref); got != want {
+			t.Fatalf("cut=%d: recovered fingerprint %016x != reference %016x (prefix %d)", cut, got, want, applied)
+		}
+	}
+}
+
+func TestWALFaultDegradesReadOnly(t *testing.T) {
+	inj := faultinject.New()
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir()}, WithInjector(inj))
+	h := s.Handler()
+	ingestBatch(t, h, 0)
+	before := fingerprint(s)
+
+	inj.Arm(faultinject.PointWALSync) // the disk refuses durability
+	rec := post(t, h, "/ingest", map[string]any{"events": deterministicBatch(1)})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest with failing fsync: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Code != "wal_unavailable" {
+		t.Fatalf("typed 503 body %s (err %v)", rec.Body, err)
+	}
+	// The failed batch must NOT have been applied — an un-logged batch in
+	// memory is exactly the acked-but-lost state the WAL exists to prevent.
+	if got := fingerprint(s); got != before {
+		t.Fatalf("failed ingest mutated state: %016x != %016x", got, before)
+	}
+	// Sticky: later ingests fail fast with the same typed error.
+	rec = post(t, h, "/ingest", map[string]any{"events": deterministicBatch(1)})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second ingest: status %d", rec.Code)
+	}
+	// /score still serves.
+	rec = post(t, h, "/score", map[string]any{
+		"pairs": []map[string]any{{"src": 0, "dst": 60}}, "time": 2e7,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("score while wal broken: status %d: %s", rec.Code, rec.Body)
+	}
+	// /readyz flips not-ready with the reason.
+	rec = get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "wal broken") {
+		t.Fatalf("readyz %d: %s", rec.Code, rec.Body)
+	}
+	if v := s.Metrics().Counter("serve_wal_unavailable_total").Value(); v < 2 {
+		t.Fatalf("serve_wal_unavailable_total = %d", v)
+	}
+}
+
+func TestWALRotateFaultDegradesReadOnly(t *testing.T) {
+	inj := faultinject.New()
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes}, WithInjector(inj))
+	h := s.Handler()
+	ingestBatch(t, h, 0)
+	inj.Arm(faultinject.PointWALRotate) // disk full at the next segment
+	// Push big batches until a rotation is attempted.
+	big := make([]map[string]any, 200)
+	status := http.StatusOK
+	for i := 0; i < 8 && status == http.StatusOK; i++ {
+		for j := range big {
+			big[j] = map[string]any{"src": j % 30, "dst": 32 + j%30, "time": 2e7 + float64(i*len(big)+j)}
+		}
+		status = post(t, h, "/ingest", map[string]any{"events": big}).Code
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("rotation under disk-full never degraded: last status %d", status)
+	}
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after disk-full: %d", rec.Code)
+	}
+}
+
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: 2, SnapshotKeep: 1}
+	a, _ := walServer(t, cfg)
+	for i := 0; i < 4; i++ {
+		ingestBatch(t, a.Handler(), i)
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots after 4 batches: %v (err %v)", snaps, err)
+	}
+	want := fingerprint(a)
+	// Restart: the snapshot carries everything (compaction ran at batch 4),
+	// so replay has nothing to do.
+	b, rec := walServer(t, cfg)
+	if rec.SnapshotPath == "" || rec.ReplayedRecords != 0 {
+		t.Fatalf("recovery %+v, want snapshot-only", rec)
+	}
+	if got := fingerprint(b); got != want {
+		t.Fatalf("post-compaction fingerprint %016x, want %016x", got, want)
+	}
+	// The log keeps rolling afterwards, and the snapshot watermark pins the
+	// sequence numbering even though old segments are gone.
+	ingestBatch(t, b.Handler(), 4)
+	if b.WALAppliedSeq() != 5 {
+		t.Fatalf("applied seq %d, want 5", b.WALAppliedSeq())
+	}
+}
+
+func TestWALSnapshotFaultKeepsServing(t *testing.T) {
+	inj := faultinject.New()
+	dir := t.TempDir()
+	s, _ := walServer(t, WALConfig{Dir: dir, CompactEvery: 2}, WithInjector(inj))
+	inj.Arm(faultinject.PointWALSnapshot)
+	for i := 0; i < 3; i++ {
+		ingestBatch(t, s.Handler(), i) // compaction fires (and fails) at batch 2
+	}
+	if v := s.Metrics().Counter("serve_wal_snapshot_errors_total").Value(); v == 0 {
+		t.Fatal("snapshot failure not counted")
+	}
+	if snaps, _ := listSnapshots(dir); len(snaps) != 0 {
+		t.Fatalf("failed compaction left snapshots: %v", snaps)
+	}
+	// The log is intact, so recovery replays everything.
+	s.CloseWAL()
+	b, rec := walServer(t, WALConfig{Dir: dir, CompactEvery: 2})
+	if rec.ReplayedRecords != 3 {
+		t.Fatalf("replayed %d, want 3", rec.ReplayedRecords)
+	}
+	if got, want := fingerprint(b), fingerprint(s); got != want {
+		t.Fatalf("fingerprint %016x, want %016x", got, want)
+	}
+}
+
+// TestWALRejectsInvalidBeforeLogging is the satellite regression: malformed
+// batches must be rejected with typed 400s before the WAL sees them, so the
+// log only ever holds batches replay will accept.
+func TestWALRejectsInvalidBeforeLogging(t *testing.T) {
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir()})
+	h := s.Handler()
+	ingestBatch(t, h, 0)
+	seq := s.WALAppliedSeq()
+	for _, tc := range []struct {
+		events []map[string]any
+		want   string
+	}{
+		{[]map[string]any{{"src": 0, "dst": 60, "time": 1e6}}, "not sorted"}, // behind the stream
+		{[]map[string]any{{"src": 0, "dst": 0, "time": 3e7}}, "self-loop"},
+		{[]map[string]any{{"src": 0, "dst": 1 << 20, "time": 3e7}}, "outside universe"},
+		{[]map[string]any{{"src": 0, "dst": 60, "time": 3e7, "feats": []float64{0.5}}}, "not supported"},
+	} {
+		rec := post(t, h, "/ingest", map[string]any{"events": tc.events})
+		if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), tc.want) {
+			t.Fatalf("batch %v: status %d body %s, want 400 containing %q", tc.events, rec.Code, rec.Body, tc.want)
+		}
+	}
+	if s.WALAppliedSeq() != seq {
+		t.Fatalf("invalid batches advanced the log: %d → %d", seq, s.WALAppliedSeq())
+	}
+}
+
+// Non-finite values are unrepresentable in JSON (the decoder rejects them
+// as bad JSON → 400 before validation), so the typed-error mapping is pinned
+// at the validation layer, where a future binary ingest path would hit it.
+func TestValidateEventsInTypedErrors(t *testing.T) {
+	s, _ := testServer(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.validateEventsIn([]EventIn{{Src: 0, Dst: 60, Time: math.NaN()}}); !errors.Is(err, graph.ErrNonFiniteTime) {
+		t.Fatalf("NaN time: %v", err)
+	}
+	if _, err := s.validateEventsIn([]EventIn{{Src: 0, Dst: 60, Time: 3e7, Feats: []float32{float32(math.Inf(1))}}}); !errors.Is(err, graph.ErrNonFiniteFeature) {
+		t.Fatalf("Inf feature: %v", err)
+	}
+	if _, err := s.validateEventsIn([]EventIn{{Src: 0, Dst: 60, Time: 3e7, Feats: []float32{0.5}}}); !errors.Is(err, errFeatsUnsupported) {
+		t.Fatalf("finite feature: %v", err)
+	}
+}
+
+func TestEventBatchCodecRoundTrip(t *testing.T) {
+	events := []graph.Event{
+		{Src: 1, Dst: 2, Time: 42.5, FeatIdx: -1},
+		{Src: 0, Dst: 199, Time: 1e12, FeatIdx: -1},
+	}
+	got, err := decodeEventBatch(encodeEventBatch(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	for _, bad := range [][]byte{nil, {9, 0, 0, 0, 0}, encodeEventBatch(events)[:10]} {
+		if _, err := decodeEventBatch(bad); err == nil {
+			t.Fatalf("decoded malformed payload %v", bad)
+		}
+	}
+}

@@ -89,6 +89,15 @@ func RunGraceful(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain
 // load balancers stop routing to an instance that is about to go away,
 // while its in-flight requests still complete.
 func RunGracefulNotify(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, onDrain func()) error {
+	return RunGracefulFlush(srv, ln, stop, drain, onDrain, nil)
+}
+
+// RunGracefulFlush is RunGracefulNotify with a flush hook that runs after
+// the connection drain (clean or not, as long as the stop signal arrived) —
+// the place to fsync and close a write-ahead log, so a clean SIGTERM leaves
+// nothing for replay to reconstruct. A flush error is reported even when
+// the drain itself succeeded.
+func RunGracefulFlush(srv *http.Server, ln net.Listener, stop <-chan os.Signal, drain time.Duration, onDrain func(), flush func() error) error {
 	if ln == nil {
 		var err error
 		ln, err = net.Listen("tcp", srv.Addr)
@@ -114,12 +123,24 @@ func RunGracefulNotify(srv *http.Server, ln net.Listener, stop <-chan os.Signal,
 		defer cancel()
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		// Drain deadline exceeded: kill the stragglers rather than hang.
+		// Drain deadline exceeded: kill the stragglers rather than hang —
+		// but still flush: whatever requests did complete were acked, and
+		// acked means durable.
 		srv.Close()
+		if flush != nil {
+			if ferr := flush(); ferr != nil {
+				return fmt.Errorf("serve: shutdown incomplete after %s (flush: %v): %w", drain, ferr, err)
+			}
+		}
 		return fmt.Errorf("serve: shutdown incomplete after %s: %w", drain, err)
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			return fmt.Errorf("serve: flush after drain: %w", err)
+		}
 	}
 	return nil
 }

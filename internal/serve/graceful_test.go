@@ -161,3 +161,80 @@ func TestHTTPOptionsDefaults(t *testing.T) {
 		t.Fatalf("write timeout %v must exceed request timeout %v", o.WriteTimeout, o.RequestTimeout)
 	}
 }
+
+// TestGracefulFlushRunsAfterDrain: the flush hook (the WAL's fsync on
+// SIGTERM) must run after the connection drain completes, so every request
+// that was still in flight at the signal is durable before the process
+// exits.
+func TestGracefulFlushRunsAfterDrain(t *testing.T) {
+	inFlight := make(chan struct{})
+	finished := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		time.Sleep(100 * time.Millisecond)
+		close(finished)
+		fmt.Fprint(w, "ok")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(mux, HTTPOptions{})
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	flushed := make(chan bool, 1)
+	go func() {
+		done <- RunGracefulFlush(srv, ln, stop, 5*time.Second, nil, func() error {
+			// The drain must already have let the in-flight request finish.
+			select {
+			case <-finished:
+				flushed <- true
+			default:
+				flushed <- false
+			}
+			return nil
+		})
+	}()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inFlight
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("graceful exit: %v", err)
+	}
+	select {
+	case ok := <-flushed:
+		if !ok {
+			t.Fatal("flush ran before the drain completed")
+		}
+	default:
+		t.Fatal("flush hook never ran")
+	}
+}
+
+// TestGracefulFlushErrorSurfaces: a failed flush must fail the shutdown even
+// when the drain itself was clean — acked-but-unsynced data is exactly what
+// the caller needs to hear about.
+func TestGracefulFlushErrorSurfaces(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(http.NewServeMux(), HTTPOptions{})
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- RunGracefulFlush(srv, ln, stop, time.Second, nil, func() error {
+			return fmt.Errorf("fsync refused")
+		})
+	}()
+	stop <- syscall.SIGTERM
+	if err := <-done; err == nil {
+		t.Fatal("flush error swallowed")
+	}
+}

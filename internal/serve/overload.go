@@ -193,6 +193,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.breaker.State() == load.BreakerOpen {
 		reasons = append(reasons, "breaker open")
 	}
+	if s.walBroken.Load() {
+		reasons = append(reasons, "wal broken")
+	}
 	if len(reasons) > 0 {
 		s.metrics.Gauge("serve_ready").Set(0)
 		httpError(w, http.StatusServiceUnavailable, "not ready: %s", strings.Join(reasons, ", "))

@@ -34,13 +34,13 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/cascade-ml/cascade/internal/graph"
 	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/models"
 	"github.com/cascade-ml/cascade/internal/nn"
 	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
 	"github.com/cascade-ml/cascade/internal/tensor"
+	"github.com/cascade-ml/cascade/internal/wal"
 )
 
 // MaxBodyBytes caps request bodies; larger requests get 413. One million
@@ -76,6 +76,15 @@ type Server struct {
 	stale      *staleScorer
 	inj        *faultinject.Injector
 	draining   atomic.Bool
+
+	// Durability (see durable.go). walCfg nil disables the subsystem;
+	// appliedSeq and sinceCompact are guarded by mu, walBroken flips the
+	// ingest path read-only on the first log failure.
+	walCfg       *WALConfig
+	wlog         *wal.Log
+	walBroken    atomic.Bool
+	appliedSeq   uint64
+	sinceCompact int
 }
 
 // Option customizes a Server.
@@ -197,11 +206,15 @@ func logWarn(l *slog.Logger, msg string, args ...any) {
 // Metrics exposes the server's registry (what GET /metrics renders).
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// EventIn is the wire form of one ingested event.
+// EventIn is the wire form of one ingested event. Feats is accepted for
+// forward compatibility but rejected with a typed 400 (non-finite values as
+// graph.ErrNonFiniteFeature, finite ones as unsupported) — see
+// validateEventsIn in durable.go.
 type EventIn struct {
-	Src  int32   `json:"src"`
-	Dst  int32   `json:"dst"`
-	Time float64 `json:"time"`
+	Src   int32     `json:"src"`
+	Dst   int32     `json:"dst"`
+	Time  float64   `json:"time"`
+	Feats []float32 `json:"feats,omitempty"`
 }
 
 // PairIn is one (src, dst) candidate edge to score.
@@ -323,36 +336,42 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	events := make([]graph.Event, len(req.Events))
-	last := s.lastTime
-	for i, e := range req.Events {
-		if e.Src < 0 || int(e.Src) >= s.numNodes || e.Dst < 0 || int(e.Dst) >= s.numNodes {
-			httpError(w, http.StatusBadRequest, "event %d: node out of range", i)
-			return
-		}
-		if e.Src == e.Dst {
-			httpError(w, http.StatusBadRequest, "event %d: self loop", i)
-			return
-		}
-		if e.Time < last {
-			httpError(w, http.StatusBadRequest, "event %d: time %v before %v", i, e.Time, last)
-			return
-		}
-		last = e.Time
-		events[i] = graph.Event{Src: e.Src, Dst: e.Dst, Time: e.Time, FeatIdx: -1}
+	// Validation (the graph package's stream invariants, typed errors)
+	// happens before the WAL sees anything: a malformed batch must never be
+	// logged, or replay would refuse the log.
+	events, err := s.validateEventsIn(req.Events)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
-	// Apply pending messages, then queue this batch's — the same cycle the
-	// trainer runs, so the online memory matches training semantics. The
-	// memory-update tape is dead as soon as EndBatch returns (serving never
-	// backprops), so recycle it into the tensor arena.
-	upd := s.model.BeginBatch()
-	s.model.EndBatch(events)
-	upd.FreeTape()
-	s.lastTime = last
-	s.ingested += int64(len(events))
+	// Durability barrier: the batch is logged (and, under the batch/always
+	// sync policies, fsynced) before it touches the model, so an acked batch
+	// survives a crash. A broken log means acks would be lies — degrade to
+	// read-only with a typed 503 and leave /score alone.
+	if s.wlog != nil {
+		if s.walBroken.Load() {
+			s.metrics.Counter("serve_wal_unavailable_total").Inc()
+			httpErrorCode(w, http.StatusServiceUnavailable, "wal_unavailable", "event log unavailable; serving read-only")
+			return
+		}
+		seq, werr := s.appendWALLocked(events)
+		if werr != nil {
+			s.metrics.Counter("serve_wal_unavailable_total").Inc()
+			httpErrorCode(w, http.StatusServiceUnavailable, "wal_unavailable", "event log write failed: %v", werr)
+			return
+		}
+		s.applyEventsLocked(events)
+		s.appliedSeq = seq
+		s.metrics.Gauge("serve_wal_applied_seq").Set(float64(seq))
+	} else {
+		// Apply pending messages, then queue this batch's — the same cycle
+		// the trainer runs, so the online memory matches training semantics.
+		s.applyEventsLocked(events)
+	}
 	s.metrics.Counter("serve_events_ingested_total").Add(int64(len(events)))
 	s.metrics.Histogram("serve_ingest_batch_size", obs.SizeEdges...).Observe(float64(len(events)))
-	s.metrics.Gauge("serve_stream_time").Set(last)
+	s.metrics.Gauge("serve_stream_time").Set(s.lastTime)
+	s.maybeCompactLocked()
 	s.refreshStale()
 	writeJSON(w, map[string]any{"ingested": len(events)})
 }
@@ -442,7 +461,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"ingested":       s.ingested,
 		"scored":         s.scored,
 		"last_time":      s.lastTime,
@@ -452,7 +471,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"queued":         s.admit.QueueLen(),
 		"breaker":        s.breaker.State().String(),
 		"draining":       s.draining.Load(),
-	})
+	}
+	if s.wlog != nil {
+		resp["wal"] = map[string]any{
+			"applied_seq": s.appliedSeq,
+			"next_seq":    s.wlog.NextSeq(),
+			"broken":      s.walBroken.Load(),
+		}
+	}
+	// The fingerprint requires a full deep copy of the stream state, so it
+	// hides behind ?full=1 — it exists for recovery verification (the chaos
+	// suite compares a recovered process against a reference), not for
+	// routine polling.
+	if r.URL.Query().Get("full") == "1" {
+		resp["state_fingerprint"] = fmt.Sprintf("%016x", s.model.Snapshot().Fingerprint())
+	}
+	writeJSON(w, resp)
 }
 
 // handleDebugPipeline serves the tracing subsystem's live view: per-phase
@@ -487,4 +521,13 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpErrorCode is httpError with a machine-readable "code" field, for
+// errors clients must dispatch on (e.g. "wal_unavailable" → back off and
+// retry elsewhere, vs. a 4xx → fix the request).
+func httpErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...), "code": code})
 }

@@ -1,0 +1,787 @@
+// Package wal is a segmented, checksummed write-ahead log for the serving
+// path: every /ingest batch is appended (and synced, per policy) before it
+// is applied to node memories, so a crash or SIGKILL loses nothing that was
+// acknowledged. The same fixed-size checksummed segments are the seed of the
+// paged CTDG event store planned for out-of-core training (ROADMAP item 3).
+//
+// On-disk layout (all integers little-endian):
+//
+//	wal-<first-seq %016d>.seg              one file per segment
+//	  segment header: magic "CASCWAL1" (8) | version u32 | firstSeq u64 |
+//	                  crc32c(magic‖version‖firstSeq) u32          = 24 bytes
+//	  record frame:   payloadLen u32 | seq u64 |
+//	                  crc32c(payloadLen‖seq‖payload) u32 | payload = 16+len
+//
+// Sequence numbers are global across segments and strictly increasing; a
+// segment's first record seq is baked into its file name so lexicographic
+// order is log order. CRC32C (Castagnoli) frames make torn or bit-rotted
+// frames detectable; Open recovers from a crash by truncating the tail
+// segment at the first bad frame. Corruption anywhere *before* the tail is
+// not crash debris and fails Open — that log needs an operator (walcheck).
+//
+// Durability contract by sync policy:
+//
+//	always    fsync after every record — strongest, slowest
+//	batch     fsync once per AppendBatch (the /ingest unit) — acked ⇒ durable
+//	interval  fsync on a timer — acks may precede durability by ≤ interval
+//
+// Any append, rotate or sync failure marks the log broken: every later
+// Append fails fast with the original error, so the caller can degrade to
+// read-only serving rather than acknowledge events that were never logged.
+// Records synced before the failure remain durable and replayable.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// Segment-header magic: "CASCWAL1".
+var segMagic = [8]byte{'C', 'A', 'S', 'C', 'W', 'A', 'L', '1'}
+
+// FormatVersion is the current segment-file format version.
+const FormatVersion uint32 = 1
+
+const (
+	segHeaderSize   = 24
+	frameHeaderSize = 16
+	// MaxRecordBytes bounds a declared payload length; anything larger is
+	// treated as frame corruption, never as an allocation request.
+	MaxRecordBytes = 16 << 20
+	// MinSegmentBytes floors Options.SegmentBytes so rotation stays sane.
+	MinSegmentBytes = 4 << 10
+	// DefaultSegmentBytes is the rotation threshold when unset.
+	DefaultSegmentBytes = 4 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy uint8
+
+// Sync policies (see the package comment for the durability contract).
+const (
+	SyncBatch SyncPolicy = iota
+	SyncAlways
+	SyncInterval
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, batch or interval)", s)
+}
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrCorrupt marks corruption before the log's tail — not crash debris,
+	// so Open refuses to silently drop it.
+	ErrCorrupt = errors.New("wal: log corrupt before tail")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrBroken wraps the first I/O failure; every later Append returns it.
+	ErrBroken = errors.New("wal: log broken by earlier I/O failure")
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (0 → DefaultSegmentBytes; floored at MinSegmentBytes).
+	SegmentBytes int64
+	// Sync is the durability policy for appends.
+	Sync SyncPolicy
+	// SyncInterval is the timer period for SyncInterval (0 → 100ms).
+	SyncInterval time.Duration
+	// MinSeq pins the first sequence number of an empty log to MinSeq+1,
+	// so a log whose segments were all compacted away never re-issues
+	// sequence numbers at or below the caller's snapshot watermark.
+	MinSeq uint64
+	// Metrics, when non-nil, receives wal counters/gauges under
+	// MetricsPrefix (default "wal"): _appends_total, _records_total,
+	// _bytes_total, _syncs_total, _sync_errors_total, _rotations_total,
+	// _truncated_segments_total, _segments, _broken.
+	Metrics       *obs.Registry
+	MetricsPrefix string
+	// Injector arms deterministic disk faults (nil = inert).
+	Injector *faultinject.Injector
+}
+
+// Recovery reports what Open found (and repaired) on disk.
+type Recovery struct {
+	// Segments scanned (after dropping a headerless tail file, if any).
+	Segments int
+	// Records is the count of valid records across all segments.
+	Records uint64
+	// FirstSeq/LastSeq bound the surviving records (0/0 when none).
+	FirstSeq, LastSeq uint64
+	// TornBytes were truncated off the tail segment (crash debris).
+	TornBytes int64
+	// TornSegment names the truncated (or removed) tail file, "" if clean.
+	TornSegment string
+}
+
+// Log is an open write-ahead log. Safe for concurrent use; appends
+// serialize on an internal mutex.
+type Log struct {
+	opt Options
+
+	mu       sync.Mutex
+	seg      *os.File // active segment
+	segPath  string
+	segSize  int64
+	nextSeq  uint64
+	dirty    bool // unsynced appended data
+	broken   error
+	closed   bool
+	stopTick chan struct{}
+	tickDone chan struct{}
+}
+
+// segmentName formats the on-disk name for a first sequence number;
+// fixed-width decimal makes lexicographic order the log order.
+func segmentName(firstSeq uint64) string { return fmt.Sprintf("wal-%016d.seg", firstSeq) }
+
+// segmentSeq parses a segment file name; ok is false for foreign files.
+func segmentSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ListSegments returns the segment file names in dir, log order. A missing
+// directory counts as an empty log.
+func ListSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := segmentSeq(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func writeSegHeader(f *os.File, firstSeq uint64) error {
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], firstSeq)
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(hdr[:20], castagnoli))
+	_, err := f.Write(hdr[:])
+	return err
+}
+
+// parseSegHeader validates a segment header, returning its first seq.
+func parseSegHeader(hdr []byte) (uint64, error) {
+	if len(hdr) < segHeaderSize {
+		return 0, fmt.Errorf("segment header truncated at %d bytes", len(hdr))
+	}
+	if [8]byte(hdr[:8]) != segMagic {
+		return 0, fmt.Errorf("bad segment magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != FormatVersion {
+		return 0, fmt.Errorf("segment format version %d, this build reads %d", v, FormatVersion)
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[20:24]), crc32.Checksum(hdr[:20], castagnoli); got != want {
+		return 0, fmt.Errorf("segment header checksum %08x, computed %08x", got, want)
+	}
+	return binary.LittleEndian.Uint64(hdr[12:20]), nil
+}
+
+// frame encodes one record frame into buf (reused across appends).
+func frame(buf []byte, seq uint64, payload []byte) []byte {
+	buf = buf[:0]
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	crc := crc32.Checksum(hdr[0:12], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// segScan is the result of scanning one segment's frames.
+type segScan struct {
+	firstSeq   uint64 // from the header
+	records    int
+	lastSeq    uint64
+	goodBytes  int64 // header + valid frames
+	totalBytes int64
+	badReason  string // why scanning stopped early ("" = clean to EOF)
+}
+
+// scanSegment walks one segment file, stopping at the first bad frame.
+// prevSeq is the last seq seen in earlier segments (0 for the first);
+// sequence numbers must be strictly increasing across the whole log.
+func scanSegment(path string, prevSeq uint64, fn func(seq uint64, payload []byte) error) (*segScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	s := &segScan{totalBytes: fi.Size()}
+	hdr := make([]byte, segHeaderSize)
+	n, _ := io.ReadFull(f, hdr)
+	first, err := parseSegHeader(hdr[:n])
+	if err != nil {
+		s.badReason = err.Error()
+		return s, nil
+	}
+	s.firstSeq = first
+	s.goodBytes = segHeaderSize
+	s.lastSeq = prevSeq
+	var fh [frameHeaderSize]byte
+	var payload []byte
+	for {
+		n, err := io.ReadFull(f, fh[:])
+		if err == io.EOF {
+			return s, nil // clean end
+		}
+		if err != nil {
+			s.badReason = fmt.Sprintf("frame header truncated at %d bytes", n)
+			return s, nil
+		}
+		plen := binary.LittleEndian.Uint32(fh[0:4])
+		seq := binary.LittleEndian.Uint64(fh[4:12])
+		want := binary.LittleEndian.Uint32(fh[12:16])
+		if plen > MaxRecordBytes {
+			s.badReason = fmt.Sprintf("implausible payload length %d", plen)
+			return s, nil
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if n, err := io.ReadFull(f, payload); err != nil {
+			s.badReason = fmt.Sprintf("payload truncated at %d of %d bytes", n, plen)
+			return s, nil
+		}
+		crc := crc32.Checksum(fh[0:12], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != want {
+			s.badReason = fmt.Sprintf("record checksum %08x, computed %08x", want, crc)
+			return s, nil
+		}
+		if seq <= s.lastSeq {
+			s.badReason = fmt.Sprintf("sequence %d not after %d", seq, s.lastSeq)
+			return s, nil
+		}
+		// The header's firstSeq is a floor, not an exact match: after a torn
+		// tail is truncated under a newer snapshot watermark (MinSeq), appends
+		// legitimately resume mid-segment at a higher sequence.
+		if seq < first {
+			s.badReason = fmt.Sprintf("record seq %d below segment header %d", seq, first)
+			return s, nil
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return nil, err
+			}
+		}
+		s.records++
+		s.lastSeq = seq
+		s.goodBytes += frameHeaderSize + int64(plen)
+	}
+}
+
+// Scan replays every valid record in dir (in log order) through fn without
+// opening the log for writing and without repairing anything. Records with
+// seq ≤ from are skipped (fn may be nil to just measure). A torn tail is
+// reported in the Recovery, not an error; corruption before the tail is
+// ErrCorrupt.
+func Scan(dir string, from uint64, fn func(seq uint64, payload []byte) error) (*Recovery, error) {
+	names, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	var prevSeq uint64
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		visit := func(seq uint64, payload []byte) error {
+			if rec.FirstSeq == 0 {
+				rec.FirstSeq = seq
+			}
+			rec.LastSeq = seq
+			if fn != nil && seq > from {
+				return fn(seq, payload)
+			}
+			return nil
+		}
+		s, err := scanSegment(path, prevSeq, visit)
+		if err != nil {
+			return nil, err
+		}
+		if s.badReason != "" {
+			if i != len(names)-1 {
+				return nil, fmt.Errorf("%w: %s: %s", ErrCorrupt, path, s.badReason)
+			}
+			rec.TornBytes = s.totalBytes - s.goodBytes
+			rec.TornSegment = path
+		}
+		rec.Segments++
+		rec.Records += uint64(s.records)
+		if s.records > 0 {
+			prevSeq = s.lastSeq
+		}
+	}
+	return rec, nil
+}
+
+// Open opens (or creates) the log in opt.Dir, truncating crash debris off
+// the tail segment, and returns the log ready for Append plus a Recovery
+// describing what was found. Replay the surviving records with Log.Replay
+// before the first Append.
+func Open(opt Options) (*Log, *Recovery, error) {
+	if opt.Dir == "" {
+		return nil, nil, errors.New("wal: Options.Dir required")
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if opt.SegmentBytes < MinSegmentBytes {
+		opt.SegmentBytes = MinSegmentBytes
+	}
+	if opt.SyncInterval <= 0 {
+		opt.SyncInterval = 100 * time.Millisecond
+	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if opt.MetricsPrefix == "" {
+		opt.MetricsPrefix = "wal"
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := ListSegments(opt.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec := &Recovery{}
+	var prevSeq uint64
+	var tail *segScan
+	var tailPath string
+	for i, name := range names {
+		path := filepath.Join(opt.Dir, name)
+		s, err := scanSegment(path, prevSeq, func(seq uint64, _ []byte) error {
+			if rec.FirstSeq == 0 {
+				rec.FirstSeq = seq
+			}
+			rec.LastSeq = seq
+			return nil
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if s.badReason != "" && i != len(names)-1 {
+			return nil, nil, fmt.Errorf("%w: %s: %s", ErrCorrupt, path, s.badReason)
+		}
+		rec.Segments++
+		rec.Records += uint64(s.records)
+		if s.records > 0 {
+			prevSeq = s.lastSeq
+		}
+		tail, tailPath = s, path
+	}
+
+	l := &Log{opt: opt, nextSeq: prevSeq + 1}
+	if l.nextSeq <= opt.MinSeq {
+		l.nextSeq = opt.MinSeq + 1
+	}
+	if tail != nil {
+		if tail.badReason != "" {
+			rec.TornBytes = tail.totalBytes - tail.goodBytes
+			rec.TornSegment = tailPath
+		}
+		if tail.goodBytes < segHeaderSize {
+			// The tail never got a complete header (crash mid-create): it
+			// holds no records, so drop the file; the next append starts a
+			// fresh segment.
+			if err := os.Remove(tailPath); err != nil {
+				return nil, nil, fmt.Errorf("wal: dropping headerless tail: %w", err)
+			}
+			rec.Segments--
+			syncDir(opt.Dir)
+		} else {
+			f, err := os.OpenFile(tailPath, os.O_RDWR, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: reopening tail: %w", err)
+			}
+			if tail.badReason != "" {
+				if err := f.Truncate(tail.goodBytes); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, nil, fmt.Errorf("wal: syncing truncated tail: %w", err)
+				}
+			}
+			if _, err := f.Seek(tail.goodBytes, io.SeekStart); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: seeking tail: %w", err)
+			}
+			l.seg, l.segPath, l.segSize = f, tailPath, tail.goodBytes
+		}
+	}
+	l.gaugeSegments()
+	if opt.Sync == SyncInterval {
+		l.stopTick = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+// syncDir fsyncs a directory; best-effort (some filesystems refuse).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func (l *Log) metric(name string) *obs.Counter {
+	return l.opt.Metrics.Counter(l.opt.MetricsPrefix + name)
+}
+
+func (l *Log) gaugeSegments() {
+	names, err := ListSegments(l.opt.Dir)
+	if err == nil {
+		l.opt.Metrics.Gauge(l.opt.MetricsPrefix + "_segments").Set(float64(len(names)))
+	}
+}
+
+// syncLoop is the SyncInterval flusher: it syncs dirty data on a timer and
+// marks the log broken on the first sync failure.
+func (l *Log) syncLoop() {
+	defer close(l.tickDone)
+	t := time.NewTicker(l.opt.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTick:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.broken == nil && l.dirty {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// NextSeq returns the sequence number the next appended record will get.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Broken returns the sticky failure that broke the log, or nil.
+func (l *Log) Broken() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.opt.Dir }
+
+// Replay streams every surviving record with seq > from through fn, in log
+// order. Call before the first Append (replaying a log you are appending to
+// would hand fn your own writes).
+func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) (uint64, error) {
+	var n uint64
+	_, err := Scan(l.opt.Dir, from, func(seq uint64, payload []byte) error {
+		n++
+		return fn(seq, payload)
+	})
+	return n, err
+}
+
+// Append appends one record; see AppendBatch.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	return l.AppendBatch([][]byte{payload})
+}
+
+// AppendBatch appends the payloads as consecutive records and returns the
+// sequence number of the last one. Durability on return follows the sync
+// policy (see the package comment). On any failure the log is marked broken:
+// none of this batch is acknowledged durable, every later Append fails
+// fast, and already-synced records remain replayable.
+func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.broken != nil {
+		return 0, fmt.Errorf("%w: %w", ErrBroken, l.broken)
+	}
+	var buf []byte
+	var bytes int64
+	for _, p := range payloads {
+		if len(p) > MaxRecordBytes {
+			return 0, fmt.Errorf("wal: %d-byte record exceeds MaxRecordBytes", len(p))
+		}
+		if err := l.rotateIfNeededLocked(int64(frameHeaderSize + len(p))); err != nil {
+			return 0, l.breakLocked(err)
+		}
+		buf = frame(buf, l.nextSeq, p)
+		if err := l.writeFrameLocked(buf); err != nil {
+			return 0, l.breakLocked(err)
+		}
+		l.nextSeq++
+		bytes += int64(len(buf))
+		if l.opt.Sync == SyncAlways {
+			if err := l.syncLocked(); err != nil {
+				return 0, err // syncLocked already marked broken
+			}
+		}
+	}
+	if l.opt.Sync == SyncBatch {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	l.metric("_appends_total").Inc()
+	l.metric("_records_total").Add(int64(len(payloads)))
+	l.metric("_bytes_total").Add(bytes)
+	return l.nextSeq - 1, nil
+}
+
+// writeFrameLocked writes one framed record to the active segment. An armed
+// PointWALWrite fault performs a deliberate short write first, so the torn
+// frame is really on disk for the recovery path to find.
+func (l *Log) writeFrameLocked(buf []byte) error {
+	if err := l.opt.Injector.Err(faultinject.PointWALWrite); err != nil {
+		l.seg.Write(buf[:len(buf)/2]) // torn frame: recovery must truncate it
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	n, err := l.seg.Write(buf)
+	l.segSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.dirty = true
+	return nil
+}
+
+// rotateIfNeededLocked seals the active segment and starts a new one when
+// the next frame would push it past SegmentBytes (or when there is no
+// active segment at all).
+func (l *Log) rotateIfNeededLocked(frameLen int64) error {
+	if l.seg != nil && (l.segSize+frameLen <= l.opt.SegmentBytes || l.segSize <= segHeaderSize) {
+		return nil
+	}
+	if l.seg != nil {
+		// Seal: everything in the old segment must be durable before the
+		// log moves on, whatever the sync policy.
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: sealing segment: %w", err)
+		}
+		l.seg = nil
+		l.dirty = false
+	}
+	if err := l.opt.Injector.Err(faultinject.PointWALRotate); err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	path := filepath.Join(l.opt.Dir, segmentName(l.nextSeq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := writeSegHeader(f, l.nextSeq); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	syncDir(l.opt.Dir)
+	l.seg, l.segPath, l.segSize = f, path, segHeaderSize
+	l.metric("_rotations_total").Inc()
+	l.gaugeSegments()
+	return nil
+}
+
+// breakLocked records the first failure; the log refuses appends from here.
+func (l *Log) breakLocked(err error) error {
+	if l.broken == nil {
+		l.broken = err
+		l.opt.Metrics.Gauge(l.opt.MetricsPrefix + "_broken").Set(1)
+	}
+	return err
+}
+
+// Sync forces dirty appended data to disk regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.broken)
+	}
+	if !l.dirty {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.seg == nil {
+		l.dirty = false
+		return nil
+	}
+	if err := l.opt.Injector.Err(faultinject.PointWALSync); err != nil {
+		l.metric("_sync_errors_total").Inc()
+		return l.breakLocked(fmt.Errorf("wal: sync: %w", err))
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.metric("_sync_errors_total").Inc()
+		return l.breakLocked(fmt.Errorf("wal: sync: %w", err))
+	}
+	l.dirty = false
+	l.metric("_syncs_total").Inc()
+	return nil
+}
+
+// TruncateBefore removes sealed segments every record of which has
+// seq < keep (bounded retention after a compaction snapshot covering
+// records < keep). The active segment is never removed. Returns how many
+// segments were deleted.
+func (l *Log) TruncateBefore(keep uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	names, err := ListSegments(l.opt.Dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, name := range names {
+		if filepath.Join(l.opt.Dir, name) == l.segPath {
+			break
+		}
+		// A sealed segment's records all precede the next segment's first
+		// seq, so it is obsolete iff that next first seq is ≤ keep.
+		if i+1 >= len(names) {
+			break
+		}
+		next, _ := segmentSeq(names[i+1])
+		if next > keep {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.opt.Dir, name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		syncDir(l.opt.Dir)
+		l.metric("_truncated_segments_total").Add(int64(removed))
+		l.gaugeSegments()
+	}
+	return removed, nil
+}
+
+// Close syncs dirty data (unless the log is broken) and releases the files.
+// Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var err error
+	if l.broken == nil && l.dirty {
+		err = l.syncLocked()
+	}
+	l.closed = true
+	if l.seg != nil {
+		if cerr := l.seg.Close(); err == nil {
+			err = cerr
+		}
+		l.seg = nil
+	}
+	tick, done := l.stopTick, l.tickDone
+	l.mu.Unlock()
+	if tick != nil {
+		close(tick)
+		<-done
+	}
+	return err
+}
+
+// Closed reports whether Close has run.
+func (l *Log) Closed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}

@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+)
+
+// collect replays the whole log in dir into (seqs, payloads).
+func collect(t *testing.T, dir string) ([]uint64, [][]byte) {
+	t.Helper()
+	var seqs []uint64
+	var payloads [][]byte
+	_, err := Scan(dir, 0, func(seq uint64, p []byte) error {
+		seqs = append(seqs, seq)
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return seqs, payloads
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 0 || rec.Segments != 0 {
+		t.Fatalf("fresh log recovery %+v", rec)
+	}
+	want := [][]byte{[]byte("a"), bytes.Repeat([]byte("b"), 100), {}, []byte("final")}
+	for i, p := range want {
+		seq, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d got seq %d", i, seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.Records != 4 || rec2.FirstSeq != 1 || rec2.LastSeq != 4 || rec2.TornBytes != 0 {
+		t.Fatalf("recovery %+v", rec2)
+	}
+	var got [][]byte
+	n, err := l2.Replay(0, func(seq uint64, p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("replay n=%d err=%v", n, err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	// Replay from a watermark skips the covered prefix.
+	n, err = l2.Replay(2, func(uint64, []byte) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("replay from 2: n=%d err=%v", n, err)
+	}
+	if l2.NextSeq() != 5 {
+		t.Fatalf("NextSeq %d", l2.NextSeq())
+	}
+}
+
+func TestRotationProducesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: MinSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1500)
+	const n = 9
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected ≥3 segments after %d large appends, got %v", n, names)
+	}
+	seqs, _ := collect(t, dir)
+	if len(seqs) != n {
+		t.Fatalf("replayed %d records, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seq[%d]=%d", i, s)
+		}
+	}
+}
+
+func TestTruncateBeforeRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: MinSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("y"), 1500)
+	for i := 0; i < 9; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := ListSegments(dir)
+	if len(before) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(before))
+	}
+	// Snapshot covers records ≤ 6: segments wholly below survive only if
+	// they hold later records.
+	removed, err := l.TruncateBefore(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("no segments removed")
+	}
+	seqs, _ := collect(t, dir)
+	if len(seqs) == 0 || seqs[len(seqs)-1] != 9 {
+		t.Fatalf("replay after truncate: %v", seqs)
+	}
+	// Everything from the watermark on must survive.
+	var have []uint64
+	for _, s := range seqs {
+		if s >= 7 {
+			have = append(have, s)
+		}
+	}
+	if len(have) != 3 {
+		t.Fatalf("records ≥7 after truncate: %v", seqs)
+	}
+	// The log keeps appending after retention trims.
+	if _, err := l.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		lastSeq, _ = l.Append([]byte(fmt.Sprintf("record-%d", i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = lastSeq
+	names, _ := ListSegments(dir)
+	path := filepath.Join(dir, names[len(names)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the 4th record: records 0–2 must survive,
+	// 3 and 4 are truncated away (4 follows the bad frame).
+	off := segHeaderSize + 3*(frameHeaderSize+len("record-0")) + frameHeaderSize + 2
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records != 3 || rec.TornBytes == 0 || rec.TornSegment == "" {
+		t.Fatalf("recovery %+v", rec)
+	}
+	// The log resumes at the truncation point.
+	seq, err := l2.Append([]byte("after-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("resumed seq %d, want 4", seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, payloads := collect(t, dir)
+	if len(seqs) != 4 || string(payloads[3]) != "after-recovery" {
+		t.Fatalf("post-recovery log: seqs %v", seqs)
+	}
+}
+
+func TestCorruptionBeforeTailFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SegmentBytes: MinSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("z"), 1500)
+	for i := 0; i < 9; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := ListSegments(dir)
+	if len(names) < 2 {
+		t.Fatalf("need ≥2 segments, got %v", names)
+	}
+	first := filepath.Join(dir, names[0])
+	data, _ := os.ReadFile(first)
+	data[segHeaderSize+frameHeaderSize+7] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-log corruption: %v, want ErrCorrupt", err)
+	}
+	if _, err := Scan(dir, 0, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan over mid-log corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncAlways, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if _, err := l.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("wal_syncs_total").Value(); got != 3 {
+			t.Fatalf("always: %d syncs for 3 records", got)
+		}
+	})
+	t.Run("batch", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncBatch, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if _, err := l.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("wal_syncs_total").Value(); got != 1 {
+			t.Fatalf("batch: %d syncs for 1 batch", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncInterval, SyncInterval: 5 * time.Millisecond, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for reg.Counter("wal_syncs_total").Value() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval sync never fired")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInjectedWriteFailureBreaksLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New()
+	reg := obs.NewRegistry()
+	l, _, err := Open(Options{Dir: dir, Injector: inj, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Arm(faultinject.PointWALWrite) // next write fails short
+	if _, err := l.Append([]byte("doomed-record")); err == nil {
+		t.Fatal("injected write failure not surfaced")
+	}
+	if l.Broken() == nil {
+		t.Fatal("log not marked broken")
+	}
+	if got := reg.Gauge("wal_broken").Value(); got != 1 {
+		t.Fatalf("wal_broken gauge %v", got)
+	}
+	// Fails fast from here, without consulting the injector again.
+	if _, err := l.Append([]byte("later")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log: %v", err)
+	}
+	l.Close()
+	// The short write left a torn frame on disk; recovery truncates it and
+	// the three acked records survive.
+	l2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.Records != 3 || rec.TornBytes == 0 {
+		t.Fatalf("recovery after torn write: %+v", rec)
+	}
+}
+
+func TestInjectedSyncFailureBreaksLog(t *testing.T) {
+	inj := faultinject.New()
+	l, _, err := Open(Options{Dir: t.TempDir(), Sync: SyncBatch, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(faultinject.PointWALSync)
+	if _, err := l.Append([]byte("lost")); err == nil {
+		t.Fatal("injected sync failure not surfaced")
+	}
+	if _, err := l.Append([]byte("later")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log: %v", err)
+	}
+}
+
+func TestInjectedRotateFailure(t *testing.T) {
+	inj := faultinject.New()
+	l, _, err := Open(Options{Dir: t.TempDir(), SegmentBytes: MinSegmentBytes, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("r"), 1500)
+	if _, err := l.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(faultinject.PointWALRotate) // next segment creation = disk full
+	var rotateErr error
+	for i := 0; i < 8 && rotateErr == nil; i++ {
+		_, rotateErr = l.Append(payload)
+	}
+	if rotateErr == nil {
+		t.Fatal("rotation never failed under injected disk-full")
+	}
+	if !errors.Is(l.Broken(), faultinject.ErrInjected) {
+		t.Fatalf("broken error %v", l.Broken())
+	}
+}
+
+func TestMinSeqPinsEmptyLog(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir(), MinSeq: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	seq, err := l.Append([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 {
+		t.Fatalf("first seq %d, want 42", seq)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "Batch": SyncBatch, " interval ": SyncInterval} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("yolo"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestClosedLogRefusesOperations(t *testing.T) {
+	l, _, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v", err)
+	}
+}

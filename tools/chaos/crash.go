@@ -1,0 +1,286 @@
+// crashScenario and the shared WAL-scenario helpers. The crash scenario is
+// the only one that leaves the process: it SIGKILLs a real cascade-serve
+// binary mid-ingest and proves the restarted process reconstructs node
+// memories bitwise from the WAL.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/cascade-ml/cascade"
+)
+
+// postJSON posts body and returns (status, response body, transport error).
+func postJSON(url string, body []byte) (int, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, nil
+}
+
+// chaosBatch is the deterministic ingest workload: batch i is always the
+// same four events, so any two processes that ack the same prefix of
+// batches must hold the same state. Nodes stay inside the lower/upper
+// halves of the universe (no self-loops possible) and timestamps strictly
+// increase across batches, far past any pre-training timestamp.
+func chaosBatch(i, numNodes int) []byte {
+	lo := numNodes / 2
+	var sb strings.Builder
+	sb.WriteString(`{"events":[`)
+	for j := 0; j < 4; j++ {
+		if j > 0 {
+			sb.WriteByte(',')
+		}
+		src := (i*7 + j*3) % lo
+		dst := lo + (i*5+j*11)%(numNodes-lo)
+		fmt.Fprintf(&sb, `{"src":%d,"dst":%d,"time":%g}`, src, dst, 1e8+float64(i*8+j))
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+// statsFingerprint reads /stats?full=1 and returns the node-memory state
+// fingerprint plus the WAL applied sequence number.
+func statsFingerprint(base string) (string, int, error) {
+	resp, err := http.Get(base + "/stats?full=1")
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		StateFingerprint string `json:"state_fingerprint"`
+		WAL              struct {
+			AppliedSeq int `json:"applied_seq"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", 0, err
+	}
+	if st.StateFingerprint == "" {
+		return "", 0, fmt.Errorf("stats?full=1 returned no state_fingerprint")
+	}
+	return st.StateFingerprint, st.WAL.AppliedSeq, nil
+}
+
+// serveProc is one out-of-process cascade-serve instance under test.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string
+	out  *bytes.Buffer
+}
+
+func startServe(bin, walDir string, seed int64, port int) (*serveProc, error) {
+	p := &serveProc{base: fmt.Sprintf("http://127.0.0.1:%d", port), out: &bytes.Buffer{}}
+	p.cmd = exec.Command(bin,
+		"-dataset", "WIKI", "-events", "400", "-epochs", "1", "-memdim", "8",
+		"-seed", fmt.Sprint(seed), "-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-wal-dir", walDir, "-wal-sync", "batch",
+	)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	// Pre-training runs before the listener opens, so the readiness window
+	// is generous.
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p, nil
+			}
+		}
+		if p.cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	p.kill()
+	return nil, fmt.Errorf("server on %s never became healthy; output:\n%s", p.base, p.out.String())
+}
+
+func (p *serveProc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+	_ = p.cmd.Wait()
+}
+
+func (p *serveProc) stop() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	done := make(chan struct{})
+	go func() { _ = p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		p.kill()
+	}
+}
+
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port, nil
+}
+
+// crashScenario SIGKILLs a real cascade-serve process mid-ingest while a
+// concurrent /score load loop is running, restarts it on the same WAL
+// directory, and verifies the recovery contract: zero acked-but-lost
+// batches (applied_seq ≥ acks seen by the client) and node-memory state
+// bitwise-identical to a reference process that ingests the same acked
+// prefix from scratch.
+func crashScenario(seed int64) error {
+	work, err := os.MkdirTemp("", "cascade-chaos-crash-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "cascade-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cascade-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		return fmt.Errorf("build cascade-serve: %v\n%s", err, out)
+	}
+	// Same scale arithmetic as cascade-serve -events 400, so chaosBatch
+	// stays inside the victim's node universe.
+	numNodes := cascade.GenerateDataset("WIKI", 400.0/157474, seed).NumNodes
+	walDir := filepath.Join(work, "wal")
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+
+	victim, err := startServe(bin, walDir, seed, port)
+	if err != nil {
+		return err
+	}
+	defer victim.kill()
+
+	// Concurrent read load: /score must be in flight when the kill lands.
+	scoreBody := []byte(fmt.Sprintf(`{"pairs":[{"src":0,"dst":%d}],"time":3e9}`, numNodes/2))
+	loadStop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for {
+			select {
+			case <-loadStop:
+				return
+			default:
+			}
+			if status, _, err := postJSON(victim.base+"/score", scoreBody); err != nil {
+				return // the kill severed us, expected
+			} else if status != http.StatusOK && status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				fmt.Fprintf(os.Stderr, "chaos: crash: /score under load returned %d\n", status)
+			}
+		}
+	}()
+
+	// Sequential ingest, counting acks; SIGKILL fires from a goroutine
+	// after the 40th ack while this loop keeps hammering, so the kill lands
+	// mid-ingest rather than between requests.
+	const killAfter = 40
+	killed := make(chan struct{})
+	acked := 0
+	for i := 0; ; i++ {
+		status, body, err := postJSON(victim.base+"/ingest", chaosBatch(i, numNodes))
+		if err != nil {
+			break // process died mid-request
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("ingest %d before kill: status %d body %s", i, status, body)
+		}
+		acked++
+		if acked == killAfter {
+			go func() {
+				_ = victim.cmd.Process.Kill()
+				close(killed)
+			}()
+		}
+		if acked > killAfter+200 {
+			return fmt.Errorf("server survived %d batches past the kill", acked-killAfter)
+		}
+	}
+	<-killed
+	close(loadStop)
+	<-loadDone
+	_ = victim.cmd.Wait()
+	if acked < killAfter {
+		return fmt.Errorf("only %d batches acked before the process died", acked)
+	}
+
+	// Restart on the same WAL directory: recovery must cover every ack.
+	survivor, err := startServe(bin, walDir, seed, port)
+	if err != nil {
+		return fmt.Errorf("restart after SIGKILL: %w", err)
+	}
+	defer survivor.stop()
+	fpRecovered, applied, err := statsFingerprint(survivor.base)
+	if err != nil {
+		return err
+	}
+	if applied < acked {
+		return fmt.Errorf("acked-but-lost: client saw %d acks, recovery applied only %d", acked, applied)
+	}
+
+	// Reference: a fresh process (same seed, fresh WAL) that ingests exactly
+	// the recovered prefix must land on the identical state.
+	refPort, err := freePort()
+	if err != nil {
+		return err
+	}
+	ref, err := startServe(bin, filepath.Join(work, "wal-ref"), seed, refPort)
+	if err != nil {
+		return fmt.Errorf("reference process: %w", err)
+	}
+	defer ref.stop()
+	for i := 0; i < applied; i++ {
+		status, body, err := postJSON(ref.base+"/ingest", chaosBatch(i, numNodes))
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("reference ingest %d: status %d err %v body %s", i, status, err, body)
+		}
+	}
+	fpRef, _, err := statsFingerprint(ref.base)
+	if err != nil {
+		return err
+	}
+	if fpRecovered != fpRef {
+		return fmt.Errorf("recovered state %s != reference state %s after %d batches", fpRecovered, fpRef, applied)
+	}
+	// Same state must score the same.
+	_, scoreRecovered, err := postJSON(survivor.base+"/score", scoreBody)
+	if err != nil {
+		return err
+	}
+	_, scoreRef, err := postJSON(ref.base+"/score", scoreBody)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(scoreRecovered, scoreRef) {
+		return fmt.Errorf("score divergence after recovery: %s vs %s", scoreRecovered, scoreRef)
+	}
+	fmt.Printf("chaos: crash: SIGKILL after %d acks under /score load; recovery applied %d batches, fingerprint %s bitwise-equal to reference\n",
+		acked, applied, fpRecovered)
+	return nil
+}

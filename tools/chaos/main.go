@@ -7,7 +7,9 @@
 //
 //	chaos -scenario overload   # 10× burst against a saturated /score
 //	chaos -scenario flap       # replica flaps, rejoins from checkpoint
-//	chaos -scenario all        # both (the make chaossmoke gate)
+//	chaos -scenario walfault   # injected fsync/disk-full → read-only /score, zero acked-but-lost
+//	chaos -scenario crash      # SIGKILL cascade-serve mid-ingest, recover bitwise from the WAL
+//	chaos -scenario all        # everything (the make chaossmoke gate)
 package main
 
 import (
@@ -31,10 +33,15 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "overload, flap, or all")
+	scenario := flag.String("scenario", "all", "overload, flap, walfault, crash, or all")
 	seed := flag.Int64("seed", 7, "random seed for dataset generation")
 	flag.Parse()
 
+	known := map[string]bool{"overload": true, "flap": true, "walfault": true, "crash": true}
+	if *scenario != "all" && !known[*scenario] {
+		fmt.Fprintf(os.Stderr, "chaos: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
 	failed := false
 	runScenario := func(name string, fn func(int64) error) {
 		if *scenario != "all" && *scenario != name {
@@ -49,10 +56,8 @@ func main() {
 	}
 	runScenario("overload", overloadScenario)
 	runScenario("flap", flapScenario)
-	if *scenario != "all" && *scenario != "overload" && *scenario != "flap" {
-		fmt.Fprintf(os.Stderr, "chaos: unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
+	runScenario("walfault", walFaultScenario)
+	runScenario("crash", crashScenario)
 	if failed {
 		os.Exit(1)
 	}
@@ -184,5 +189,143 @@ func flapScenario(seed int64) error {
 	}
 	fmt.Printf("chaos: flap: replica 1 evicted epoch 1, rejoined from %s, val loss %.4f, %d syncs\n",
 		dir, res.ValLoss, res.SyncCount)
+	return nil
+}
+
+// walFaultScenario is the disk-fault half of the durability contract: with
+// the WAL under injected fsync failure, /ingest degrades to a typed 503
+// (code "wal_unavailable") while /score keeps serving, and every batch that
+// was acked before the fault is recoverable — zero acked-but-lost events.
+func walFaultScenario(seed int64) error {
+	dir, err := os.MkdirTemp("", "cascade-chaos-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	newServer := func(walDir string, inj *faultinject.Injector) (*serve.Server, *serve.WALRecovery, int, error) {
+		ds := cascade.GenerateDataset("WIKI", 0.002, seed)
+		run, err := cascade.NewRun(cascade.RunConfig{
+			Dataset: ds, Model: "JODIE", Scheduler: cascade.SchedTGL,
+			BaseBatch: 50, Epochs: 1, MemoryDim: 8, TimeDim: 4, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		var opts []serve.Option
+		if walDir != "" {
+			opts = append(opts, serve.WithWAL(serve.WALConfig{Dir: walDir}))
+		}
+		if inj != nil {
+			opts = append(opts, serve.WithInjector(inj))
+		}
+		s := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes, opts...)
+		var rec *serve.WALRecovery
+		if walDir != "" {
+			if rec, err = s.StartWAL(); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		return s, rec, ds.NumNodes, nil
+	}
+
+	inj := faultinject.New()
+	srv, _, numNodes, err := newServer(dir, inj)
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	const acked = 3
+	for i := 0; i < acked; i++ {
+		status, _, err := postJSON(ts.URL+"/ingest", chaosBatch(i, numNodes))
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("ingest %d: status %d err %v", i, status, err)
+		}
+	}
+	fpBefore, appliedBefore, err := statsFingerprint(ts.URL)
+	if err != nil {
+		return err
+	}
+	if appliedBefore != acked {
+		return fmt.Errorf("applied %d after %d acked batches", appliedBefore, acked)
+	}
+
+	// The disk starts refusing fsync: the next ingest must be rejected with
+	// the typed 503 and must not mutate the model.
+	inj.Arm(faultinject.PointWALSync)
+	status, body, err := postJSON(ts.URL+"/ingest", chaosBatch(acked, numNodes))
+	if err != nil {
+		return err
+	}
+	if status != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(`"code":"wal_unavailable"`)) {
+		return fmt.Errorf("ingest under fsync fault: status %d body %s", status, body)
+	}
+	// Sticky, still typed.
+	if status, _, _ = postJSON(ts.URL+"/ingest", chaosBatch(acked, numNodes)); status != http.StatusServiceUnavailable {
+		return fmt.Errorf("second ingest under fault: status %d", status)
+	}
+	// /score keeps serving read-only.
+	scoreBody := []byte(`{"pairs":[{"src":0,"dst":33}],"time":2e9}`)
+	if status, _, err = postJSON(ts.URL+"/score", scoreBody); err != nil || status != http.StatusOK {
+		return fmt.Errorf("score while degraded: status %d err %v", status, err)
+	}
+	// /readyz reports the reason.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("readyz while degraded: %d", resp.StatusCode)
+	}
+	fpAfter, appliedAfter, err := statsFingerprint(ts.URL)
+	if err != nil {
+		return err
+	}
+	if fpAfter != fpBefore || appliedAfter != appliedBefore {
+		return fmt.Errorf("rejected batches mutated state: %s/%d → %s/%d", fpBefore, appliedBefore, fpAfter, appliedAfter)
+	}
+	ts.Close()
+	srv.CloseWAL()
+
+	// Recovery: a fresh identically-trained process replays the log. Every
+	// acked batch must be there; the batch whose fsync failed was appended
+	// but never acked, so the log may hold at most one extra record beyond
+	// the acks — standard at-least-once for the unacked suffix.
+	srv2, rec, _, err := newServer(dir, nil)
+	if err != nil {
+		return err
+	}
+	defer srv2.CloseWAL()
+	if rec.ReplayedRecords < acked || rec.ReplayedRecords > acked+1 {
+		return fmt.Errorf("recovery replayed %d batches, want %d or %d", rec.ReplayedRecords, acked, acked+1)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	fpRecovered, _, err := statsFingerprint(ts2.URL)
+	if err != nil {
+		return err
+	}
+	// Reference: a WAL-less server ingesting exactly the recovered prefix
+	// must land on the identical state, bitwise.
+	ref, _, _, err := newServer("", nil)
+	if err != nil {
+		return err
+	}
+	tsRef := httptest.NewServer(ref.Handler())
+	defer tsRef.Close()
+	for i := 0; i < int(rec.ReplayedRecords); i++ {
+		if status, body, err := postJSON(tsRef.URL+"/ingest", chaosBatch(i, numNodes)); err != nil || status != http.StatusOK {
+			return fmt.Errorf("reference ingest %d: status %d err %v body %s", i, status, err, body)
+		}
+	}
+	fpRef, _, err := statsFingerprint(tsRef.URL)
+	if err != nil {
+		return err
+	}
+	if fpRecovered != fpRef {
+		return fmt.Errorf("recovered fingerprint %s != reference %s over %d batches", fpRecovered, fpRef, rec.ReplayedRecords)
+	}
+	fmt.Printf("chaos: walfault: %d acked batches survived an fsync fault; degraded 503s typed, /score stayed up, recovered %d batches bitwise (%s)\n",
+		acked, rec.ReplayedRecords, fpRecovered)
 	return nil
 }

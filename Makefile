@@ -6,8 +6,10 @@ GO ?= go
 # eviction paths, resilience the checkpoint/rollback machinery, memstore
 # the sharded mailbox under concurrent read/push, plan the captured
 # execution plans replayed under the prefetch pipeline, wal the segmented
-# ingest log's interval-sync goroutine against appends.
-RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/plan/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/... ./internal/wal/...
+# ingest log's interval-sync goroutine against appends, cluster the
+# replication sender/receiver goroutines and the router's probe loop
+# against concurrent ingest/score traffic.
+RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./internal/tensor/... ./internal/train/... ./internal/plan/... ./internal/distributed/... ./internal/resilience/... ./internal/load/... ./internal/memstore/... ./internal/wal/... ./internal/cluster/...
 
 # The fault suite: injected NaN gradients with rollback, kill-and-resume
 # equivalence (exact and bounded-staleness pipelines), checkpoint-write
@@ -15,8 +17,10 @@ RACE_PKGS = ./internal/parallel/... ./internal/serve/... ./internal/obs/... ./in
 # barrier reports, overload shedding, stale degradation, breaker trips,
 # graceful drain, torn mailbox reads, WAL disk faults (short write, fsync
 # error, rotate failure, snapshot failure) with read-only degradation and
-# kill-at-random-offset recovery — all under the race detector.
-FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires|TestInjectedWriteFailureBreaksLog|TestInjectedSyncFailureBreaksLog|TestInjectedRotateFailure|TestWALKillAtRandomOffset|TestWALFaultDegradesReadOnly|TestWALRotateFaultDegradesReadOnly|TestWALSnapshotFaultKeepsServing)
+# kill-at-random-offset recovery, replication stream faults (dropped send,
+# suppressed ack) and router probe-timeout/promote faults driving failover
+# with hinted handoff — all under the race detector.
+FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentReadPush|TestNaNRollback|TestRepeatedNaN|TestHealthGivesUp|TestCheckpointWriteFailure|TestInjectedWriteFailures|TestReplicaDeath|TestHungReplica|TestAllReplicasDead|TestErrorReturnJoinsPrefetch|TestGracefulShutdown|TestReplicaRejoins|TestRejoin|TestReportDrop|TestOverload|TestDrainZeroDropped|TestQueueFullDegrades|TestBreaker|TestRetry|TestStaleReplica|TestRateLimit|TestDeadlineExpires|TestInjectedWriteFailureBreaksLog|TestInjectedSyncFailureBreaksLog|TestInjectedRotateFailure|TestWALKillAtRandomOffset|TestWALFaultDegradesReadOnly|TestWALRotateFaultDegradesReadOnly|TestWALSnapshotFaultKeepsServing|TestReplicationFaultPoints|TestRouterProbeTimeoutFaultTriggersFailover|TestRouterFailoverAndHintedHandoff|TestRouterHintOverflowSheds)
 
 # Hot-path micro-benchmarks captured in BENCH_pr7.json: the GEMM variants
 # (plain / ᵀA / ᵀB, ragged shapes), the GRU training step (fused and eager),
@@ -25,10 +29,10 @@ FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentR
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStep|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke walsmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke walsmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke
 
 build:
 	$(GO) build ./...
@@ -73,7 +77,7 @@ benchsmoke:
 # suite under -race, then a real checkpointed cascade-train run whose files
 # must pass the ckptcheck linter.
 faultsmoke:
-	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/... ./internal/memstore/... ./internal/wal/...
+	$(GO) test -race -count=1 -run '$(FAULT_RE)' ./internal/resilience/... ./internal/distributed/... ./internal/train/... ./internal/serve/... ./internal/load/... ./internal/memstore/... ./internal/wal/... ./internal/cluster/...
 	rm -rf /tmp/cascade-faultsmoke-ckpt
 	$(GO) run ./cmd/cascade-train -events 800 -epochs 2 -health \
 		-checkpoint-dir /tmp/cascade-faultsmoke-ckpt -checkpoint-every 5 > /dev/null
@@ -98,7 +102,9 @@ plansmoke:
 # against a saturated scoring server must shed-not-collapse, a flapping
 # training replica must rejoin from the latest on-disk checkpoint, an
 # fsync-faulted WAL must degrade to read-only with zero acked-but-lost
-# events, and a SIGKILLed cascade-serve must recover bitwise from its WAL.
+# events, a SIGKILLed cascade-serve must recover bitwise from its WAL, and a
+# SIGKILLed replicated primary behind cascade-router must fail over to its
+# standby with every hinted batch drained and zero acked-but-lost.
 chaossmoke:
 	$(GO) run ./tools/chaos -scenario all
 
@@ -108,6 +114,14 @@ chaossmoke:
 walsmoke:
 	$(GO) test -count=1 ./internal/wal/...
 	$(GO) run ./tools/walcheck -selftest
+
+# replsmoke gates the serve cluster: the cluster package's own tests under
+# the race detector — WAL-shipping replication end to end (semi-sync acks,
+# snapshot catch-up, standby WALs verified as byte prefixes of the
+# primary's), the rendezvous router's pair-aware split/merge, failover with
+# hinted handoff, and the repl/probe/promote fault points.
+replsmoke:
+	$(GO) test -race -count=1 ./internal/cluster/...
 
 # benchall runs the full experiment suite (every paper table/figure) once.
 benchall:

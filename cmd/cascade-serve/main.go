@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/cascade-ml/cascade"
+	"github.com/cascade-ml/cascade/internal/cluster"
 	"github.com/cascade-ml/cascade/internal/load"
 	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/serve"
@@ -51,7 +52,20 @@ func main() {
 	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment file size cap in bytes (0 = 4 MiB default)")
 	walSyncInterval := flag.Duration("wal-sync-interval", 100*time.Millisecond, "flush cadence under -wal-sync interval")
 	walCompactEvery := flag.Int("wal-compact-every", 0, "compact (snapshot + truncate) after this many ingest batches (0 = 256 default, negative disables)")
+	replListen := flag.String("repl-listen", "", "run as a replication standby: accept the primary's WAL stream on this TCP address (requires -wal-dir; /ingest refuses writes until promoted)")
+	replTarget := flag.String("repl-target", "", "run as a replication primary: stream committed WAL frames to the standby at this TCP address (requires -wal-dir)")
+	replAckTimeout := flag.Duration("repl-ack-timeout", 5*time.Second, "how long /ingest waits for the standby's durable ack before degrading to async replication for that batch")
+	replLagBound := flag.Uint64("repl-lag-bound", 1024, "committed-minus-acked record gap beyond which /readyz reports the standby as lagging")
 	flag.Parse()
+
+	if (*replListen != "" || *replTarget != "") && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "cascade-serve: -repl-listen / -repl-target require -wal-dir (replication ships WAL frames)")
+		os.Exit(1)
+	}
+	if *replListen != "" && *replTarget != "" {
+		fmt.Fprintln(os.Stderr, "cascade-serve: a process is either a primary (-repl-target) or a standby (-repl-listen), not both")
+		os.Exit(1)
+	}
 
 	profileEvents := map[string]int{
 		"WIKI": 157474, "REDDIT": 672447, "MOOC": 411749,
@@ -173,6 +187,9 @@ func main() {
 			CompactEvery: *walCompactEvery,
 		}))
 	}
+	if *replListen != "" {
+		opts = append(opts, serve.WithStandby())
+	}
 	srv := serve.New(run.Model(), run.Trainer().Predictor(), ds.NumNodes, opts...)
 	if *walDir != "" {
 		rec, err := srv.StartWAL()
@@ -190,6 +207,41 @@ func main() {
 			"replayed_batches", rec.ReplayedRecords, "replayed_events", rec.ReplayedEvents,
 			"torn_bytes", rec.Log.TornBytes)
 	}
+	// Replication wiring comes after WAL recovery: the stream positions
+	// (standby's next seq, primary's committed frames) only exist once the
+	// log is open and replayed.
+	var stopRepl func()
+	switch {
+	case *replListen != "":
+		recv, err := cluster.NewReceiver(cluster.ReceiverConfig{
+			Addr: *replListen, State: srv, Metrics: reg, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
+			os.Exit(1)
+		}
+		stopRepl = recv.Stop
+		fmt.Printf("standby: accepting WAL stream on %s (POST /admin/promote to take over)\n", recv.Addr())
+		logger.Info("replication standby", "listen", recv.Addr())
+	case *replTarget != "":
+		sender, err := cluster.NewSender(cluster.SenderConfig{
+			Target: *replTarget, Log: srv.WAL(), Snapshot: srv.ReplSnapshot,
+			Metrics: reg, Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
+			os.Exit(1)
+		}
+		if err := srv.SetReplicator(sender, serve.ReplOptions{
+			AckTimeout: *replAckTimeout, LagBound: *replLagBound,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-serve: %v\n", err)
+			os.Exit(1)
+		}
+		stopRepl = sender.Stop
+		fmt.Printf("primary: shipping WAL frames to %s\n", *replTarget)
+		logger.Info("replication primary", "target", *replTarget)
+	}
 	httpSrv := serve.NewHTTPServer(srv.Handler(), serve.HTTPOptions{
 		Addr: *addr, RequestTimeout: *reqTimeout,
 	})
@@ -202,6 +254,9 @@ func main() {
 	// hook fsyncs and closes the WAL after the drain, so a clean SIGTERM
 	// never leans on replay.
 	err = serve.RunGracefulFlush(httpSrv, nil, stop, *shutdownTimeout, srv.StartDrain, func() error {
+		if stopRepl != nil {
+			stopRepl()
+		}
 		if ferr := srv.FlushWAL(); ferr != nil {
 			return ferr
 		}

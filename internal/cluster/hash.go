@@ -1,0 +1,52 @@
+// Package cluster shards the serving path across primary/standby pairs: a
+// rendezvous-hashing router (router.go) spreads node pairs over N shards and
+// health-checks their members, while a WAL-shipping replication stream
+// (sender.go / receiver.go) keeps each shard's standby a byte-exact prefix
+// of its primary. The package sits strictly above internal/serve — serve
+// exposes the hooks (serve.Replicator, promote, replica apply), cluster
+// wires them over the network — so a solo serve process never pays for any
+// of this.
+package cluster
+
+// Pair-aware consistent placement. Both endpoints of an edge event must land
+// on the same shard — node memories update from the (src, dst) pair as a
+// unit — so the hash key is the unordered pair, canonicalized lo‖hi. Shard
+// choice is rendezvous (highest-random-weight) hashing: each shard scores
+// score(key, shard) and the max wins, so adding or removing one shard moves
+// only the keys that hashed to it, with no ring or token table to persist.
+
+// PairKey canonicalizes an edge's endpoints into the placement key: the
+// unordered pair packed lo-first, so (a,b) and (b,a) always route together.
+func PairKey(src, dst int32) uint64 {
+	lo, hi := src, dst
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
+}
+
+// splitmix64 is the 64-bit finalizer from Vigna's SplitMix64 — a cheap,
+// well-dispersed mix for rendezvous scoring (no allocation, no tables).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Owner returns the shard that owns the (src, dst) pair under rendezvous
+// hashing over shards members. Deterministic across processes and restarts;
+// shards must be ≥ 1.
+func Owner(src, dst int32, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	key := PairKey(src, dst)
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < shards; s++ {
+		if score := splitmix64(key ^ splitmix64(uint64(s)+1)); score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}

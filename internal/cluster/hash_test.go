@@ -1,0 +1,48 @@
+package cluster
+
+import "testing"
+
+func TestPairKeySymmetric(t *testing.T) {
+	if PairKey(3, 17) != PairKey(17, 3) {
+		t.Fatal("pair key must be order-independent")
+	}
+	if PairKey(3, 17) == PairKey(3, 18) {
+		t.Fatal("distinct pairs must not collide trivially")
+	}
+}
+
+func TestOwnerPairAwareAndStable(t *testing.T) {
+	for shards := 1; shards <= 5; shards++ {
+		for src := int32(0); src < 40; src++ {
+			for dst := int32(0); dst < 40; dst++ {
+				a, b := Owner(src, dst, shards), Owner(dst, src, shards)
+				if a != b {
+					t.Fatalf("Owner(%d,%d,%d)=%d but reversed=%d", src, dst, shards, a, b)
+				}
+				if a < 0 || a >= shards {
+					t.Fatalf("Owner(%d,%d,%d)=%d out of range", src, dst, shards, a)
+				}
+			}
+		}
+	}
+	if Owner(5, 9, 1) != 0 {
+		t.Fatal("single shard owns everything")
+	}
+}
+
+func TestOwnerSpreadsLoad(t *testing.T) {
+	const shards = 4
+	counts := make([]int, shards)
+	for src := int32(0); src < 100; src++ {
+		for dst := int32(0); dst < 100; dst++ {
+			counts[Owner(src, dst, shards)]++
+		}
+	}
+	total := 100 * 100
+	for s, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("shard %d owns %.1f%% of pairs; rendezvous should be near-uniform", s, 100*frac)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Replication wire protocol (DESIGN.md §15), primary → standby over one TCP
+// connection, all integers little-endian:
+//
+//	handshake:  sender  → magic "CASCREP1" | version u32
+//	            standby → magic "CASCREP1" | version u32 | nextSeq u64
+//
+// The standby's nextSeq tells the sender where to resume tailing — the
+// replication protocol never negotiates per-frame, the WAL's sequence
+// numbers are the shared truth.
+//
+//	'F' u32 len | frame        one committed CASCWAL1 frame, verbatim bytes
+//	'S' u64 seq | u32 len | …  catch-up snapshot (CASCSNAP payload) at seq
+//	'P'                        ping: keepalive + ack solicitation
+//	'A' u64 seq                standby → sender: cumulative durable ack
+//
+// Frames are the log's own encoding (seq + CRC32C inside), so the standby
+// appends the primary's bytes verbatim and both logs stay byte-comparable
+// (tools/walcheck -prefix-of). Acks are cumulative: 'A' seq means every
+// record ≤ seq is applied AND fsynced on the standby.
+
+var replMagic = [8]byte{'C', 'A', 'S', 'C', 'R', 'E', 'P', '1'}
+
+// replVersion is the replication protocol version.
+const replVersion uint32 = 1
+
+// Message type bytes.
+const (
+	msgFrame    = 'F'
+	msgSnapshot = 'S'
+	msgPing     = 'P'
+	msgAck      = 'A'
+)
+
+// maxSnapshotBytes bounds a declared snapshot length; anything larger is a
+// protocol error, never an allocation request.
+const maxSnapshotBytes = 1 << 30
+
+var errBadHandshake = errors.New("cluster: bad replication handshake")
+
+// writeHello sends the sender half of the handshake.
+func writeHello(w io.Writer) error {
+	var buf [12]byte
+	copy(buf[:8], replMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], replVersion)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readHello validates the sender half on the standby.
+func readHello(r io.Reader) error {
+	var buf [12]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("%w: %v", errBadHandshake, err)
+	}
+	if [8]byte(buf[:8]) != replMagic {
+		return fmt.Errorf("%w: magic %q", errBadHandshake, buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != replVersion {
+		return fmt.Errorf("%w: version %d, this build speaks %d", errBadHandshake, v, replVersion)
+	}
+	return nil
+}
+
+// writeWelcome sends the standby half: handshake echo plus resume position.
+func writeWelcome(w io.Writer, nextSeq uint64) error {
+	var buf [20]byte
+	copy(buf[:8], replMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], replVersion)
+	binary.LittleEndian.PutUint64(buf[12:20], nextSeq)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readWelcome validates the standby half on the sender, returning the
+// standby's next expected sequence number.
+func readWelcome(r io.Reader) (uint64, error) {
+	var buf [20]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", errBadHandshake, err)
+	}
+	if [8]byte(buf[:8]) != replMagic {
+		return 0, fmt.Errorf("%w: magic %q", errBadHandshake, buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != replVersion {
+		return 0, fmt.Errorf("%w: version %d, this build speaks %d", errBadHandshake, v, replVersion)
+	}
+	return binary.LittleEndian.Uint64(buf[12:20]), nil
+}
+
+func writeFrameMsg(w *bufio.Writer, frame []byte) error {
+	var hdr [5]byte
+	hdr[0] = msgFrame
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func writeSnapshotMsg(w *bufio.Writer, seq uint64, data []byte) error {
+	var hdr [13]byte
+	hdr[0] = msgSnapshot
+	binary.LittleEndian.PutUint64(hdr[1:9], seq)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func writePingMsg(w *bufio.Writer) error {
+	return w.WriteByte(msgPing)
+}
+
+func writeAckMsg(w *bufio.Writer, seq uint64) error {
+	var buf [9]byte
+	buf[0] = msgAck
+	binary.LittleEndian.PutUint64(buf[1:9], seq)
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readAckMsg(r io.Reader) (uint64, error) {
+	var buf [9]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	if buf[0] != msgAck {
+		return 0, fmt.Errorf("cluster: expected ack, got message %q", buf[0])
+	}
+	return binary.LittleEndian.Uint64(buf[1:9]), nil
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/batching"
+	"github.com/cascade-ml/cascade/internal/graph/datagen"
+	"github.com/cascade-ml/cascade/internal/models"
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/serve"
+	"github.com/cascade-ml/cascade/internal/train"
+	"github.com/cascade-ml/cascade/internal/wal"
+)
+
+// replServer builds a deterministically-trained serve.Server with a WAL,
+// mirroring the serve package's own test fixture: identical dataset and
+// trainer seeds make two independently-built servers bitwise comparable.
+func replServer(t *testing.T, cfg serve.WALConfig, opts ...serve.Option) *serve.Server {
+	t.Helper()
+	ds := datagen.Wiki.Generate(datagen.Options{Scale: 0.002, Seed: 91, FeatDimOverride: 4, MinEvents: 600})
+	tr, val := ds.Split(0.8)
+	m := models.MustNew("JODIE", ds, 8, 4, 3)
+	trainer, err := train.NewTrainer(train.Config{
+		Model: m, Sched: batching.NewFixed("TGL", tr.NumEvents(), 50),
+		Data: tr, Val: val, ValBatch: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer.Train(2)
+	s := serve.New(m, trainer.Predictor(), ds.NumNodes, append(opts, serve.WithWAL(cfg))...)
+	if _, err := s.StartWAL(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.CloseWAL() })
+	return s
+}
+
+func replBatch(i int) []map[string]any {
+	n := 3 + i%4
+	events := make([]map[string]any, n)
+	for j := 0; j < n; j++ {
+		events[j] = map[string]any{
+			"src":  (i*7 + j*3) % 30,
+			"dst":  32 + (i*5+j*11)%30,
+			"time": 1e7 + float64(i*16+j),
+		}
+	}
+	return events
+}
+
+func replPost(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// statsFingerprint reads the state fingerprint a server reports on
+// /stats?full=1 — the bitwise-equality criterion for replicated state.
+func statsFingerprint(t *testing.T, h http.Handler) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/stats?full=1", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var st struct {
+		Fingerprint string `json:"state_fingerprint"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint == "" {
+		t.Fatal("no state fingerprint in /stats?full=1")
+	}
+	return st.Fingerprint
+}
+
+// replPair wires a live primary→standby stream over real TCP and returns
+// both servers plus the sender's metrics registry.
+type replPair struct {
+	primary, standby *serve.Server
+	sender           *Sender
+	receiver         *Receiver
+	sendReg, recvReg *obs.Registry
+	sendInj, recvInj *faultinject.Injector
+}
+
+func newReplPair(t *testing.T, primCfg, stbyCfg serve.WALConfig, opts serve.ReplOptions) *replPair {
+	t.Helper()
+	p := &replPair{
+		sendReg: obs.NewRegistry(), recvReg: obs.NewRegistry(),
+		sendInj: faultinject.New(), recvInj: faultinject.New(),
+	}
+	p.standby = replServer(t, stbyCfg, serve.WithStandby())
+	p.primary = replServer(t, primCfg)
+	var err error
+	p.receiver, err = NewReceiver(ReceiverConfig{
+		Addr: "127.0.0.1:0", State: p.standby,
+		Metrics: p.recvReg, Injector: p.recvInj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.receiver.Stop)
+	p.sender, err = NewSender(SenderConfig{
+		Target: p.receiver.Addr(), Log: p.primary.WAL(), Snapshot: p.primary.ReplSnapshot,
+		Metrics: p.sendReg, Injector: p.sendInj, RedialBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.sender.Stop)
+	if err := p.primary.SetReplicator(p.sender, opts); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReplicationShipsFramesEndToEnd(t *testing.T) {
+	primDir, stbyDir := t.TempDir(), t.TempDir()
+	p := newReplPair(t,
+		serve.WALConfig{Dir: primDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.WALConfig{Dir: stbyDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.ReplOptions{AckTimeout: 10 * time.Second},
+	)
+	ph, sh := p.primary.Handler(), p.standby.Handler()
+
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		rec := replPost(t, ph, "/ingest", map[string]any{"events": replBatch(i)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	// /ingest is semi-synchronous: once it returned, the standby acked, so
+	// no polling is needed — the batches are on the standby's disk.
+	if got := p.sender.AckedSeq(); got != batches {
+		t.Fatalf("acked seq %d, want %d", got, batches)
+	}
+	if !p.sender.Connected() {
+		t.Fatal("sender should report a live standby")
+	}
+	if err := wal.VerifyPrefix(stbyDir, primDir); err != nil {
+		t.Fatalf("standby log is not a prefix of the primary's: %v", err)
+	}
+	if pf, sf := statsFingerprint(t, ph), statsFingerprint(t, sh); pf != sf {
+		t.Fatalf("replicated state diverged: primary %s standby %s", pf, sf)
+	}
+
+	// The standby refuses direct writes until promoted...
+	if rec := replPost(t, sh, "/ingest", map[string]any{"events": replBatch(batches)}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("standby accepted a write: %d", rec.Code)
+	}
+	// ...and serves reads throughout.
+	if rec := replPost(t, sh, "/score", map[string]any{"pairs": []map[string]any{{"src": 1, "dst": 33}}, "time": 1e7 + 1e4}); rec.Code != http.StatusOK {
+		t.Fatalf("standby score: %d %s", rec.Code, rec.Body)
+	}
+
+	// Promote: the standby becomes writable and continues the sequence the
+	// primary left off — the failover contract.
+	rec := replPost(t, sh, "/admin/promote", nil)
+	var pr struct {
+		Promoted bool   `json:"promoted"`
+		Role     string `json:"role"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Promoted || pr.Role != "primary" {
+		t.Fatalf("promote: %s", rec.Body)
+	}
+	if rec := replPost(t, sh, "/ingest", map[string]any{"events": replBatch(batches)}); rec.Code != http.StatusOK {
+		t.Fatalf("post-promotion ingest: %d %s", rec.Code, rec.Body)
+	}
+	if got := p.standby.WALAppliedSeq(); got != batches+1 {
+		t.Fatalf("promoted standby applied seq %d, want %d", got, batches+1)
+	}
+}
+
+func TestReplicationSnapshotCatchUp(t *testing.T) {
+	primDir, stbyDir := t.TempDir(), t.TempDir()
+	// Aggressive compaction: by the time the standby attaches, the early
+	// frames are gone and only a snapshot can seed it.
+	primary := replServer(t, serve.WALConfig{Dir: primDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: 2})
+	ph := primary.Handler()
+	const preBatches = 80
+	for i := 0; i < preBatches; i++ {
+		rec := replPost(t, ph, "/ingest", map[string]any{"events": replBatch(i)})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	// Sanity: frame 1 must be unreachable, or this test proves nothing.
+	tl := primary.WAL().TailFrom(0)
+	if _, _, err := tl.Next(10 * time.Millisecond); !errors.Is(err, wal.ErrSeqGone) {
+		t.Fatalf("tail from 0 after compaction = %v, want ErrSeqGone", err)
+	}
+	tl.Close()
+
+	standby := replServer(t, serve.WALConfig{Dir: stbyDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1}, serve.WithStandby())
+	recvReg := obs.NewRegistry()
+	receiver, err := NewReceiver(ReceiverConfig{Addr: "127.0.0.1:0", State: standby, Metrics: recvReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(receiver.Stop)
+	sendReg := obs.NewRegistry()
+	sender, err := NewSender(SenderConfig{
+		Target: receiver.Addr(), Log: primary.WAL(), Snapshot: primary.ReplSnapshot,
+		Metrics: sendReg, RedialBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sender.Stop)
+	if err := primary.SetReplicator(sender, serve.ReplOptions{AckTimeout: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next ingest blocks on the standby's ack, which requires the whole
+	// catch-up (snapshot install + this frame) to have happened.
+	rec := replPost(t, ph, "/ingest", map[string]any{"events": replBatch(preBatches)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-attach ingest: %d %s", rec.Code, rec.Body)
+	}
+	if n := sendReg.Counter("serve_repl_snapshots_sent_total").Value(); n < 1 {
+		t.Fatalf("snapshots sent = %d, want ≥ 1", n)
+	}
+	if n := recvReg.Counter("serve_repl_snapshots_received_total").Value(); n < 1 {
+		t.Fatalf("snapshots received = %d, want ≥ 1", n)
+	}
+	if got, want := standby.WALAppliedSeq(), primary.WALAppliedSeq(); got != want {
+		t.Fatalf("standby applied %d, primary %d", got, want)
+	}
+	if pf, sf := statsFingerprint(t, ph), statsFingerprint(t, standby.Handler()); pf != sf {
+		t.Fatalf("caught-up state diverged: primary %s standby %s", pf, sf)
+	}
+}
+
+func TestReplicationFaultPoints(t *testing.T) {
+	primDir, stbyDir := t.TempDir(), t.TempDir()
+	p := newReplPair(t,
+		serve.WALConfig{Dir: primDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.WALConfig{Dir: stbyDir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.ReplOptions{AckTimeout: 10 * time.Second},
+	)
+	ph := p.primary.Handler()
+
+	// repl/send: the first frame send aborts the session. The sender must
+	// reconnect and re-ship; the ingest ack just arrives a beat later.
+	p.sendInj.ArmErr(faultinject.PointReplSend, fmt.Errorf("injected send failure"), 1)
+	rec := replPost(t, ph, "/ingest", map[string]any{"events": replBatch(0)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest through send fault: %d %s", rec.Code, rec.Body)
+	}
+	if n := p.sendInj.Fired(faultinject.PointReplSend); n != 1 {
+		t.Fatalf("send fault fired %d times, want 1", n)
+	}
+	if n := p.sendReg.Counter("serve_repl_reconnects_total").Value(); n < 1 {
+		t.Fatalf("reconnects = %d, want ≥ 1", n)
+	}
+	if got := p.sender.AckedSeq(); got != 1 {
+		t.Fatalf("acked %d after send-fault recovery, want 1", got)
+	}
+
+	// repl/ack: the standby applies and syncs but swallows the ack. The
+	// sender's keepalive ping solicits a fresh (cumulative) ack, so the
+	// stream heals without resending data.
+	p.recvInj.ArmErr(faultinject.PointReplAck, fmt.Errorf("injected ack suppression"), 1)
+	rec = replPost(t, ph, "/ingest", map[string]any{"events": replBatch(1)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest through ack fault: %d %s", rec.Code, rec.Body)
+	}
+	if n := p.recvInj.Fired(faultinject.PointReplAck); n != 1 {
+		t.Fatalf("ack fault fired %d times, want 1", n)
+	}
+	if got := p.sender.AckedSeq(); got != 2 {
+		t.Fatalf("acked %d after ack-fault recovery, want 2", got)
+	}
+	if err := wal.VerifyPrefix(stbyDir, primDir); err != nil {
+		t.Fatalf("logs diverged across fault recovery: %v", err)
+	}
+	if pf, sf := statsFingerprint(t, ph), statsFingerprint(t, p.standby.Handler()); pf != sf {
+		t.Fatalf("state diverged across fault recovery: primary %s standby %s", pf, sf)
+	}
+}

@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/wal"
+)
+
+// SenderConfig wires a replication sender to its primary and standby.
+type SenderConfig struct {
+	// Target is the standby receiver's TCP address (host:port).
+	Target string
+	// Log is the primary's WAL; committed frames are tailed out of it.
+	Log *wal.Log
+	// Snapshot produces a catch-up snapshot (serve.Server.ReplSnapshot) when
+	// the standby is too far behind for frame shipping.
+	Snapshot func() (uint64, []byte, error)
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RedialBackoff is the pause between reconnect attempts (default 250ms).
+	RedialBackoff time.Duration
+	// Metrics receives serve_repl_* series (nil-safe).
+	Metrics *obs.Registry
+	// Injector arms the repl/send fault point (nil disables).
+	Injector *faultinject.Injector
+	// Logger receives connection lifecycle events (nil for silent).
+	Logger *slog.Logger
+}
+
+// Sender is the primary half of WAL shipping: it tails the primary's log for
+// committed frames, streams them to the standby, and tracks the standby's
+// cumulative durable ack. It implements serve.Replicator, so the serve layer
+// can hold /ingest responses on WaitAcked (semi-synchronous replication)
+// without knowing anything about the wire. Reconnection is the sender's job:
+// the stream survives standby restarts, and a standby that fell behind the
+// primary's compaction horizon is re-seeded with a snapshot.
+type Sender struct {
+	cfg SenderConfig
+
+	mu        sync.Mutex
+	ackCond   *sync.Cond
+	acked     uint64
+	connected bool
+	stopped   bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewSender starts the replication stream. Call Stop to tear it down.
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("cluster: sender needs a target address")
+	}
+	if cfg.Log == nil {
+		return nil, errors.New("cluster: sender needs the primary's WAL")
+	}
+	if cfg.Snapshot == nil {
+		return nil, errors.New("cluster: sender needs a snapshot source")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 250 * time.Millisecond
+	}
+	s := &Sender{cfg: cfg, stop: make(chan struct{})}
+	s.ackCond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Stop shuts the stream down and releases every WaitAcked waiter.
+func (s *Sender) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stop)
+	s.ackCond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// AckedSeq is the highest sequence the standby has durably acknowledged.
+func (s *Sender) AckedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// Connected reports whether a standby is currently attached.
+func (s *Sender) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected
+}
+
+// WaitAcked blocks until the standby has acknowledged seq or the timeout
+// expires. The caller (serve's /ingest) treats a timeout as "degrade to
+// async", not as a write failure.
+func (s *Sender) WaitAcked(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.ackCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.acked < seq {
+		if s.stopped {
+			return errors.New("cluster: sender stopped")
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("cluster: ack for seq %d not received within %v", seq, timeout)
+		}
+		s.ackCond.Wait()
+	}
+	return nil
+}
+
+func (s *Sender) setConnected(up bool) {
+	s.mu.Lock()
+	s.connected = up
+	s.mu.Unlock()
+	v := 0.0
+	if up {
+		v = 1
+	}
+	s.cfg.Metrics.Gauge("serve_repl_connected").Set(v)
+}
+
+func (s *Sender) observeAck(seq uint64) {
+	s.mu.Lock()
+	if seq > s.acked {
+		s.acked = seq
+		s.ackCond.Broadcast()
+	}
+	acked := s.acked
+	s.mu.Unlock()
+	s.cfg.Metrics.Gauge("serve_repl_acked_seq").Set(float64(acked))
+	if committed := s.cfg.Log.CommittedSeq(); committed > acked {
+		s.cfg.Metrics.Gauge("serve_repl_lag").Set(float64(committed - acked))
+	} else {
+		s.cfg.Metrics.Gauge("serve_repl_lag").Set(0)
+	}
+}
+
+func (s *Sender) closing() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the connection supervisor: dial, stream until the session errors,
+// back off, repeat. One session at a time; acks survive across sessions (the
+// standby's durable state does not regress).
+func (s *Sender) run() {
+	defer s.wg.Done()
+	first := true
+	for !s.closing() {
+		if !first {
+			s.cfg.Metrics.Counter("serve_repl_reconnects_total").Inc()
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.RedialBackoff):
+			}
+		}
+		first = false
+		if err := s.session(); err != nil && !s.closing() {
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Warn("replication session ended", "target", s.cfg.Target, "error", err.Error())
+			}
+		}
+	}
+}
+
+// session runs one connection: handshake, optional snapshot catch-up, then
+// the frame-shipping loop, with a concurrent ack reader.
+func (s *Sender) session() error {
+	conn, err := net.DialTimeout("tcp", s.cfg.Target, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writeHello(conn); err != nil {
+		return err
+	}
+	nextSeq, err := readWelcome(conn)
+	if err != nil {
+		return err
+	}
+	s.setConnected(true)
+	defer s.setConnected(false)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("replication connected", "target", s.cfg.Target, "standby_next_seq", nextSeq)
+	}
+
+	// The ack reader owns the receive direction. It doubles as the session's
+	// failure detector: when the standby goes away, the read errors and we
+	// close the conn, which unblocks the send loop.
+	ackDone := make(chan error, 1)
+	go func() {
+		for {
+			seq, err := readAckMsg(conn)
+			if err != nil {
+				ackDone <- err
+				return
+			}
+			s.observeAck(seq)
+		}
+	}()
+	defer conn.Close() // unblock the ack reader on exit
+
+	w := bufio.NewWriterSize(conn, 256<<10)
+
+	// Seed or re-seed: the standby asks to resume at nextSeq. If that frame
+	// is still in the log, tail from there; if compaction dropped it — or the
+	// standby is somehow ahead of us (it outlived a primary that lost its
+	// disk) — ship a snapshot and resume above its watermark.
+	last := nextSeq - 1
+	tailer := s.cfg.Log.TailFrom(last)
+	defer func() { tailer.Close() }()
+	if nextSeq > s.cfg.Log.NextSeq() {
+		seq, err := s.sendSnapshot(w)
+		if err != nil {
+			return err
+		}
+		tailer.Close()
+		last = seq
+		tailer = s.cfg.Log.TailFrom(last)
+	}
+
+	for {
+		select {
+		case err := <-ackDone:
+			return fmt.Errorf("ack stream: %w", err)
+		case <-s.stop:
+			return nil
+		default:
+		}
+		seq, payload, err := tailer.Next(time.Second)
+		switch {
+		case err == nil:
+			if ferr := s.cfg.Injector.Err(faultinject.PointReplSend); ferr != nil {
+				return fmt.Errorf("fault injected: %w", ferr)
+			}
+			frame := wal.EncodeFrame(seq, payload)
+			if err := writeFrameMsg(w, frame); err != nil {
+				return err
+			}
+			s.cfg.Metrics.Counter("serve_repl_frames_sent_total").Inc()
+			s.cfg.Metrics.Counter("serve_repl_bytes_sent_total").Add(int64(len(frame)))
+			// Flush when the log has nothing more ready: batches under load,
+			// ships immediately when idle.
+			if s.cfg.Log.CommittedSeq() <= seq {
+				if err := w.Flush(); err != nil {
+					return err
+				}
+			}
+		case errors.Is(err, wal.ErrTailTimeout):
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			// Quiet stream: ping so the standby keeps acking (and we keep
+			// proving the connection is alive).
+			if err := writePingMsg(w); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+		case errors.Is(err, wal.ErrSeqGone):
+			// Compaction outran the standby: re-seed with a snapshot.
+			seq, serr := s.sendSnapshot(w)
+			if serr != nil {
+				return serr
+			}
+			tailer.Close()
+			last = seq
+			tailer = s.cfg.Log.TailFrom(last)
+		case errors.Is(err, wal.ErrClosed):
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// sendSnapshot ships a catch-up snapshot and returns its watermark.
+func (s *Sender) sendSnapshot(w *bufio.Writer) (uint64, error) {
+	seq, data, err := s.cfg.Snapshot()
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := writeSnapshotMsg(w, seq, data); err != nil {
+		return 0, err
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	s.cfg.Metrics.Counter("serve_repl_snapshots_sent_total").Inc()
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("replication snapshot sent", "seq", seq, "bytes", len(data))
+	}
+	return seq, nil
+}

@@ -320,6 +320,54 @@ func TestRetryExhaustionWrapsLastError(t *testing.T) {
 	}
 }
 
+// TestRetryContextCanceled: cancellation mid-backoff returns promptly with
+// the context error instead of sitting out the jitter interval. The After
+// channel never fires, so only the ctx.Done arm can unblock the wait.
+func TestRetryContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	waiting := make(chan struct{}, 1)
+	blocked := make(chan time.Time) // never fires: a stuck clock
+	r := Retry{
+		Attempts: 3, Base: time.Hour, // a real sleep here would hang the test
+		After: func(time.Duration) <-chan time.Time {
+			waiting <- struct{}{}
+			return blocked
+		},
+	}
+	sentinel := errors.New("transient")
+	done := make(chan error, 1)
+	go func() {
+		done <- r.DoContext(ctx, "op", func(int) error { return sentinel })
+	}()
+	<-waiting // first attempt failed; DoContext is parked in backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("error %v does not wrap the last attempt error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoContext still blocked in backoff after cancellation")
+	}
+}
+
+// TestRetryContextPreCanceled: an already-dead context never runs fn.
+func TestRetryContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry{}.DoContext(ctx, "op", func(int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times under a pre-canceled context", calls)
+	}
+}
+
 // TestControllerConcurrentHammer drives many more clients than capacity
 // through Acquire under -race: every admitted request must release, counts
 // must balance, and the controller must end idle.

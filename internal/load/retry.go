@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,8 +23,13 @@ type Retry struct {
 	Max time.Duration
 	// Seed drives the jitter PRNG (deterministic per Retry value).
 	Seed int64
-	// Sleep is injectable for tests (default time.Sleep).
+	// Sleep is injectable for tests (default: a context-aware timer wait).
+	// A custom Sleep cannot be interrupted mid-sleep by DoContext — prefer
+	// After when the test needs cancellation during backoff.
 	Sleep func(time.Duration)
+	// After is the injectable clock for DoContext's backoff wait (default
+	// time.After). Ignored when Sleep is set.
+	After func(time.Duration) <-chan time.Time
 	// Obs counts retry_attempts_total / retry_recovered_total; nil disables.
 	Obs *obs.Registry
 }
@@ -32,6 +38,14 @@ type Retry struct {
 // a jittered exponential backoff between tries. name labels the operation
 // in the returned error. fn receives the 0-based attempt index.
 func (r Retry) Do(name string, fn func(attempt int) error) error {
+	return r.DoContext(context.Background(), name, fn)
+}
+
+// DoContext is Do with cancellation: a canceled context interrupts the
+// backoff sleep immediately (instead of sitting out a full jitter interval)
+// and stops before the next attempt. The context error is returned wrapped,
+// alongside fn's last error when at least one attempt ran.
+func (r Retry) DoContext(ctx context.Context, name string, fn func(attempt int) error) error {
 	attempts := r.Attempts
 	if attempts <= 0 {
 		attempts = 3
@@ -44,13 +58,19 @@ func (r Retry) Do(name string, fn func(attempt int) error) error {
 	if maxBackoff <= 0 {
 		maxBackoff = time.Second
 	}
-	sleep := r.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
+	after := r.After
+	if after == nil {
+		after = time.After
 	}
 	rng := rand.New(rand.NewSource(r.Seed))
 	var err error
 	for a := 0; a < attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("load: %s canceled after %d attempts: %w (last error: %w)", name, a, cerr, err)
+			}
+			return fmt.Errorf("load: %s canceled: %w", name, cerr)
+		}
 		if err = fn(a); err == nil {
 			if a > 0 {
 				r.Obs.Counter("retry_recovered_total").Inc()
@@ -70,7 +90,15 @@ func (r Retry) Do(name string, fn func(attempt int) error) error {
 		// Equal jitter: [d/2, d). Decorrelates replicas retrying the same
 		// dependency while keeping a floor so backoff still backs off.
 		d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
-		sleep(d)
+		if r.Sleep != nil {
+			r.Sleep(d) // legacy injectable sleep: uninterruptible by design
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("load: %s canceled after %d attempts: %w (last error: %w)", name, a+1, ctx.Err(), err)
+		case <-after(d):
+		}
 	}
 	return fmt.Errorf("load: %s failed after %d attempts: %w", name, attempts, err)
 }

@@ -65,6 +65,22 @@ const (
 	// keep serving (the log is still intact) and retry later
 	// (internal/serve).
 	PointWALSnapshot = "wal/snapshot"
+	// PointWALTruncate fails segment retention after the compaction snapshot
+	// is durable — the crash-window between snapshot rename and segment
+	// delete; recovery must tolerate the surviving overlap (internal/wal).
+	PointWALTruncate = "wal/truncate"
+	// PointReplSend fails a replication frame write on the primary's sender,
+	// forcing a reconnect + re-handshake (internal/cluster).
+	PointReplSend = "repl/send"
+	// PointReplAck suppresses a standby ack, driving the primary's
+	// ack-timeout degradation path (internal/cluster).
+	PointReplAck = "repl/ack"
+	// PointProbeTimeout turns a router health probe into a timeout, the way
+	// a hung primary looks from outside (internal/cluster).
+	PointProbeTimeout = "probe/timeout"
+	// PointPromote fails the router's standby-promotion request; failover
+	// must retry, not wedge (internal/cluster).
+	PointPromote = "promote"
 )
 
 // ReplicaPoint names a per-replica fault point ("dist/replica-die/2").

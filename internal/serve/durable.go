@@ -151,6 +151,7 @@ func (s *Server) StartWAL() (*WALRecovery, error) {
 		s.lastTime = snap.LastTime
 		s.ingested = snap.Ingested
 		s.appliedSeq = snap.AppliedSeq
+		s.lastBid = snap.LastBid
 		rec.SnapshotPath, rec.SnapshotSeq = path, snap.AppliedSeq
 	}
 	l, logRec, err := wal.Open(wal.Options{
@@ -169,12 +170,15 @@ func (s *Server) StartWAL() (*WALRecovery, error) {
 	rec.Log = logRec
 	var replayedEvents uint64
 	n, err := l.Replay(s.appliedSeq, func(seq uint64, payload []byte) error {
-		events, derr := decodeEventBatch(payload)
+		events, bid, derr := decodeEventBatch(payload)
 		if derr != nil {
 			return fmt.Errorf("record %d: %w", seq, derr)
 		}
 		s.applyEventsLocked(events)
 		s.appliedSeq = seq
+		if bid > s.lastBid {
+			s.lastBid = bid
+		}
 		replayedEvents += uint64(len(events))
 		return nil
 	})
@@ -209,8 +213,8 @@ func (s *Server) applyEventsLocked(events []graph.Event) {
 // append flips the server read-only (the WAL itself is sticky-broken); the
 // request must NOT be applied, since the client would be acked state that
 // only exists in memory.
-func (s *Server) appendWALLocked(events []graph.Event) (uint64, error) {
-	payload := encodeEventBatch(events)
+func (s *Server) appendWALLocked(events []graph.Event, bid uint64) (uint64, error) {
+	payload := encodeEventBatch(events, bid)
 	sp := s.tracer.Start("serve_wal_append", obs.PhaseOther)
 	seq, err := s.wlog.Append(payload)
 	sp.SetInt("bytes", int64(len(payload)))
@@ -264,7 +268,7 @@ func (s *Server) maybeCompactLocked() {
 func (s *Server) CompactWALLocked() {
 	stream, err := models.CheckpointStream(s.model)
 	if err == nil {
-		snap := &serveSnapshot{Stream: stream, LastTime: s.lastTime, AppliedSeq: s.appliedSeq, Ingested: s.ingested}
+		snap := &serveSnapshot{Stream: stream, LastTime: s.lastTime, AppliedSeq: s.appliedSeq, Ingested: s.ingested, LastBid: s.lastBid}
 		_, err = writeSnapshotFile(s.walCfg.Dir, s.appliedSeq, snap, s.inj)
 	}
 	if err != nil {
@@ -273,7 +277,16 @@ func (s *Server) CompactWALLocked() {
 		return
 	}
 	s.metrics.Counter("serve_wal_compactions_total").Inc()
-	if _, err := s.wlog.TruncateBefore(s.appliedSeq + 1); err != nil {
+	// Retention holds back for a connected standby: records it has not yet
+	// acknowledged stay shippable. A disconnected standby does not pin the
+	// log (disk is bounded) — it catches up from a snapshot on reconnect.
+	keep := s.appliedSeq
+	if s.repl != nil && s.repl.Connected() {
+		if acked := s.repl.AckedSeq(); acked < keep {
+			keep = acked
+		}
+	}
+	if _, err := s.wlog.TruncateBefore(keep + 1); err != nil {
 		logWarn(s.logger, "wal truncation failed", "error", err.Error())
 	}
 	if err := pruneSnapshots(s.walCfg.Dir, s.walCfg.SnapshotKeep); err != nil {
@@ -324,19 +337,39 @@ func (s *Server) WALAppliedSeq() uint64 {
 
 // --- event-batch record codec -------------------------------------------
 
-// eventBatchVersion versions the WAL record payload: one record per ingest
-// request, [version u8 | count u32 | count × (src i32, dst i32, time f64)],
-// all little-endian. FeatIdx is not encoded — ingest events never carry
-// features (see validateEventsIn).
-const eventBatchVersion = 1
+// Event-batch record codec, one WAL record per ingest request:
+//
+//	v1: [version=1 u8 | count u32 | count × (src i32, dst i32, time f64)]
+//	v2: [version=2 u8 | bid u64 | count u32 | events as v1]
+//
+// all little-endian. v2 exists only for router-originated batches (bid > 0):
+// a direct batch still encodes as v1 byte-for-byte, which is what keeps
+// non-replicated single-node logs bitwise-identical to the pre-cluster
+// format. FeatIdx is not encoded — ingest events never carry features (see
+// validateEventsIn).
+const (
+	eventBatchVersion    = 1
+	eventBatchVersionBid = 2
+)
 
 const eventWireBytes = 16
 
-func encodeEventBatch(events []graph.Event) []byte {
-	buf := make([]byte, 5+eventWireBytes*len(events))
-	buf[0] = eventBatchVersion
-	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(events)))
-	off := 5
+func encodeEventBatch(events []graph.Event, bid uint64) []byte {
+	head := 5
+	if bid > 0 {
+		head = 13
+	}
+	buf := make([]byte, head+eventWireBytes*len(events))
+	off := 1
+	if bid > 0 {
+		buf[0] = eventBatchVersionBid
+		binary.LittleEndian.PutUint64(buf[1:9], bid)
+		off = 9
+	} else {
+		buf[0] = eventBatchVersion
+	}
+	binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(events)))
+	off += 4
 	for _, e := range events {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(e.Src))
 		binary.LittleEndian.PutUint32(buf[off+4:], uint32(e.Dst))
@@ -346,19 +379,32 @@ func encodeEventBatch(events []graph.Event) []byte {
 	return buf
 }
 
-func decodeEventBatch(p []byte) ([]graph.Event, error) {
+func decodeEventBatch(p []byte) ([]graph.Event, uint64, error) {
 	if len(p) < 5 {
-		return nil, fmt.Errorf("serve: event batch record truncated (%d bytes)", len(p))
+		return nil, 0, fmt.Errorf("serve: event batch record truncated (%d bytes)", len(p))
 	}
-	if p[0] != eventBatchVersion {
-		return nil, fmt.Errorf("serve: event batch record version %d, this build reads %d", p[0], eventBatchVersion)
+	var bid uint64
+	off := 1
+	switch p[0] {
+	case eventBatchVersion:
+	case eventBatchVersionBid:
+		if len(p) < 13 {
+			return nil, 0, fmt.Errorf("serve: event batch record truncated (%d bytes)", len(p))
+		}
+		bid = binary.LittleEndian.Uint64(p[1:9])
+		if bid == 0 {
+			return nil, 0, errors.New("serve: v2 event batch record with zero bid")
+		}
+		off = 9
+	default:
+		return nil, 0, fmt.Errorf("serve: event batch record version %d, this build reads ≤ %d", p[0], eventBatchVersionBid)
 	}
-	n := int(binary.LittleEndian.Uint32(p[1:5]))
-	if len(p) != 5+eventWireBytes*n {
-		return nil, fmt.Errorf("serve: event batch record declares %d events in %d bytes", n, len(p))
+	n := int(binary.LittleEndian.Uint32(p[off : off+4]))
+	off += 4
+	if len(p) != off+eventWireBytes*n {
+		return nil, 0, fmt.Errorf("serve: event batch record declares %d events in %d bytes", n, len(p))
 	}
 	events := make([]graph.Event, n)
-	off := 5
 	for i := range events {
 		events[i] = graph.Event{
 			Src:     int32(binary.LittleEndian.Uint32(p[off:])),
@@ -368,7 +414,7 @@ func decodeEventBatch(p []byte) ([]graph.Event, error) {
 		}
 		off += eventWireBytes
 	}
-	return events, nil
+	return events, bid, nil
 }
 
 // --- compaction snapshots ------------------------------------------------
@@ -382,6 +428,10 @@ type serveSnapshot struct {
 	LastTime   float64
 	AppliedSeq uint64
 	Ingested   int64
+	// LastBid carries the router-batch dedup watermark across restarts and
+	// snapshot catch-up (gob leaves it zero when decoding pre-cluster
+	// snapshots, which is exactly the solo default).
+	LastBid uint64
 }
 
 // Snapshot-file format mirrors resilience's checkpoints: magic, version,
@@ -510,10 +560,20 @@ func writeSnapshotFile(dir string, seq uint64, c *serveSnapshot, inj *faultinjec
 		os.Remove(name)
 		return "", fmt.Errorf("serve: publishing wal snapshot: %w", err)
 	}
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
+	// The rename must itself be durable before this snapshot can justify
+	// deleting the segments it covers: a crash that loses the directory
+	// entry but not the segment deletes would lose acked events. So the dir
+	// fsync is load-bearing, not best-effort — a failure aborts compaction
+	// (the caller keeps the log and retries next cadence).
+	d, derr := os.Open(dir)
+	if derr != nil {
+		return "", fmt.Errorf("serve: syncing wal snapshot dir: %w", derr)
 	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return "", fmt.Errorf("serve: syncing wal snapshot dir: %w", err)
+	}
+	d.Close()
 	return path, nil
 }
 

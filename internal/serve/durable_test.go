@@ -356,20 +356,29 @@ func TestEventBatchCodecRoundTrip(t *testing.T) {
 		{Src: 1, Dst: 2, Time: 42.5, FeatIdx: -1},
 		{Src: 0, Dst: 199, Time: 1e12, FeatIdx: -1},
 	}
-	got, err := decodeEventBatch(encodeEventBatch(events))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != len(events) {
-		t.Fatalf("decoded %d events, want %d", len(got), len(events))
-	}
-	for i := range got {
-		if got[i] != events[i] {
-			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+	for _, bid := range []uint64{0, 7} {
+		got, gotBid, err := decodeEventBatch(encodeEventBatch(events, bid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBid != bid {
+			t.Fatalf("decoded bid %d, want %d", gotBid, bid)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("decoded %d events, want %d", len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+			}
 		}
 	}
-	for _, bad := range [][]byte{nil, {9, 0, 0, 0, 0}, encodeEventBatch(events)[:10]} {
-		if _, err := decodeEventBatch(bad); err == nil {
+	// bid 0 must keep encoding as v1, byte-for-byte the pre-cluster format.
+	if b := encodeEventBatch(events, 0); b[0] != eventBatchVersion {
+		t.Fatalf("bid-0 batch encoded as version %d, want %d", b[0], eventBatchVersion)
+	}
+	for _, bad := range [][]byte{nil, {9, 0, 0, 0, 0}, encodeEventBatch(events, 0)[:10], {2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}} {
+		if _, _, err := decodeEventBatch(bad); err == nil {
 			t.Fatalf("decoded malformed payload %v", bad)
 		}
 	}

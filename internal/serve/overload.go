@@ -2,10 +2,10 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -179,11 +179,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"ok": true, "uptime_seconds": time.Since(s.started).Seconds()})
 }
 
-// handleReadyz is the readiness probe: 503 while draining, while the wait
-// queue is full, or while the scoring breaker is open — the states in which
-// a load balancer should route traffic elsewhere.
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	var reasons []string
+// ReadyStatus is the structured /readyz body: the status code still carries
+// the ready/not-ready contract (200/503, unchanged), but the body now names
+// each degradation cause so the router and the chaos harness can dispatch on
+// specific reasons instead of parsing a prose line.
+type ReadyStatus struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons"`
+	Role    string   `json:"role"`
+}
+
+// Readyz evaluates the readiness reasons without HTTP (shared by the
+// handler and tests).
+func (s *Server) Readyz() ReadyStatus {
+	reasons := []string{} // never null on the wire
 	if s.draining.Load() {
 		reasons = append(reasons, "draining")
 	}
@@ -196,13 +205,45 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.walBroken.Load() {
 		reasons = append(reasons, "wal broken")
 	}
-	if len(reasons) > 0 {
+	// A primary with a dead or lagging replication stream is still serving,
+	// but its durability promise is degraded — surface it so the operator
+	// (and the router's stats) can see the exposure window.
+	if Role(s.role.Load()) == RolePrimary && s.repl != nil {
+		if !s.repl.Connected() {
+			reasons = append(reasons, "standby disconnected")
+		} else {
+			s.mu.Lock()
+			var lag uint64
+			if s.wlog != nil {
+				if committed := s.wlog.CommittedSeq(); committed > s.repl.AckedSeq() {
+					lag = committed - s.repl.AckedSeq()
+				}
+			}
+			bound := s.replOpts.LagBound
+			s.mu.Unlock()
+			if bound > 0 && lag > bound {
+				reasons = append(reasons, "standby lagging")
+			}
+		}
+	}
+	return ReadyStatus{Ready: len(reasons) == 0, Reasons: reasons, Role: Role(s.role.Load()).String()}
+}
+
+// handleReadyz is the readiness probe: 503 while draining, while the wait
+// queue is full, while the scoring breaker is open, or while the WAL is
+// broken — the states in which a load balancer should route traffic
+// elsewhere — with the structured body above in both directions.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.Readyz()
+	if !st.Ready {
 		s.metrics.Gauge("serve_ready").Set(0)
-		httpError(w, http.StatusServiceUnavailable, "not ready: %s", strings.Join(reasons, ", "))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(st)
 		return
 	}
 	s.metrics.Gauge("serve_ready").Set(1)
-	writeJSON(w, map[string]any{"ready": true})
+	writeJSON(w, st)
 }
 
 // StartDrain flips the server to not-ready. RunGraceful's onDrain hook

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
+	"github.com/cascade-ml/cascade/internal/wal"
+)
+
+// ingestBatchBid posts the i-th deterministic batch with a router batch id.
+func ingestBatchBid(t *testing.T, h http.Handler, i int, bid uint64) {
+	t.Helper()
+	rec := post(t, h, "/ingest", map[string]any{"events": deterministicBatch(i), "bid": bid})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest batch %d (bid %d): status %d: %s", i, bid, rec.Code, rec.Body)
+	}
+}
+
+func TestIngestBidDedup(t *testing.T) {
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes})
+	h := s.Handler()
+	ingestBatchBid(t, h, 0, 1)
+	ingestBatchBid(t, h, 1, 2)
+	want := fingerprint(s)
+	wantSeq := s.WALAppliedSeq()
+	// A router retry after an ambiguous failure re-sends the same batch with
+	// the same bid: exactly-once means the state must not move.
+	rec := post(t, h, "/ingest", map[string]any{"events": deterministicBatch(1), "bid": uint64(2)})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"deduped":true`) {
+		t.Fatalf("duplicate bid: status %d: %s", rec.Code, rec.Body)
+	}
+	if got := fingerprint(s); got != want {
+		t.Fatalf("duplicate bid moved state: %016x -> %016x", want, got)
+	}
+	if got := s.WALAppliedSeq(); got != wantSeq {
+		t.Fatalf("duplicate bid appended to the WAL: seq %d -> %d", wantSeq, got)
+	}
+	// A fresh bid proceeds; bid gaps (burned on 4xx) are legal.
+	ingestBatchBid(t, h, 2, 5)
+	if got := s.WALAppliedSeq(); got != wantSeq+1 {
+		t.Fatalf("post-dedup ingest seq %d, want %d", got, wantSeq+1)
+	}
+}
+
+func TestBidSurvivesRestartAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: 2, SnapshotKeep: 2}
+	a, _ := walServer(t, cfg)
+	h := a.Handler()
+	for i := 0; i < 4; i++ { // CompactEvery=2 → at least one compaction
+		ingestBatchBid(t, h, i, uint64(i+1))
+	}
+	a.CloseWAL()
+	b, _ := walServer(t, cfg)
+	// The restarted server must still dedup bids from before the restart,
+	// whether they came back via snapshot (LastBid) or replay (v2 records).
+	rec := post(t, b.Handler(), "/ingest", map[string]any{"events": deterministicBatch(3), "bid": uint64(4)})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"deduped":true`) {
+		t.Fatalf("bid not restored across restart: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestStandbyRefusesWritesUntilPromoted(t *testing.T) {
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes}, WithStandby())
+	h := s.Handler()
+	rec := post(t, h, "/ingest", map[string]any{"events": deterministicBatch(0)})
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "not_primary") {
+		t.Fatalf("standby ingest: status %d: %s", rec.Code, rec.Body)
+	}
+	// /score serves on a standby (that is the point of having one), and
+	// /readyz reports the role.
+	if rec := post(t, h, "/score", map[string]any{"pairs": []map[string]any{{"src": 0, "dst": 60}}, "time": 2e7}); rec.Code != http.StatusOK {
+		t.Fatalf("standby score: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := get(t, h, "/readyz"); !strings.Contains(rec.Body.String(), `"role":"standby"`) {
+		t.Fatalf("readyz body missing standby role: %s", rec.Body)
+	}
+	// Promote flips it writable; a second promote is an idempotent no-op.
+	rec = post(t, h, "/admin/promote", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"promoted":true`) {
+		t.Fatalf("promote: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := post(t, h, "/admin/promote", nil); !strings.Contains(rec.Body.String(), `"promoted":false`) {
+		t.Fatalf("second promote not idempotent: %s", rec.Body)
+	}
+	if s.Role() != RolePrimary {
+		t.Fatalf("role after promote = %v", s.Role())
+	}
+	ingestBatch(t, h, 0)
+}
+
+// TestReplicatedApplyMatchesDirectIngest drives the standby hooks the way
+// the cluster receiver does — tail the primary's WAL, AppendRecord+apply on
+// the standby — and requires the promoted standby to be bitwise-identical to
+// a reference that ingested the same batches directly.
+func TestReplicatedApplyMatchesDirectIngest(t *testing.T) {
+	primary, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes})
+	standby, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes}, WithStandby())
+	h := primary.Handler()
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		ingestBatchBid(t, h, i, uint64(i+1))
+	}
+	tl := primary.WAL().TailFrom(0)
+	defer tl.Close()
+	for i := 0; i < batches; i++ {
+		seq, payload, err := tl.Next(time.Second)
+		if err != nil {
+			t.Fatalf("tail record %d: %v", i, err)
+		}
+		if want := standby.ReplicaNextSeq(); seq != want {
+			t.Fatalf("frame seq %d, standby expects %d", seq, want)
+		}
+		if err := standby.ApplyReplicated(seq, payload); err != nil {
+			t.Fatalf("ApplyReplicated %d: %v", seq, err)
+		}
+	}
+	if err := standby.SyncReplica(); err != nil {
+		t.Fatalf("SyncReplica: %v", err)
+	}
+	// The standby's WAL must be a prefix (here: a copy) of the primary's.
+	if err := wal.VerifyPrefix(standby.walCfg.Dir, primary.walCfg.Dir); err != nil {
+		t.Fatalf("VerifyPrefix: %v", err)
+	}
+	if !standby.Promote() {
+		t.Fatal("Promote failed")
+	}
+	if got, want := fingerprint(standby), fingerprint(primary); got != want {
+		t.Fatalf("promoted standby fingerprint %016x, primary %016x", got, want)
+	}
+	// The promoted standby dedups the primary's bids...
+	rec := post(t, standby.Handler(), "/ingest", map[string]any{"events": deterministicBatch(batches - 1), "bid": uint64(batches)})
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"deduped":true`) {
+		t.Fatalf("promoted standby lost bid watermark: %d: %s", rec.Code, rec.Body)
+	}
+	// ...and takes over the write timeline at the primary's next seq.
+	ingestBatchBid(t, standby.Handler(), batches, uint64(batches+1))
+	if got, want := standby.WALAppliedSeq(), primary.WALAppliedSeq()+1; got != want {
+		t.Fatalf("promoted standby seq %d, want %d", got, want)
+	}
+	// Once promoted it refuses replicated frames — split-brain guard.
+	if err := standby.ApplyReplicated(standby.ReplicaNextSeq(), encodeEventBatch(nil, 0)); err == nil {
+		t.Fatal("promoted standby accepted a replicated frame")
+	}
+}
+
+// TestSnapshotInstallCatchUp: a standby too far behind takes a catch-up
+// snapshot, resumes tailing above it, and still converges bitwise.
+func TestSnapshotInstallCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	cfg := WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: 2, SnapshotKeep: 1}
+	primary, _ := walServer(t, cfg)
+	h := primary.Handler()
+	// Enough batches to rotate past the first MinSegmentBytes segment, so
+	// compaction really truncates the early log.
+	const batches = 80
+	for i := 0; i < batches; i++ {
+		ingestBatch(t, h, i)
+	}
+	// The standby connects late: record 1 is gone from the primary's log.
+	tl := primary.WAL().TailFrom(0)
+	if _, _, err := tl.Next(200 * time.Millisecond); !errors.Is(err, wal.ErrSeqGone) {
+		tl.Close()
+		t.Fatalf("tail from 0 after compaction = %v, want ErrSeqGone", err)
+	}
+	tl.Close()
+	standby, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes}, WithStandby())
+	snapSeq, data, err := primary.ReplSnapshot()
+	if err != nil {
+		t.Fatalf("ReplSnapshot: %v", err)
+	}
+	if err := standby.InstallReplicaSnapshot(snapSeq, data); err != nil {
+		t.Fatalf("InstallReplicaSnapshot: %v", err)
+	}
+	if got := standby.ReplicaNextSeq(); got != snapSeq+1 {
+		t.Fatalf("standby next seq %d after snapshot %d", got, snapSeq)
+	}
+	// New primary traffic now frame-ships normally.
+	ingestBatch(t, h, batches)
+	tl = primary.WAL().TailFrom(snapSeq)
+	defer tl.Close()
+	seq, payload, err := tl.Next(time.Second)
+	if err != nil {
+		t.Fatalf("tail after snapshot: %v", err)
+	}
+	if err := standby.ApplyReplicated(seq, payload); err != nil {
+		t.Fatalf("ApplyReplicated: %v", err)
+	}
+	if err := standby.SyncReplica(); err != nil {
+		t.Fatalf("SyncReplica: %v", err)
+	}
+	if got, want := fingerprint(standby), fingerprint(primary); got != want {
+		t.Fatalf("caught-up standby fingerprint %016x, primary %016x", got, want)
+	}
+}
+
+// TestSnapshotTruncateCrashWindow: the retention crash-window satellite. A
+// "crash" between the durable snapshot rename and the segment delete leaves
+// both the snapshot AND the covered segments on disk; recovery must load the
+// snapshot, skip the overlapping records, and reconstruct bitwise.
+func TestSnapshotTruncateCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New()
+	cfg := WALConfig{Dir: dir, SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1, SnapshotKeep: 4}
+	a, _ := walServer(t, cfg, WithInjector(inj))
+	h := a.Handler()
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		ingestBatch(t, h, i)
+	}
+	want := fingerprint(a)
+	segsBefore, _ := wal.ListSegments(dir)
+	// Compact with the truncate "crashing" after the snapshot is durable.
+	inj.ArmErr(faultinject.PointWALTruncate, errors.New("crash between snapshot and delete"), 1)
+	a.CompactWAL()
+	if inj.Fired(faultinject.PointWALTruncate) != 1 {
+		t.Fatal("truncate fault never fired; compaction did not reach retention")
+	}
+	segsAfter, _ := wal.ListSegments(dir)
+	if len(segsAfter) != len(segsBefore) {
+		t.Fatalf("faulted truncate removed segments: %d -> %d", len(segsBefore), len(segsAfter))
+	}
+	// Abandon a (the crash); recover on the same dir: snapshot + full
+	// overlapping log must not double-apply.
+	b, rec := walServer(t, cfg)
+	if rec.SnapshotSeq != batches {
+		t.Fatalf("recovered from snapshot seq %d, want %d", rec.SnapshotSeq, batches)
+	}
+	if rec.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d overlapping records on top of the snapshot", rec.ReplayedRecords)
+	}
+	if got := fingerprint(b); got != want {
+		t.Fatalf("recovered fingerprint %016x, want %016x", got, want)
+	}
+	// And the server still ingests at the right sequence afterwards.
+	ingestBatch(t, b.Handler(), batches)
+	if got := b.WALAppliedSeq(); got != batches+1 {
+		t.Fatalf("post-recovery applied seq %d, want %d", got, batches+1)
+	}
+}
+
+// fakeRepl is a controllable Replicator for the readyz/stats tests.
+type fakeRepl struct {
+	acked     uint64
+	connected bool
+}
+
+func (f *fakeRepl) WaitAcked(seq uint64, timeout time.Duration) error {
+	if f.connected && f.acked >= seq {
+		return nil
+	}
+	return errors.New("not acked")
+}
+func (f *fakeRepl) AckedSeq() uint64 { return f.acked }
+func (f *fakeRepl) Connected() bool  { return f.connected }
+
+func TestReadyzReportsReplicationDegradation(t *testing.T) {
+	s, _ := walServer(t, WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes})
+	fr := &fakeRepl{connected: true}
+	if err := s.SetReplicator(fr, ReplOptions{AckTimeout: 10 * time.Millisecond, LagBound: 2}); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"role":"primary"`) {
+		t.Fatalf("readyz healthy primary: %d: %s", rec.Code, rec.Body)
+	}
+	// Ingest with a standby that never acks: the batch is still acked to
+	// the client (availability), the timeout is counted, and once the lag
+	// bound is exceeded /readyz flips with "standby lagging".
+	for i := 0; i < 4; i++ {
+		ingestBatch(t, h, i)
+	}
+	if v := s.Metrics().Counter("serve_repl_ack_timeouts_total").Value(); v != 4 {
+		t.Fatalf("serve_repl_ack_timeouts_total = %d, want 4", v)
+	}
+	rec := get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "standby lagging") {
+		t.Fatalf("readyz lagging: %d: %s", rec.Code, rec.Body)
+	}
+	// Catch the standby up → ready again. Drop the connection → a reason
+	// that names the disconnect, and stats carries the repl section.
+	fr.acked = s.WALAppliedSeq()
+	if rec := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz caught up: %d: %s", rec.Code, rec.Body)
+	}
+	fr.connected = false
+	rec = get(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "standby disconnected") {
+		t.Fatalf("readyz disconnected: %d: %s", rec.Code, rec.Body)
+	}
+	stats := get(t, h, "/stats")
+	for _, want := range []string{`"role":"primary"`, `"acked_seq"`, `"connected":false`} {
+		if !strings.Contains(stats.Body.String(), want) {
+			t.Fatalf("stats missing %s: %s", want, stats.Body)
+		}
+	}
+}

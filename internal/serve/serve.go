@@ -85,6 +85,14 @@ type Server struct {
 	walBroken    atomic.Bool
 	appliedSeq   uint64
 	sinceCompact int
+
+	// Replication (see repl.go). role is Solo unless WithStandby or
+	// SetReplicator say otherwise; lastBid (guarded by mu) dedups
+	// router-retried batches; repl/replOpts are set once before serving.
+	role     atomic.Int32
+	repl     Replicator
+	replOpts ReplOptions
+	lastBid  uint64
 }
 
 // Option customizes a Server.
@@ -225,6 +233,11 @@ type PairIn struct {
 
 type ingestRequest struct {
 	Events []EventIn `json:"events"`
+	// Bid is the router's monotonic per-shard batch id (0 = direct client,
+	// no dedup). A batch whose bid is ≤ the last applied one was already
+	// ingested — the router re-sends after an ambiguous failure, and the
+	// dedup here is what makes hinted-handoff replay exactly-once.
+	Bid uint64 `json:"bid,omitempty"`
 }
 
 type scoreRequest struct {
@@ -245,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.Handle("GET /debug/pipeline", s.instrument("debug_pipeline", s.handleDebugPipeline))
+	mux.Handle("POST /admin/promote", s.instrument("promote", s.handlePromote))
 	return mux
 }
 
@@ -335,12 +349,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	// A standby never takes writes: a router retrying here after failover
+	// must get a typed refusal, not a divergent second timeline.
+	if Role(s.role.Load()) == RoleStandby {
+		s.mu.Unlock()
+		httpErrorCode(w, http.StatusServiceUnavailable, "not_primary", "standby does not accept writes")
+		return
+	}
+	// Bid dedup comes before validation: a re-sent batch was already
+	// applied, so its events sit at (not after) lastTime and would fail
+	// the time-order check a second time.
+	if req.Bid > 0 && req.Bid <= s.lastBid {
+		n := len(req.Events)
+		s.mu.Unlock()
+		s.metrics.Counter("serve_ingest_deduped_total").Inc()
+		writeJSON(w, map[string]any{"ingested": n, "deduped": true})
+		return
+	}
 	// Validation (the graph package's stream invariants, typed errors)
 	// happens before the WAL sees anything: a malformed batch must never be
 	// logged, or replay would refuse the log.
 	events, err := s.validateEventsIn(req.Events)
 	if err != nil {
+		s.mu.Unlock()
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -350,12 +381,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// read-only with a typed 503 and leave /score alone.
 	if s.wlog != nil {
 		if s.walBroken.Load() {
+			s.mu.Unlock()
 			s.metrics.Counter("serve_wal_unavailable_total").Inc()
 			httpErrorCode(w, http.StatusServiceUnavailable, "wal_unavailable", "event log unavailable; serving read-only")
 			return
 		}
-		seq, werr := s.appendWALLocked(events)
+		seq, werr := s.appendWALLocked(events, req.Bid)
 		if werr != nil {
+			s.mu.Unlock()
 			s.metrics.Counter("serve_wal_unavailable_total").Inc()
 			httpErrorCode(w, http.StatusServiceUnavailable, "wal_unavailable", "event log write failed: %v", werr)
 			return
@@ -368,11 +401,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// the trainer runs, so the online memory matches training semantics.
 		s.applyEventsLocked(events)
 	}
+	if req.Bid > 0 {
+		s.lastBid = req.Bid
+	}
 	s.metrics.Counter("serve_events_ingested_total").Add(int64(len(events)))
 	s.metrics.Histogram("serve_ingest_batch_size", obs.SizeEdges...).Observe(float64(len(events)))
 	s.metrics.Gauge("serve_stream_time").Set(s.lastTime)
 	s.maybeCompactLocked()
 	s.refreshStale()
+	seq, repl, ackTimeout := s.appliedSeq, s.repl, s.replOpts.AckTimeout
+	s.mu.Unlock()
+	// Semi-synchronous replication: hold the ack until the standby has the
+	// batch on disk — this wait is what makes "zero acked-but-lost" hold
+	// across a primary SIGKILL. It runs OUTSIDE the model lock so a slow
+	// standby never blocks /score. On timeout the batch is acked anyway
+	// (availability over strictness); the counter and /readyz's
+	// "standby lagging" reason record the degradation.
+	if repl != nil && s.wlog != nil {
+		if err := repl.WaitAcked(seq, ackTimeout); err != nil {
+			s.metrics.Counter("serve_repl_ack_timeouts_total").Inc()
+		}
+	}
 	writeJSON(w, map[string]any{"ingested": len(events)})
 }
 
@@ -471,6 +520,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"queued":         s.admit.QueueLen(),
 		"breaker":        s.breaker.State().String(),
 		"draining":       s.draining.Load(),
+		// Top-level (not only under "repl") so a restarted router can re-sync
+		// its bid floor against a solo shard too.
+		"last_bid": s.lastBid,
 	}
 	if s.wlog != nil {
 		resp["wal"] = map[string]any{
@@ -478,6 +530,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"next_seq":    s.wlog.NextSeq(),
 			"broken":      s.walBroken.Load(),
 		}
+	}
+	if repl := s.replStatsLocked(); repl != nil {
+		resp["repl"] = repl
 	}
 	// The fingerprint requires a full deep copy of the stream state, so it
 	// hides behind ?full=1 — it exists for recovery verification (the chaos

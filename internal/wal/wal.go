@@ -158,16 +158,18 @@ type Recovery struct {
 type Log struct {
 	opt Options
 
-	mu       sync.Mutex
-	seg      *os.File // active segment
-	segPath  string
-	segSize  int64
-	nextSeq  uint64
-	dirty    bool // unsynced appended data
-	broken   error
-	closed   bool
-	stopTick chan struct{}
-	tickDone chan struct{}
+	mu         sync.Mutex
+	seg        *os.File // active segment
+	segPath    string
+	segSize    int64
+	nextSeq    uint64
+	commit     uint64 // last seq known durable (see CommittedSeq)
+	commitCond *sync.Cond
+	dirty      bool // unsynced appended data
+	broken     error
+	closed     bool
+	stopTick   chan struct{}
+	tickDone   chan struct{}
 }
 
 // segmentName formats the on-disk name for a first sequence number;
@@ -442,6 +444,9 @@ func Open(opt Options) (*Log, *Recovery, error) {
 	if l.nextSeq <= opt.MinSeq {
 		l.nextSeq = opt.MinSeq + 1
 	}
+	// Every record that survived recovery is on disk by definition.
+	l.commit = l.nextSeq - 1
+	l.commitCond = sync.NewCond(&l.mu)
 	if tail != nil {
 		if tail.badReason != "" {
 			rec.TornBytes = tail.totalBytes - tail.goodBytes
@@ -606,6 +611,41 @@ func (l *Log) AppendBatch(payloads [][]byte) (uint64, error) {
 	return l.nextSeq - 1, nil
 }
 
+// AppendRecord appends one record under a caller-assigned sequence number —
+// the replication receiver's entry point, where the primary's numbering must
+// be preserved bitwise. seq must be exactly NextSeq(). Unlike AppendBatch no
+// sync policy runs (rotation still seals the old segment): the receiver
+// batches several frames, calls Sync once, and only then acks, so its
+// committed watermark never runs ahead of its acks.
+func (l *Log) AppendRecord(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return fmt.Errorf("%w: %w", ErrBroken, l.broken)
+	}
+	if seq != l.nextSeq {
+		return fmt.Errorf("wal: AppendRecord seq %d, next is %d", seq, l.nextSeq)
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: %d-byte record exceeds MaxRecordBytes", len(payload))
+	}
+	if err := l.rotateIfNeededLocked(int64(frameHeaderSize + len(payload))); err != nil {
+		return l.breakLocked(err)
+	}
+	buf := frame(nil, seq, payload)
+	if err := l.writeFrameLocked(buf); err != nil {
+		return l.breakLocked(err)
+	}
+	l.nextSeq++
+	l.metric("_appends_total").Inc()
+	l.metric("_records_total").Inc()
+	l.metric("_bytes_total").Add(int64(len(buf)))
+	return nil
+}
+
 // writeFrameLocked writes one framed record to the active segment. An armed
 // PointWALWrite fault performs a deliberate short write first, so the torn
 // frame is really on disk for the recovery path to find.
@@ -641,6 +681,7 @@ func (l *Log) rotateIfNeededLocked(frameLen int64) error {
 		}
 		l.seg = nil
 		l.dirty = false
+		l.setCommitLocked(l.nextSeq - 1)
 	}
 	if err := l.opt.Injector.Err(faultinject.PointWALRotate); err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
@@ -672,6 +713,7 @@ func (l *Log) breakLocked(err error) error {
 	if l.broken == nil {
 		l.broken = err
 		l.opt.Metrics.Gauge(l.opt.MetricsPrefix + "_broken").Set(1)
+		l.commitCond.Broadcast() // waiters must observe the failure, not time out
 	}
 	return err
 }
@@ -695,6 +737,7 @@ func (l *Log) Sync() error {
 func (l *Log) syncLocked() error {
 	if l.seg == nil {
 		l.dirty = false
+		l.setCommitLocked(l.nextSeq - 1)
 		return nil
 	}
 	if err := l.opt.Injector.Err(faultinject.PointWALSync); err != nil {
@@ -706,8 +749,53 @@ func (l *Log) syncLocked() error {
 		return l.breakLocked(fmt.Errorf("wal: sync: %w", err))
 	}
 	l.dirty = false
+	l.setCommitLocked(l.nextSeq - 1)
 	l.metric("_syncs_total").Inc()
 	return nil
+}
+
+// setCommitLocked advances the committed watermark and wakes WaitCommitted
+// callers (and tailers parked on the commit frontier).
+func (l *Log) setCommitLocked(seq uint64) {
+	if seq > l.commit {
+		l.commit = seq
+		l.commitCond.Broadcast()
+	}
+}
+
+// CommittedSeq returns the sequence number of the last record known durable
+// (fsynced, or recovered from disk at Open). Records past this watermark are
+// appended but may still be lost to a crash; replication ships only committed
+// frames so a standby can never hold records its primary forgets.
+func (l *Log) CommittedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.commit
+}
+
+// WaitCommitted blocks until the committed watermark reaches seq, the
+// timeout d elapses, or the log is closed or broken; it reports whether the
+// watermark made it.
+func (l *Log) WaitCommitted(seq uint64, d time.Duration) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.commit >= seq {
+		return true
+	}
+	if d <= 0 || l.closed || l.broken != nil {
+		return false
+	}
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		l.mu.Lock()
+		l.commitCond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer timer.Stop()
+	for l.commit < seq && !l.closed && l.broken == nil && time.Now().Before(deadline) {
+		l.commitCond.Wait()
+	}
+	return l.commit >= seq
 }
 
 // TruncateBefore removes sealed segments every record of which has
@@ -719,6 +807,13 @@ func (l *Log) TruncateBefore(keep uint64) (int, error) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	// An armed PointWALTruncate stands in for a crash after the compaction
+	// snapshot is durable but before retention deletes obsolete segments:
+	// the failure is non-fatal (segments are re-collected next compaction)
+	// and recovery must tolerate the surviving overlap.
+	if err := l.opt.Injector.Err(faultinject.PointWALTruncate); err != nil {
+		return 0, fmt.Errorf("wal: truncate: %w", err)
 	}
 	names, err := ListSegments(l.opt.Dir)
 	if err != nil {
@@ -764,6 +859,7 @@ func (l *Log) Close() error {
 		err = l.syncLocked()
 	}
 	l.closed = true
+	l.commitCond.Broadcast()
 	if l.seg != nil {
 		if cerr := l.seg.Close(); err == nil {
 			err = cerr

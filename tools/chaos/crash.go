@@ -83,13 +83,14 @@ type serveProc struct {
 	out  *bytes.Buffer
 }
 
-func startServe(bin, walDir string, seed int64, port int) (*serveProc, error) {
+func startServe(bin, walDir string, seed int64, port int, extra ...string) (*serveProc, error) {
 	p := &serveProc{base: fmt.Sprintf("http://127.0.0.1:%d", port), out: &bytes.Buffer{}}
-	p.cmd = exec.Command(bin,
+	args := []string{
 		"-dataset", "WIKI", "-events", "400", "-epochs", "1", "-memdim", "8",
 		"-seed", fmt.Sprint(seed), "-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-wal-dir", walDir, "-wal-sync", "batch",
-	)
+	}
+	p.cmd = exec.Command(bin, append(args, extra...)...)
 	p.cmd.Stdout = p.out
 	p.cmd.Stderr = p.out
 	if err := p.cmd.Start(); err != nil {

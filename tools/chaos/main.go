@@ -9,6 +9,7 @@
 //	chaos -scenario flap       # replica flaps, rejoins from checkpoint
 //	chaos -scenario walfault   # injected fsync/disk-full → read-only /score, zero acked-but-lost
 //	chaos -scenario crash      # SIGKILL cascade-serve mid-ingest, recover bitwise from the WAL
+//	chaos -scenario failover   # SIGKILL a replicated primary behind the router; standby promoted, hints drained, zero lost
 //	chaos -scenario all        # everything (the make chaossmoke gate)
 package main
 
@@ -33,11 +34,11 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "overload, flap, walfault, crash, or all")
+	scenario := flag.String("scenario", "all", "overload, flap, walfault, crash, failover, or all")
 	seed := flag.Int64("seed", 7, "random seed for dataset generation")
 	flag.Parse()
 
-	known := map[string]bool{"overload": true, "flap": true, "walfault": true, "crash": true}
+	known := map[string]bool{"overload": true, "flap": true, "walfault": true, "crash": true, "failover": true}
 	if *scenario != "all" && !known[*scenario] {
 		fmt.Fprintf(os.Stderr, "chaos: unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -58,6 +59,7 @@ func main() {
 	runScenario("flap", flapScenario)
 	runScenario("walfault", walFaultScenario)
 	runScenario("crash", crashScenario)
+	runScenario("failover", failoverScenario)
 	if failed {
 		os.Exit(1)
 	}

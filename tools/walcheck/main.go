@@ -6,8 +6,13 @@
 // use -strict over the WAL directory of a cleanly stopped server, where no
 // debris is legitimate.
 //
+// With -prefix-of it additionally verifies a replication pair: the -dir log
+// (a standby's) must be a byte-identical prefix of the -prefix-of log (its
+// primary's), modulo records the primary has compacted away.
+//
 //	walcheck -dir wal/
 //	walcheck -dir wal/ -strict
+//	walcheck -dir standby-wal/ -prefix-of primary-wal/
 //	walcheck -selftest
 package main
 
@@ -25,6 +30,7 @@ func main() {
 	dir := flag.String("dir", "", "WAL directory to lint")
 	quiet := flag.Bool("q", false, "print failures only")
 	strict := flag.Bool("strict", false, "fail on torn tails too (use on cleanly-stopped WALs, where debris means a bug)")
+	prefixOf := flag.String("prefix-of", "", "also verify -dir is a byte-identical prefix of this WAL directory (standby vs its primary)")
 	selftest := flag.Bool("selftest", false, "build a synthetic WAL (including a torn tail and a mid-log corruption) in a temp dir and verify this linter classifies each case correctly")
 	flag.Parse()
 
@@ -55,6 +61,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "walcheck: WARN %s: %s\n", *dir, msg)
+	}
+	if *prefixOf != "" {
+		if err := wal.VerifyPrefix(*dir, *prefixOf); err != nil {
+			fmt.Fprintf(os.Stderr, "walcheck: FAIL %s is not a prefix of %s: %v\n", *dir, *prefixOf, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("walcheck: OK   %s is a prefix of %s\n", *dir, *prefixOf)
+		}
 	}
 	if !*quiet {
 		fmt.Printf("walcheck: OK   %s (%d segments, %d records, seq %d..%d)\n",
@@ -119,6 +134,45 @@ func runSelftest(quiet bool) error {
 	names, err := wal.ListSegments(dir)
 	if err != nil || len(names) < 2 {
 		return fmt.Errorf("selftest needs ≥2 segments, got %v (%v)", names, err)
+	}
+
+	// Prefix verification: an identical copy is a prefix; a log that extends
+	// past its claimed superset is not.
+	copyDir := filepath.Join(dir, "copy")
+	if err := os.Mkdir(copyDir, 0o755); err != nil {
+		return err
+	}
+	shortDir := filepath.Join(dir, "short")
+	if err := os.Mkdir(shortDir, 0o755); err != nil {
+		return err
+	}
+	for i, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(copyDir, name), data, 0o644); err != nil {
+			return err
+		}
+		if i == 0 { // shortDir keeps only the first segment
+			if err := os.WriteFile(filepath.Join(shortDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if err := wal.VerifyPrefix(copyDir, dir); err != nil {
+		return fmt.Errorf("identical copy rejected as prefix: %w", err)
+	}
+	if err := wal.VerifyPrefix(dir, shortDir); err == nil {
+		return fmt.Errorf("log extending past its superset passed the prefix check")
+	} else if !quiet {
+		fmt.Printf("walcheck: selftest prefix check OK (over-long log rejected: %v)\n", err)
+	}
+	if err := os.RemoveAll(copyDir); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(shortDir); err != nil {
+		return err
 	}
 
 	// Torn tail: cut the last segment mid-record. Must lint as torn, not

@@ -29,10 +29,10 @@ FAULT_RE = ^(TestKillAndResume|TestStalenessKillAndResume|TestMailboxConcurrentR
 BENCH_RE = ^(BenchmarkMatMul|BenchmarkGRUStep|BenchmarkTrainingStep|BenchmarkDependencyTableBuild)
 BENCH_PKGS = . ./internal/tensor ./internal/nn
 
-.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke clean
+.PHONY: check build test vet race bench benchdiff benchsmoke benchall faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke tracesmoke clean
 
 # check is the tier-1 gate: everything a PR must keep green.
-check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke
+check: vet build test race benchsmoke benchdiff faultsmoke chaossmoke stalesmoke plansmoke walsmoke replsmoke tracesmoke
 
 build:
 	$(GO) build ./...
@@ -122,6 +122,17 @@ walsmoke:
 # hinted handoff, and the repl/probe/promote fault points.
 replsmoke:
 	$(GO) test -race -count=1 ./internal/cluster/...
+
+# tracesmoke gates the observability plane: one request through a traced
+# 2-shard router must yield a single distributed trace-id visible in the
+# router's and both shards' Chrome traces once merged (trace propagation +
+# clock-offset alignment), and the tracemerge tool's built-in synthetic
+# skew/torn-input check must pass. The obs package's own tests (traceparent
+# codec, SLO burn math, federation parser, flight-dump naming) ride the
+# race pass — ./internal/obs/... is already in RACE_PKGS.
+tracesmoke:
+	$(GO) test -count=1 -run '^TestTraceSmoke$$' ./internal/cluster
+	$(GO) run ./tools/tracemerge -selftest
 
 # benchall runs the full experiment suite (every paper table/figure) once.
 benchall:

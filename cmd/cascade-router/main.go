@@ -54,14 +54,26 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 15*time.Second, "drain deadline for in-flight requests on SIGINT/SIGTERM")
 	logLevel := flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace-event JSON file here (one root span per routed request, traceparent-propagated to the shards; merge with tools/tracemerge)")
 	flag.Parse()
 
 	if len(shards) == 0 {
 		fmt.Fprintln(os.Stderr, "cascade-router: at least one -shard is required")
 		os.Exit(1)
 	}
-	logger := cascade.NewLogger(os.Stderr, *logLevel, *logJSON, "")
 	reg := cascade.NewMetricsRegistry()
+	var tracer *cascade.Tracer
+	if *traceChrome != "" {
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cascade-router: trace-chrome: %v\n", err)
+			os.Exit(1)
+		}
+		chrome := cascade.NewChromeTrace(f)
+		defer chrome.Close()
+		tracer = cascade.NewTracer(cascade.TracerOptions{Chrome: chrome, Registry: reg})
+	}
+	logger := cascade.NewLogger(os.Stderr, *logLevel, *logJSON, tracer.ID())
 	router, err := cluster.NewRouter(cluster.RouterConfig{
 		Shards:         shards,
 		ProbeInterval:  *probeInterval,
@@ -70,6 +82,7 @@ func main() {
 		HintDepth:      *hintDepth,
 		RequestTimeout: *reqTimeout,
 		Metrics:        reg,
+		Tracer:         tracer,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -90,7 +103,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("routing on %s (POST /ingest, POST /score, GET /stats, GET /metrics, GET /healthz, GET /readyz)\n", *addr)
+	fmt.Printf("routing on %s (POST /ingest, POST /score, GET /stats, GET /metrics[?federate=1], GET /healthz, GET /readyz, GET /debug/cluster)\n", *addr)
 	logger.Info("routing", "addr", *addr, "shards", len(shards))
 	if err := serve.RunGraceful(httpSrv, nil, stop, *shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "cascade-router: %v\n", err)

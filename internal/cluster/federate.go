@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/cascade-ml/cascade/internal/obs"
+)
+
+// Metrics federation (DESIGN.md §16). GET /metrics?federate=1 on the router
+// answers one exposition for the whole cluster: every member's /metrics,
+// each sample relabeled with shard="N", role="primary|standby" and
+// member="<url>", merged with the router's own (unlabeled) families. A
+// member that fails to answer is skipped — federation returns partial
+// results, never an error — and counted in router_federate_errors_total, so
+// a scrape of the router keeps working through exactly the failures it
+// exists to observe.
+
+// handleFederate serves the merged exposition.
+func (r *Router) handleFederate(w http.ResponseWriter, req *http.Request) {
+	type target struct {
+		shard int
+		role  string
+		url   string
+	}
+	var targets []target
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		for j, m := range sh.members {
+			role := "standby"
+			if j == sh.primary {
+				role = "primary"
+			}
+			targets = append(targets, target{shard: i, role: role, url: m.url})
+		}
+		sh.mu.Unlock()
+	}
+
+	// Scrape members concurrently: a down member costs one timeout, not one
+	// timeout per member in series.
+	lists := make([][]obs.PromFamily, len(targets))
+	var wg sync.WaitGroup
+	for ti, t := range targets {
+		wg.Add(1)
+		go func(ti int, t target) {
+			defer wg.Done()
+			fams, err := r.scrapeMember(req.Context(), t.url)
+			if err != nil {
+				r.m.Counter("router_federate_errors_total").Inc()
+				return
+			}
+			obs.RelabelFamilies(fams, []obs.PromLabel{
+				{Name: "shard", Value: strconv.Itoa(t.shard)},
+				{Name: "role", Value: t.role},
+				{Name: "member", Value: t.url},
+			})
+			lists[ti] = fams
+		}(ti, t)
+	}
+	wg.Wait()
+
+	// The router's own families go last and unlabeled — rendered after the
+	// scrape so router_federate_errors_total reflects this very request.
+	var own bytes.Buffer
+	_ = r.m.WritePrometheus(&own)
+	ownFams, _ := obs.ParsePromText(&own)
+	lists = append(lists, ownFams)
+
+	var present [][]obs.PromFamily
+	for _, l := range lists {
+		if l != nil {
+			present = append(present, l)
+		}
+	}
+	merged := obs.MergeFamilies(present...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteFamilies(w, merged)
+}
+
+// scrapeMember fetches and parses one member's /metrics.
+func (r *Router) scrapeMember(ctx context.Context, base string) ([]obs.PromFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, &scrapeStatusError{status: resp.StatusCode}
+	}
+	return obs.ParsePromText(io.LimitReader(resp.Body, 8<<20))
+}
+
+type scrapeStatusError struct{ status int }
+
+func (e *scrapeStatusError) Error() string {
+	return "scrape returned status " + strconv.Itoa(e.status)
+}

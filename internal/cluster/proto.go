@@ -20,13 +20,24 @@ import (
 //
 //	'F' u32 len | frame        one committed CASCWAL1 frame, verbatim bytes
 //	'S' u64 seq | u32 len | …  catch-up snapshot (CASCSNAP payload) at seq
-//	'P'                        ping: keepalive + ack solicitation
+//	'P' u64 seq | i64 nano     ping: keepalive + ack solicitation + lag stamp
 //	'A' u64 seq                standby → sender: cumulative durable ack
 //
 // Frames are the log's own encoding (seq + CRC32C inside), so the standby
 // appends the primary's bytes verbatim and both logs stay byte-comparable
 // (tools/walcheck -prefix-of). Acks are cumulative: 'A' seq means every
 // record ≤ seq is applied AND fsynced on the standby.
+//
+// The ping payload is the replication time-lag stamp (DESIGN.md §16): seq is
+// the primary's committed sequence at send time and nano its wall clock
+// (UnixNano). The standby, once it has applied through seq, exports
+// now−nano as serve_repl_apply_lag_seconds; the sender keeps a ring of its
+// own stamps and, when an ack covers a stamped seq, exports now−nano as
+// serve_repl_ack_lag_seconds. Pings ride the existing flush points (after
+// each drained batch and on idle), so the stamps cost no extra round trips.
+// Both gauges include the sender→standby clock skew; on one host (the only
+// deployment today) that is nil, and cross-host it is the same skew every
+// distributed-lag monitor carries.
 
 var replMagic = [8]byte{'C', 'A', 'S', 'C', 'R', 'E', 'P', '1'}
 
@@ -120,8 +131,24 @@ func writeSnapshotMsg(w *bufio.Writer, seq uint64, data []byte) error {
 	return err
 }
 
-func writePingMsg(w *bufio.Writer) error {
-	return w.WriteByte(msgPing)
+// writePingMsg sends a keepalive carrying the lag stamp: the sender's
+// committed sequence and wall clock at send time.
+func writePingMsg(w *bufio.Writer, seq uint64, nano int64) error {
+	var buf [17]byte
+	buf[0] = msgPing
+	binary.LittleEndian.PutUint64(buf[1:9], seq)
+	binary.LittleEndian.PutUint64(buf[9:17], uint64(nano))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readPingPayload reads the stamp that follows a msgPing type byte.
+func readPingPayload(r io.Reader) (seq uint64, nano int64, err error) {
+	var buf [16]byte
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[0:8]), int64(binary.LittleEndian.Uint64(buf[8:16])), nil
 }
 
 func writeAckMsg(w *bufio.Writer, seq uint64) error {

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/cascade-ml/cascade/internal/obs"
 	"github.com/cascade-ml/cascade/internal/resilience/faultinject"
@@ -149,6 +150,24 @@ func (r *Receiver) session(conn net.Conn) error {
 	}
 
 	pending := 0 // frames applied since the last sync+ack
+	// pendingStamp holds the newest lag stamp (proto.go) whose sequence the
+	// standby has not applied yet; once applied it becomes the
+	// serve_repl_apply_lag_seconds gauge.
+	var pendingStamp replStamp
+	observeApplyLag := func() {
+		if pendingStamp.at.IsZero() {
+			return
+		}
+		if r.cfg.State.ReplicaNextSeq()-1 < pendingStamp.seq {
+			return
+		}
+		lag := time.Since(pendingStamp.at).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
+		r.cfg.Metrics.Gauge("serve_repl_apply_lag_seconds").Set(lag)
+		pendingStamp = replStamp{}
+	}
 	// ack syncs what has been applied and acknowledges it. The repl/ack
 	// fault point swallows the ack (keeping the data — the primary's resend
 	// after reconnect must dedup by seq, which AppendRecord's strict
@@ -205,6 +224,7 @@ func (r *Receiver) session(conn net.Conn) error {
 			}
 			r.cfg.Metrics.Counter("serve_repl_frames_received_total").Inc()
 			pending++
+			observeApplyLag()
 			// Ack when the pipe drains (the primary is waiting) or the
 			// un-synced batch is getting long.
 			if br.Buffered() == 0 || pending >= r.cfg.AckEvery {
@@ -234,10 +254,20 @@ func (r *Receiver) session(conn net.Conn) error {
 			}
 			r.cfg.Metrics.Counter("serve_repl_snapshots_received_total").Inc()
 			pending = 0 // install is durable on its own
+			observeApplyLag()
 			if err := ack(); err != nil {
 				return err
 			}
 		case msgPing:
+			seq, nano, err := readPingPayload(br)
+			if err != nil {
+				return err
+			}
+			// Keep the newest stamp; if its sequence is already applied the
+			// lag gauge updates immediately (idle stream), otherwise it waits
+			// for the frame that covers it.
+			pendingStamp = replStamp{seq: seq, at: time.Unix(0, nano)}
+			observeApplyLag()
 			if err := ack(); err != nil {
 				return err
 			}

@@ -298,3 +298,55 @@ func TestReplicationFaultPoints(t *testing.T) {
 		t.Fatalf("state diverged across fault recovery: primary %s standby %s", pf, sf)
 	}
 }
+
+func TestReplicationTimeLagGauges(t *testing.T) {
+	// The primary stamps a wall-clock commit time onto every shipped
+	// watermark (the 'P' ping frame); the standby turns it into
+	// serve_repl_apply_lag_seconds, the primary's ack path into
+	// serve_repl_ack_lag_seconds. Both must be live after a few batches,
+	// alongside the serve_repl_lag_records backlog gauge.
+	p := newReplPair(t,
+		serve.WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.WALConfig{Dir: t.TempDir(), SegmentBytes: wal.MinSegmentBytes, CompactEvery: -1},
+		serve.ReplOptions{AckTimeout: 10 * time.Second},
+	)
+	ph := p.primary.Handler()
+	for i := 0; i < 4; i++ {
+		if rec := replPost(t, ph, "/ingest", map[string]any{"events": replBatch(i)}); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+
+	// The stamped ping rides the flush after the frames; give the pipeline a
+	// beat to complete the stamp→apply→ack round trip on both registries.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		applySet := p.recvReg.Gauge("serve_repl_apply_lag_seconds").Value() > 0
+		ackSet := p.sendReg.Gauge("serve_repl_ack_lag_seconds").Value() > 0
+		if applySet && ackSet {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag gauges never set: apply=%v ack=%v",
+				p.recvReg.Gauge("serve_repl_apply_lag_seconds").Value(),
+				p.sendReg.Gauge("serve_repl_ack_lag_seconds").Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Sanity bounds: a loopback round trip is well under a minute; a stamp
+	// from the future would read as (clamped) zero.
+	if lag := p.recvReg.Gauge("serve_repl_apply_lag_seconds").Value(); lag > 60 {
+		t.Fatalf("apply lag %v s is implausible on loopback", lag)
+	}
+	if lag := p.sendReg.Gauge("serve_repl_ack_lag_seconds").Value(); lag > 60 {
+		t.Fatalf("ack lag %v s is implausible on loopback", lag)
+	}
+	// Caught up: the record backlog gauge reads 0.
+	if backlog := p.sendReg.Gauge("serve_repl_lag_records").Value(); backlog != 0 {
+		t.Fatalf("serve_repl_lag_records = %v after full ack", backlog)
+	}
+	if got := p.sender.LagRecords(); got != 0 {
+		t.Fatalf("LagRecords() = %d after full ack", got)
+	}
+}

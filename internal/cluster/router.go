@@ -50,6 +50,13 @@ type RouterConfig struct {
 	Client *http.Client
 	// Metrics receives router_* series (nil-safe).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, starts a distributed root span per /ingest and
+	// /score request and propagates its traceparent to every shard touched
+	// (see obs/ctx.go). Nil disables tracing but not routing.
+	Tracer *obs.Tracer
+	// SLO overrides the router's error-budget tracker (default objectives
+	// when nil; the slo_* gauges are always exported).
+	SLO *obs.SLO
 	// Injector arms probe/timeout and promote fault points (nil disables).
 	Injector *faultinject.Injector
 	// Logger receives failover and hint lifecycle events (nil for silent).
@@ -64,11 +71,16 @@ type hint struct {
 	events []serve.EventIn
 }
 
-// member is one process in a shard.
+// member is one process in a shard. The last* fields cache what the most
+// recent /readyz probe reported, so /debug/cluster and the router's own
+// /readyz can surface per-member health without extra round trips.
 type member struct {
-	url    string
-	alive  bool
-	misses int
+	url         string
+	alive       bool
+	misses      int
+	lastReady   bool
+	lastReasons []string
+	replLag     uint64 // repl_lag_records from the member's last /readyz
 }
 
 // shard is the router's state for one primary/standby pair. Writes and
@@ -106,6 +118,8 @@ type Router struct {
 	client *http.Client
 	shards []*shard
 	m      *obs.Registry
+	tracer *obs.Tracer
+	slo    *obs.SLO
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -135,7 +149,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if client == nil {
 		client = &http.Client{Timeout: cfg.RequestTimeout}
 	}
-	r := &Router{cfg: cfg, client: client, m: cfg.Metrics, stop: make(chan struct{})}
+	r := &Router{cfg: cfg, client: client, m: cfg.Metrics, tracer: cfg.Tracer, slo: cfg.SLO, stop: make(chan struct{})}
+	if r.slo == nil {
+		r.slo = obs.NewSLO(obs.SLOConfig{})
+	}
+	r.slo.Register(r.m)
 	for i, spec := range cfg.Shards {
 		if spec.Primary == "" {
 			return nil, fmt.Errorf("cluster: shard %d has no primary", i)
@@ -174,16 +192,75 @@ func (r *Router) shardLabel(id int) map[string]string {
 
 // Handler returns the router's HTTP mux. The data-plane routes mirror the
 // shard servers' (/ingest, /score) so clients can point at either a solo
-// server or a router unchanged.
+// server or a router unchanged; they run behind the tracing/SLO middleware.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /ingest", http.HandlerFunc(r.handleIngest))
-	mux.Handle("POST /score", http.HandlerFunc(r.handleScore))
+	mux.Handle("POST /ingest", r.instrument("ingest", r.handleIngest))
+	mux.Handle("POST /score", r.instrument("score", r.handleScore))
 	mux.Handle("GET /stats", http.HandlerFunc(r.handleStats))
 	mux.Handle("GET /healthz", http.HandlerFunc(r.handleHealthz))
 	mux.Handle("GET /readyz", http.HandlerFunc(r.handleReadyz))
 	mux.Handle("GET /metrics", http.HandlerFunc(r.handleMetrics))
+	mux.Handle("GET /debug/cluster", http.HandlerFunc(r.handleDebugCluster))
 	return mux
+}
+
+// rstatusWriter remembers the response code for the middleware.
+type rstatusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *rstatusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// spanCtxKey carries the request's distributed-trace context through
+// context.Context to the shard-proxying helpers.
+type spanCtxKey struct{}
+
+// spanCtxFrom recovers the trace context instrument stored (zero when the
+// request was not instrumented, e.g. in direct handler tests).
+func spanCtxFrom(ctx context.Context) obs.SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(obs.SpanContext)
+	return sc
+}
+
+// instrument wraps a data-plane route with the cluster trace root span and
+// the SLO tracker. The span continues an inbound traceparent when the
+// client sent one, mints a fresh trace-id otherwise, and its context rides
+// the request context so postIngest/scoreShard can inject it shard-ward.
+func (r *Router) instrument(route string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		parent, _ := obs.Extract(req.Header)
+		sp := r.tracer.StartRemote("router_"+route, obs.PhaseOther, parent)
+		sw := &rstatusWriter{ResponseWriter: w, status: http.StatusOK}
+		req = req.WithContext(context.WithValue(req.Context(), spanCtxKey{}, sp.SpanContext()))
+		next(sw, req)
+		elapsed := time.Since(start)
+		sp.SetStr("route", route)
+		sp.SetInt("status", int64(sw.status))
+		sp.End()
+		r.m.Histogram("router_"+route+"_seconds", obs.LatencyEdges...).Observe(elapsed.Seconds())
+		// Same SLI convention as the shards: only 5xx spends error budget.
+		r.slo.Observe(sw.status < 500, elapsed)
+		if r.cfg.Logger != nil {
+			lvl := slog.LevelDebug
+			if sw.status >= 400 {
+				lvl = slog.LevelWarn
+			}
+			args := []any{
+				"route", route, "status", sw.status,
+				"duration_ms", float64(elapsed.Nanoseconds()) / 1e6,
+			}
+			if tid := sp.TraceID(); tid != "" {
+				args = append(args, "trace_id", tid)
+			}
+			r.cfg.Logger.Log(req.Context(), lvl, "request", args...)
+		}
+	})
 }
 
 func rwriteJSON(w http.ResponseWriter, status int, v any) {
@@ -225,11 +302,12 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		parts[s] = append(parts[s], ev)
 	}
 	direct, hinted := 0, 0
+	sc := spanCtxFrom(req.Context())
 	for si, events := range parts {
 		if len(events) == 0 {
 			continue
 		}
-		n, h, herr := r.ingestShard(r.shards[si], events)
+		n, h, herr := r.ingestShard(r.shards[si], events, sc)
 		if herr != nil {
 			// A definitive shard-side rejection (4xx): forward it. Earlier
 			// shards may already have applied their slices — ingest is
@@ -257,7 +335,7 @@ type shardError struct {
 // ingestShard routes one shard's slice of a batch: hint when the shard has
 // no writable member (or older hints are still queued — order!), otherwise
 // send with a fresh bid and hint on ambiguous failure.
-func (r *Router) ingestShard(sh *shard, events []serve.EventIn) (direct, hinted int, herr *shardError) {
+func (r *Router) ingestShard(sh *shard, events []serve.EventIn, sc obs.SpanContext) (direct, hinted int, herr *shardError) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	prim := sh.members[sh.primary]
@@ -268,7 +346,7 @@ func (r *Router) ingestShard(sh *shard, events []serve.EventIn) (direct, hinted 
 	}
 	sh.nextBid++
 	bid := sh.nextBid
-	status, body, err := r.postIngest(prim.url, events, bid)
+	status, body, err := r.postIngest(prim.url, events, bid, sc)
 	switch {
 	case err == nil && status < 300:
 		return len(events), 0, nil
@@ -310,10 +388,17 @@ func (r *Router) enqueueHintLocked(sh *shard, v any) *shardError {
 	return nil
 }
 
-// postIngest sends one batch to one member.
-func (r *Router) postIngest(base string, events []serve.EventIn, bid uint64) (int, map[string]any, error) {
+// postIngest sends one batch to one member, propagating the request's trace
+// context (a zero sc — hint flushes, direct tests — injects nothing).
+func (r *Router) postIngest(base string, events []serve.EventIn, bid uint64, sc obs.SpanContext) (int, map[string]any, error) {
 	payload, _ := json.Marshal(map[string]any{"events": events, "bid": bid})
-	resp, err := r.client.Post(base+"/ingest", "application/json", bytes.NewReader(payload))
+	hr, err := http.NewRequest(http.MethodPost, base+"/ingest", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	sc.Inject(hr.Header)
+	resp, err := r.client.Do(hr)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -335,7 +420,7 @@ func (r *Router) flushHints(sh *shard) {
 			break
 		}
 		h := sh.hints[0]
-		status, _, err := r.postIngest(prim.url, h.events, h.bid)
+		status, _, err := r.postIngest(prim.url, h.events, h.bid, obs.SpanContext{})
 		switch {
 		case err == nil && status < 300:
 			sh.hints = sh.hints[1:]
@@ -430,6 +515,7 @@ func (r *Router) scoreShard(ctx context.Context, sh *shard, pairs []serve.PairIn
 			continue
 		}
 		hr.Header.Set("Content-Type", "application/json")
+		spanCtxFrom(ctx).Inject(hr.Header)
 		resp, err := r.client.Do(hr)
 		if err != nil {
 			if order[i] == prim {
@@ -505,9 +591,13 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 
 // handleReadyz mirrors the shard servers' structured contract: 200 with
 // {"ready":true} when every shard has a live member, 503 with reasons
-// otherwise.
+// otherwise. Replication degradation reported by a shard primary (standby
+// disconnected/lagging, with the record lag) is appended as advisory
+// reasons: they name an exposure window but do not flip the status — the
+// shard is still serving.
 func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
 	reasons := []string{}
+	advisory := []string{}
 	for i, sh := range r.shards {
 		sh.mu.Lock()
 		any := false
@@ -515,6 +605,16 @@ func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
 			any = any || m.alive
 		}
 		hints := len(sh.hints)
+		prim := sh.members[sh.primary]
+		for _, reason := range prim.lastReasons {
+			switch {
+			case strings.Contains(reason, "standby lagging"):
+				advisory = append(advisory, fmt.Sprintf(
+					"shard %d primary: standby lagging (%d records behind)", i, prim.replLag))
+			case strings.Contains(reason, "standby disconnected"):
+				advisory = append(advisory, fmt.Sprintf("shard %d primary: standby disconnected", i))
+			}
+		}
 		sh.mu.Unlock()
 		if !any {
 			reasons = append(reasons, fmt.Sprintf("shard %d has no live member", i))
@@ -527,10 +627,54 @@ func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
 	if len(reasons) > 0 {
 		status = http.StatusServiceUnavailable
 	}
-	rwriteJSON(w, status, map[string]any{"ready": len(reasons) == 0, "reasons": reasons})
+	ready := len(reasons) == 0
+	reasons = append(reasons, advisory...)
+	rwriteJSON(w, status, map[string]any{"ready": ready, "reasons": reasons})
 }
 
+// handleDebugCluster is the one-stop human-readable cluster summary: every
+// member's role, liveness, readiness reasons and replication lag, plus each
+// shard's hint depth and bid watermark.
+func (r *Router) handleDebugCluster(w http.ResponseWriter, req *http.Request) {
+	shards := make([]map[string]any, len(r.shards))
+	for i, sh := range r.shards {
+		sh.mu.Lock()
+		members := make([]map[string]any, len(sh.members))
+		for j, m := range sh.members {
+			role := "standby"
+			if j == sh.primary {
+				role = "primary"
+			}
+			reasons := m.lastReasons
+			if reasons == nil {
+				reasons = []string{}
+			}
+			members[j] = map[string]any{
+				"url": m.url, "role": role, "alive": m.alive, "misses": m.misses,
+				"ready": m.lastReady, "reasons": reasons,
+				"repl_lag_records": m.replLag,
+			}
+		}
+		shards[i] = map[string]any{
+			"id": sh.id, "members": members, "primary": sh.primary,
+			"hints": len(sh.hints), "next_bid": sh.nextBid,
+			"breaker": sh.breaker.State().String(),
+		}
+		sh.mu.Unlock()
+	}
+	rwriteJSON(w, http.StatusOK, map[string]any{
+		"shards":    shards,
+		"failovers": r.m.Counter("router_failovers_total").Value(),
+	})
+}
+
+// handleMetrics serves the router's own registry; with ?federate=1 it also
+// scrapes every cluster member and merges the expositions (federate.go).
 func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("federate") == "1" {
+		r.handleFederate(w, req)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = r.m.WritePrometheus(w)
 }
@@ -554,47 +698,58 @@ func (r *Router) probeLoop() {
 	}
 }
 
+// probeResult is what one /readyz round-trip learned about a member.
+type probeResult struct {
+	up        bool
+	walBroken bool
+	ready     bool
+	reasons   []string
+	replLag   uint64
+	rtt       time.Duration
+}
+
 // probeMember is one /readyz round-trip. Any HTTP response means the process
 // is up (a 503 is a server saying "degraded", not a corpse); only transport
 // errors are misses. walBroken is surfaced separately: a primary whose log
 // broke cannot take writes, which is failover-worthy even though it answers.
-func (r *Router) probeMember(m *member) (up bool, walBroken bool) {
+// The full ReadyStatus (reasons, repl lag) is cached on the member for
+// /debug/cluster and the router's own /readyz.
+func (r *Router) probeMember(m *member) probeResult {
 	if err := r.cfg.Injector.Err(faultinject.PointProbeTimeout); err != nil {
-		return false, false
+		return probeResult{}
 	}
+	start := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeTimeout)
 	defer cancel()
 	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/readyz", nil)
 	if err != nil {
-		return false, false
+		return probeResult{}
 	}
 	resp, err := r.client.Do(hr)
 	if err != nil {
-		return false, false
+		return probeResult{}
 	}
 	defer resp.Body.Close()
-	var st struct {
-		Reasons []string `json:"reasons"`
-	}
+	var st serve.ReadyStatus
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st)
+	res := probeResult{
+		up: true, ready: st.Ready, reasons: st.Reasons,
+		replLag: st.ReplLagRecords, rtt: time.Since(start),
+	}
 	for _, reason := range st.Reasons {
 		if strings.Contains(reason, "wal broken") {
-			walBroken = true
+			res.walBroken = true
 		}
 	}
-	return true, walBroken
+	return res
 }
 
 func (r *Router) probeShard(sh *shard) {
-	type result struct {
-		up, walBroken bool
-	}
 	// Probe outside the lock — a probe is a network round-trip and the lock
 	// gates the ingest path.
-	results := make([]result, len(sh.members))
+	results := make([]probeResult, len(sh.members))
 	for i, m := range sh.members {
-		up, wb := r.probeMember(m)
-		results[i] = result{up, wb}
+		results[i] = r.probeMember(m)
 	}
 
 	sh.mu.Lock()
@@ -605,11 +760,20 @@ func (r *Router) probeShard(sh *shard) {
 			m.alive = true
 			m.misses = 0
 			aliveCount++
+			m.lastReady = results[i].ready
+			m.lastReasons = results[i].reasons
+			m.replLag = results[i].replLag
+			r.m.GaugeWith("router_probe_rtt_seconds",
+				map[string]string{"shard": strconv.Itoa(sh.id), "member": m.url}).
+				Set(results[i].rtt.Seconds())
 		} else {
 			m.misses++
 			r.m.Counter("router_probe_misses_total").Inc()
 			if m.misses >= r.cfg.ProbeMisses {
 				m.alive = false
+				m.lastReady = false
+				m.lastReasons = nil
+				m.replLag = 0
 			}
 		}
 	}

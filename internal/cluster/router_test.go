@@ -61,6 +61,16 @@ func (s *stubShard) serveOn(ln net.Listener) {
 		defer s.mu.Unlock()
 		rwriteJSON(w, http.StatusOK, map[string]any{"last_bid": s.lastBid})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# HELP stub_last_bid The member's last applied batch id.\n")
+		fmt.Fprintf(w, "# TYPE stub_last_bid gauge\n")
+		// The shard label collides with the federation label on purpose —
+		// the federation test asserts it is renamed exported_shard.
+		fmt.Fprintf(w, "stub_last_bid{shard=\"local\"} %d\n", s.lastBid)
+	})
 	mux.HandleFunc("POST /admin/promote", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		defer s.mu.Unlock()

@@ -50,9 +50,21 @@ type Sender struct {
 	acked     uint64
 	connected bool
 	stopped   bool
+	stamps    []replStamp
 	stop      chan struct{}
 	wg        sync.WaitGroup
 }
+
+// replStamp pairs a shipped committed sequence with the wall clock at ship
+// time — the sender half of the time-lag measurement (proto.go).
+type replStamp struct {
+	seq uint64
+	at  time.Time
+}
+
+// maxStamps bounds the unacked-stamp ring; one stamp rides each flush, so
+// even a deeply lagged standby needs only a handful in flight.
+const maxStamps = 128
 
 // NewSender starts the replication stream. Call Stop to tear it down.
 func NewSender(cfg SenderConfig) (*Sender, error) {
@@ -142,20 +154,66 @@ func (s *Sender) setConnected(up bool) {
 	s.cfg.Metrics.Gauge("serve_repl_connected").Set(v)
 }
 
+// recordStamp remembers that committed seq was on the wire at time at; the
+// matching ack turns it into serve_repl_ack_lag_seconds.
+func (s *Sender) recordStamp(seq uint64, at time.Time) {
+	s.mu.Lock()
+	if len(s.stamps) >= maxStamps {
+		copy(s.stamps, s.stamps[1:])
+		s.stamps = s.stamps[:len(s.stamps)-1]
+	}
+	s.stamps = append(s.stamps, replStamp{seq: seq, at: at})
+	s.mu.Unlock()
+}
+
 func (s *Sender) observeAck(seq uint64) {
+	now := time.Now()
 	s.mu.Lock()
 	if seq > s.acked {
 		s.acked = seq
 		s.ackCond.Broadcast()
 	}
 	acked := s.acked
+	// Consume every stamp the ack covers; the newest covered stamp is the
+	// tightest bound on "how long does the standby take to durably hold
+	// what the primary shipped".
+	var newest time.Time
+	keep := s.stamps[:0]
+	for _, st := range s.stamps {
+		if st.seq <= acked {
+			if st.at.After(newest) {
+				newest = st.at
+			}
+			continue
+		}
+		keep = append(keep, st)
+	}
+	s.stamps = keep
 	s.mu.Unlock()
 	s.cfg.Metrics.Gauge("serve_repl_acked_seq").Set(float64(acked))
 	if committed := s.cfg.Log.CommittedSeq(); committed > acked {
-		s.cfg.Metrics.Gauge("serve_repl_lag").Set(float64(committed - acked))
+		s.cfg.Metrics.Gauge("serve_repl_lag_records").Set(float64(committed - acked))
 	} else {
-		s.cfg.Metrics.Gauge("serve_repl_lag").Set(0)
+		s.cfg.Metrics.Gauge("serve_repl_lag_records").Set(0)
 	}
+	if !newest.IsZero() {
+		lag := now.Sub(newest).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
+		s.cfg.Metrics.Gauge("serve_repl_ack_lag_seconds").Set(lag)
+	}
+}
+
+// LagRecords reports how many committed records the standby has yet to ack.
+func (s *Sender) LagRecords() uint64 {
+	s.mu.Lock()
+	acked := s.acked
+	s.mu.Unlock()
+	if committed := s.cfg.Log.CommittedSeq(); committed > acked {
+		return committed - acked
+	}
+	return 0
 }
 
 func (s *Sender) closing() bool {
@@ -268,8 +326,14 @@ func (s *Sender) session() error {
 			s.cfg.Metrics.Counter("serve_repl_frames_sent_total").Inc()
 			s.cfg.Metrics.Counter("serve_repl_bytes_sent_total").Add(int64(len(frame)))
 			// Flush when the log has nothing more ready: batches under load,
-			// ships immediately when idle.
+			// ships immediately when idle. A stamped ping rides every flush
+			// so the time-lag gauges track under load, not just when idle.
 			if s.cfg.Log.CommittedSeq() <= seq {
+				now := time.Now()
+				s.recordStamp(seq, now)
+				if err := writePingMsg(w, seq, now.UnixNano()); err != nil {
+					return err
+				}
 				if err := w.Flush(); err != nil {
 					return err
 				}
@@ -279,8 +343,12 @@ func (s *Sender) session() error {
 				return err
 			}
 			// Quiet stream: ping so the standby keeps acking (and we keep
-			// proving the connection is alive).
-			if err := writePingMsg(w); err != nil {
+			// proving the connection is alive), stamped with the committed
+			// watermark so both lag gauges stay fresh while idle.
+			now := time.Now()
+			committed := s.cfg.Log.CommittedSeq()
+			s.recordStamp(committed, now)
+			if err := writePingMsg(w, committed, now.UnixNano()); err != nil {
 				return err
 			}
 			if err := w.Flush(); err != nil {
@@ -315,6 +383,7 @@ func (s *Sender) sendSnapshot(w *bufio.Writer) (uint64, error) {
 	if err := w.Flush(); err != nil {
 		return 0, err
 	}
+	s.recordStamp(seq, time.Now())
 	s.cfg.Metrics.Counter("serve_repl_snapshots_sent_total").Inc()
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Info("replication snapshot sent", "seq", seq, "bytes", len(data))

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Cross-process trace context (DESIGN.md §16). A SpanContext names one span's
+// position in a distributed trace: a 16-byte trace-id shared by every span
+// the same request touches (router plus every shard), and an 8-byte span-id
+// naming the specific span. The wire form is the W3C traceparent header,
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex span-id>-01
+//
+// so cascade traces interoperate with any proxy or client that already
+// propagates traceparent. The router mints a fresh context per /ingest and
+// /score request (continuing the client's, if the client sent one), injects
+// it into each proxied shard request, and the shard's serve handlers extract
+// it — one request, one trace-id, visible in slog lines, span attributes,
+// flight dumps and Chrome traces on every process it touched.
+
+// TraceparentHeader is the propagation header name (W3C trace-context).
+const TraceparentHeader = "Traceparent"
+
+// SpanContext is one span's identity within a distributed trace. The zero
+// value is "no context" (Valid reports false) and injects nothing.
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// Valid reports whether the context carries a real trace (both ids non-zero).
+func (c SpanContext) Valid() bool {
+	return c.TraceID != [16]byte{} && c.SpanID != [8]byte{}
+}
+
+// TraceIDString renders the trace-id as 32 lowercase hex digits ("" when
+// invalid) — the correlation key used in slog lines and Chrome trace args.
+func (c SpanContext) TraceIDString() string {
+	if !c.Valid() {
+		return ""
+	}
+	return hex.EncodeToString(c.TraceID[:])
+}
+
+// SpanIDString renders the span-id as 16 lowercase hex digits ("" when
+// invalid).
+func (c SpanContext) SpanIDString() string {
+	if !c.Valid() {
+		return ""
+	}
+	return hex.EncodeToString(c.SpanID[:])
+}
+
+// Traceparent renders the full header value ("" when invalid).
+func (c SpanContext) Traceparent() string {
+	if !c.Valid() {
+		return ""
+	}
+	return "00-" + hex.EncodeToString(c.TraceID[:]) + "-" + hex.EncodeToString(c.SpanID[:]) + "-01"
+}
+
+// ParseTraceparent decodes a traceparent header value. Unknown versions are
+// accepted as long as the field shape matches (per the W3C spec, a receiver
+// must not reject a higher version whose prefix parses); malformed values and
+// all-zero ids report ok=false.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2), possibly with
+	// future fields appended after another '-'.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	if s[0] == 'f' && s[1] == 'f' { // version 0xff is forbidden
+		return SpanContext{}, false
+	}
+	var c SpanContext
+	if _, err := hex.Decode(c.TraceID[:], []byte(s[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(c.SpanID[:], []byte(s[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(s[53:55]); err != nil {
+		return SpanContext{}, false
+	}
+	if !c.Valid() {
+		return SpanContext{}, false
+	}
+	return c, true
+}
+
+// Inject writes the context into an outgoing request's headers. A zero
+// context injects nothing, so callers never need to branch.
+func (c SpanContext) Inject(h http.Header) {
+	if !c.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, c.Traceparent())
+}
+
+// Extract reads a propagated context from incoming request headers.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(v)
+}
+
+// NewSpanContext mints a fresh context: random trace-id, random span-id.
+func NewSpanContext() SpanContext {
+	var c SpanContext
+	// crypto/rand never fails on the supported platforms; on the impossible
+	// error path the ids stay zero and the context is simply invalid (the
+	// request runs untraced rather than crashing).
+	_, _ = rand.Read(c.TraceID[:])
+	_, _ = rand.Read(c.SpanID[:])
+	return c
+}
+
+// StartRemote opens a root span that participates in a distributed trace.
+// When parent is valid the new span continues the remote trace: same
+// trace-id, parent's span-id recorded as the remote_parent attribute. When
+// parent is the zero context a fresh trace-id is minted — that is how the
+// router starts the trace for a request whose client sent no traceparent.
+// Either way the span carries its own SpanContext (see Span.SpanContext),
+// which Inject forwards to the next hop, and the trace-id lands in the
+// span's attributes so every sink — Chrome args, flight dumps, Attr() —
+// sees the correlation key. Nil-safe like Start.
+func (t *Tracer) StartRemote(name string, phase Phase, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	s := t.Start(name, phase)
+	sc := NewSpanContext()
+	if parent.Valid() {
+		sc.TraceID = parent.TraceID
+		s.SetStr("remote_parent", parent.SpanIDString())
+	}
+	s.sctx = sc
+	s.SetStr("trace_id", sc.TraceIDString())
+	return s
+}
+
+// SpanContext returns the span's distributed-trace identity — the value to
+// Inject into downstream requests. Only spans opened via StartRemote have
+// one; plain Start spans (and nil spans) return the zero context. The field
+// is written once at creation, before the span escapes its goroutine, so
+// reading it is race-free.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sctx
+}
+
+// TraceID returns the span's distributed trace-id in hex ("" for spans
+// outside any distributed trace). Nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sctx.TraceIDString()
+}

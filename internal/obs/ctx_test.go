@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-aabbccddeeff00112233445566778899-0102030405060708-01"
+	sc, ok := ParseTraceparent(valid)
+	if !ok {
+		t.Fatalf("valid traceparent rejected: %s", valid)
+	}
+	if got := sc.TraceIDString(); got != "aabbccddeeff00112233445566778899" {
+		t.Fatalf("trace-id = %s", got)
+	}
+	if got := sc.SpanIDString(); got != "0102030405060708" {
+		t.Fatalf("span-id = %s", got)
+	}
+	if got := sc.Traceparent(); got != valid {
+		t.Fatalf("roundtrip = %s, want %s", got, valid)
+	}
+
+	// A higher version with extra fields must still parse (W3C forward
+	// compatibility), as long as the known prefix has the right shape.
+	if _, ok := ParseTraceparent(valid[:len(valid)-2] + "01-extrafield"); !ok {
+		t.Fatal("future-version traceparent with appended field rejected")
+	}
+
+	bad := []string{
+		"",
+		"00",
+		"00-aabbccddeeff00112233445566778899-0102030405060708",     // no flags
+		"00-aabbccddeeff00112233445566778899-0102030405060708-01x", // junk tail, no separator
+		"00-00000000000000000000000000000000-0102030405060708-01",  // zero trace-id
+		"00-aabbccddeeff00112233445566778899-0000000000000000-01",  // zero span-id
+		"ff-aabbccddeeff00112233445566778899-0102030405060708-01",  // forbidden version
+		"00-gabbccddeeff00112233445566778899-0102030405060708-01",  // non-hex
+		"00_aabbccddeeff00112233445566778899-0102030405060708-01",  // wrong separator
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("malformed traceparent accepted: %q", s)
+		}
+	}
+}
+
+func TestSpanContextInjectExtract(t *testing.T) {
+	sc := NewSpanContext()
+	if !sc.Valid() {
+		t.Fatal("NewSpanContext not valid")
+	}
+	h := http.Header{}
+	sc.Inject(h)
+	got, ok := Extract(h)
+	if !ok || got != sc {
+		t.Fatalf("extract = %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	// The zero context injects nothing and extracts as absent.
+	empty := http.Header{}
+	(SpanContext{}).Inject(empty)
+	if v := empty.Get(TraceparentHeader); v != "" {
+		t.Fatalf("zero context injected %q", v)
+	}
+	if _, ok := Extract(empty); ok {
+		t.Fatal("Extract reported ok on empty headers")
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+
+	// Continuation: the child keeps the parent's trace-id, mints its own
+	// span-id, and records the remote parent span.
+	parent := NewSpanContext()
+	sp := tr.StartRemote("serve_ingest", PhaseOther, parent)
+	child := sp.SpanContext()
+	if child.TraceID != parent.TraceID {
+		t.Fatalf("trace-id not continued: %s vs %s", child.TraceIDString(), parent.TraceIDString())
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child reused the parent span-id")
+	}
+	if got := sp.TraceID(); got != parent.TraceIDString() {
+		t.Fatalf("Span.TraceID = %s, want %s", got, parent.TraceIDString())
+	}
+	if v, _ := sp.Attr("trace_id"); v != parent.TraceIDString() {
+		t.Fatalf("trace_id attr = %v", v)
+	}
+	if v, _ := sp.Attr("remote_parent"); v != parent.SpanIDString() {
+		t.Fatalf("remote_parent attr = %v", v)
+	}
+	sp.End()
+
+	// Root: no parent means a fresh trace-id and no remote_parent attr.
+	root := tr.StartRemote("router_ingest", PhaseOther, SpanContext{})
+	if !root.SpanContext().Valid() {
+		t.Fatal("root StartRemote did not mint a context")
+	}
+	if root.SpanContext().TraceID == parent.TraceID {
+		t.Fatal("fresh root reused an existing trace-id")
+	}
+	if _, ok := root.Attr("remote_parent"); ok {
+		t.Fatal("fresh root carries remote_parent")
+	}
+	root.End()
+
+	// Nil-safety mirrors the rest of the tracing API.
+	var nilTr *Tracer
+	nsp := nilTr.StartRemote("x", PhaseOther, parent)
+	if nsp.SpanContext().Valid() || nsp.TraceID() != "" {
+		t.Fatal("nil tracer span has a context")
+	}
+	nsp.End()
+}
+
+func TestStartRemoteTraceIDReachesChrome(t *testing.T) {
+	var buf strings.Builder
+	cw := NewChromeTrace(&buf)
+	tr := NewTracer(TracerOptions{Chrome: cw})
+	parent := NewSpanContext()
+	sp := tr.StartRemote("serve_score", PhaseOther, parent)
+	sp.End()
+	cw.Close()
+	if !strings.Contains(buf.String(), parent.TraceIDString()) {
+		t.Fatalf("chrome trace missing trace_id %s:\n%s", parent.TraceIDString(), buf.String())
+	}
+}

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 // is inert.
 type FlightRecorder struct {
 	dir    string
+	tag    string        // per-process filename tag (pid + nonce)
 	reg    *Registry
 	seq    atomic.Uint64 // dump file sequence
 	next   atomic.Uint64 // round-robin stripe cursor
@@ -73,7 +76,14 @@ func NewFlightRecorder(dir string, lastN int, reg *Registry) *FlightRecorder {
 	if lastN < flightStripes {
 		lastN = flightStripes
 	}
-	f := &FlightRecorder{dir: dir, reg: reg, now: time.Now}
+	// The tag makes dump names unique across processes sharing one dir (a
+	// router and its shards all dumping on the same failure): pid separates
+	// live processes, the random nonce separates pid reuse across restarts
+	// and multiple recorders inside one test process.
+	var nonce [4]byte
+	_, _ = rand.Read(nonce[:])
+	tag := fmt.Sprintf("p%d-%s", os.Getpid(), hex.EncodeToString(nonce[:]))
+	f := &FlightRecorder{dir: dir, tag: tag, reg: reg, now: time.Now}
 	per := (lastN + flightStripes - 1) / flightStripes
 	for i := range f.stripe {
 		f.stripe[i].ring = make([]*Span, per)
@@ -139,9 +149,11 @@ type flightDump struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Dump writes exactly one file, flight-<seq>-<reason>.json, holding the
-// retained span trees (oldest first) and a registry snapshot. It returns the
-// file path. Nil-safe: a nil recorder dumps nothing and returns "".
+// Dump writes exactly one file, flight-<tag>-<seq>-<reason>.json, holding
+// the retained span trees (oldest first) and a registry snapshot. The tag
+// (pid + random nonce) keeps names collision-free when several processes —
+// the router and its shards — share one -flight-dir. It returns the file
+// path. Nil-safe: a nil recorder dumps nothing and returns "".
 func (f *FlightRecorder) Dump(reason string) (string, error) {
 	if f == nil {
 		return "", nil
@@ -172,7 +184,7 @@ func (f *FlightRecorder) Dump(reason string) (string, error) {
 	if err := os.MkdirAll(f.dir, 0o755); err != nil {
 		return "", fmt.Errorf("flight recorder: %w", err)
 	}
-	name := fmt.Sprintf("flight-%04d-%s.json", f.seq.Add(1), sanitizeReason(reason))
+	name := fmt.Sprintf("flight-%s-%04d-%s.json", f.tag, f.seq.Add(1), sanitizeReason(reason))
 	path := filepath.Join(f.dir, name)
 	buf, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {

@@ -162,3 +162,37 @@ func TestFlightDumpNaNAttrs(t *testing.T) {
 		t.Fatalf("grad_norm attr %v, want \"+Inf\"", got)
 	}
 }
+
+func TestFlightDumpNamesNeverCollide(t *testing.T) {
+	// Multiple processes sharing one -flight-dir (a router and its shards,
+	// or a shard pair) must never overwrite each other's dumps: each
+	// recorder's filenames carry a per-recorder pid+nonce tag. Two
+	// recorders, same dir, same reason, same sequence numbers — every dump
+	// must land in a distinct file.
+	dir := t.TempDir()
+	a := NewFlightRecorder(dir, 4, nil)
+	b := NewFlightRecorder(dir, 4, nil)
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		for _, fr := range []*FlightRecorder{a, b} {
+			path, err := fr.Dump("breaker_open")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[path] {
+				t.Fatalf("dump path reused: %s", path)
+			}
+			seen[path] = true
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("dump missing on disk: %v", err)
+			}
+			base := filepath.Base(path)
+			if !strings.HasPrefix(base, "flight-") || !strings.HasSuffix(base, "-breaker_open.json") {
+				t.Fatalf("dump name %q lost the flight-*-<reason>.json shape", base)
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("want 6 distinct dumps, got %d", len(seen))
+	}
+}

@@ -37,6 +37,25 @@ func TestLogHistQuantiles(t *testing.T) {
 	if a, b := h.Quantile(-1), h.Quantile(2); a > b {
 		t.Fatalf("quantile clamping broken: %v > %v", a, b)
 	}
+	// Quantile must be monotonically non-decreasing in p across the range.
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile(%.2f) = %v < Quantile(%.2f) = %v", p, q, p-0.05, prev)
+		}
+		prev = q
+	}
+	// Out-of-range p clamps to the extremes rather than extrapolating.
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want Quantile(0) = %v", h.Quantile(-1), h.Quantile(0))
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want Quantile(1) = %v", h.Quantile(2), h.Quantile(1))
+	}
+	if h.Quantile(1) < h.Quantile(0.99) {
+		t.Fatalf("p100 %v below p99 %v", h.Quantile(1), h.Quantile(0.99))
+	}
 }
 
 func TestPhaseStatsSummary(t *testing.T) {

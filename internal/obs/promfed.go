@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Federation support (DESIGN.md §16). The router's /metrics?federate=1
+// scrapes every cluster member's plain-text exposition, parses it with
+// ParsePromText, relabels each sample with shard/role/member, and re-emits
+// one merged exposition. The parser understands exactly the dialect this
+// repo's Registry writes (and the common Prometheus text format): # HELP /
+// # TYPE comments and `name{labels} value` samples. Anything it cannot
+// parse is skipped rather than failing the whole scrape — federation
+// degrades, it does not error.
+
+// PromSample is one exposition line: a metric name (which for histograms
+// may be the family name plus _bucket/_sum/_count), its label pairs in
+// source order, and the value verbatim (kept as text so federation never
+// reformats — and never perturbs — a member's numbers).
+type PromSample struct {
+	Name   string
+	Labels []PromLabel
+	Value  string
+}
+
+// PromLabel is one label pair.
+type PromLabel struct {
+	Name  string
+	Value string // raw, still escaped as it appeared in the exposition
+}
+
+// PromFamily groups the samples of one metric family with its metadata.
+type PromFamily struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "untyped", ...
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePromText parses a Prometheus text exposition into families, in
+// encounter order. Unparseable lines are skipped. Samples whose name does
+// not match the preceding TYPE family (or its _bucket/_sum/_count
+// derivatives) open an implicit untyped family.
+func ParsePromText(r io.Reader) ([]PromFamily, error) {
+	var fams []PromFamily
+	byName := map[string]int{}
+
+	family := func(name string) *PromFamily {
+		if i, ok := byName[name]; ok {
+			return &fams[i]
+		}
+		fams = append(fams, PromFamily{Name: name, Type: "untyped"})
+		byName[name] = len(fams) - 1
+		return &fams[len(fams)-1]
+	}
+
+	cur := "" // name of the family the last # TYPE opened
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "TYPE":
+					f := family(fields[2])
+					if len(fields) == 4 {
+						f.Type = strings.TrimSpace(fields[3])
+					}
+					cur = fields[2]
+				case "HELP":
+					f := family(fields[2])
+					if len(fields) == 4 {
+						f.Help = fields[3]
+					}
+				}
+			}
+			continue
+		}
+		s, ok := parseFedSample(line)
+		if !ok {
+			continue
+		}
+		famName := s.Name
+		if cur != "" && sampleBelongsTo(s.Name, cur) {
+			famName = cur
+		}
+		f := family(famName)
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return fams, err
+	}
+	return fams, nil
+}
+
+// sampleBelongsTo reports whether a sample name is part of family fam
+// (exact, or a histogram/summary derivative).
+func sampleBelongsTo(name, fam string) bool {
+	if name == fam {
+		return true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+		if name == fam+suf {
+			return true
+		}
+	}
+	return false
+}
+
+// parseFedSample splits one `name{labels} value [timestamp]` line. The
+// label scan is quote-aware: a '}' inside a quoted label value does not end
+// the label block.
+func parseFedSample(line string) (PromSample, bool) {
+	var s PromSample
+	brace := strings.IndexByte(line, '{')
+	var rest string
+	if brace >= 0 && brace < strings.IndexByte(line+" ", ' ') {
+		s.Name = line[:brace]
+		end := scanLabelBlock(line, brace)
+		if end < 0 {
+			return s, false
+		}
+		var ok bool
+		s.Labels, ok = parsePromLabels(line[brace+1 : end])
+		if !ok {
+			return s, false
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return s, false
+		}
+		s.Name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	if s.Name == "" || rest == "" {
+		return s, false
+	}
+	// Drop an optional trailing timestamp; keep the value verbatim.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	s.Value = rest
+	return s, true
+}
+
+// scanLabelBlock returns the index of the '}' closing the label block that
+// opens at line[open], honoring quoted values with backslash escapes; -1 if
+// unterminated.
+func scanLabelBlock(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		c := line[i]
+		if inQuote {
+			switch c {
+			case '\\':
+				i++ // skip the escaped byte
+			case '"':
+				inQuote = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuote = true
+		case '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parsePromLabels splits the inside of a label block into pairs. Values are
+// kept raw (escapes intact) so re-emission is byte-faithful.
+func parsePromLabels(s string) ([]PromLabel, bool) {
+	var out []PromLabel
+	i := 0
+	for i < len(s) {
+		// name
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			// trailing comma / whitespace only is fine
+			return out, strings.TrimSpace(s[i:]) == ""
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, false
+		}
+		// quoted value
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return nil, false
+		}
+		out = append(out, PromLabel{Name: name, Value: s[i+1 : j]})
+		i = j + 1
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	return out, true
+}
+
+// RelabelFamilies prepends extra label pairs to every sample of every
+// family, in place. Values are escaped for exposition; samples that already
+// carry one of the extra label names keep the new one first (the original
+// becomes exported_<name>, mirroring Prometheus federation).
+func RelabelFamilies(fams []PromFamily, extra []PromLabel) {
+	esc := make([]PromLabel, len(extra))
+	for i, l := range extra {
+		esc[i] = PromLabel{Name: l.Name, Value: escapeLabelValue(l.Value)}
+	}
+	names := map[string]bool{}
+	for _, l := range extra {
+		names[l.Name] = true
+	}
+	for fi := range fams {
+		for si := range fams[fi].Samples {
+			s := &fams[fi].Samples[si]
+			old := s.Labels
+			s.Labels = make([]PromLabel, 0, len(old)+len(esc))
+			s.Labels = append(s.Labels, esc...)
+			for _, l := range old {
+				if names[l.Name] {
+					l.Name = "exported_" + l.Name
+				}
+				s.Labels = append(s.Labels, l)
+			}
+		}
+	}
+}
+
+// MergeFamilies combines family lists from several sources into one list,
+// grouped by family name (first-seen Type/Help win), sorted by name.
+func MergeFamilies(lists ...[]PromFamily) []PromFamily {
+	byName := map[string]int{}
+	var out []PromFamily
+	for _, list := range lists {
+		for _, f := range list {
+			if i, ok := byName[f.Name]; ok {
+				out[i].Samples = append(out[i].Samples, f.Samples...)
+				if out[i].Type == "untyped" && f.Type != "" {
+					out[i].Type = f.Type
+				}
+				if out[i].Help == "" {
+					out[i].Help = f.Help
+				}
+				continue
+			}
+			byName[f.Name] = len(out)
+			if f.Type == "" {
+				f.Type = "untyped"
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteFamilies renders families back to the text exposition format.
+func WriteFamilies(w io.Writer, fams []PromFamily) error {
+	for _, f := range fams {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if len(s.Labels) == 0 {
+				if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, s.Value); err != nil {
+					return err
+				}
+				continue
+			}
+			var b strings.Builder
+			b.WriteString(s.Name)
+			b.WriteByte('{')
+			for i, l := range s.Labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(l.Name)
+				b.WriteString("=\"")
+				b.WriteString(l.Value)
+				b.WriteByte('"')
+			}
+			b.WriteString("} ")
+			b.WriteString(s.Value)
+			b.WriteByte('\n')
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fedFixture = `# HELP serve_ingest_total Ingest requests.
+# TYPE serve_ingest_total counter
+serve_ingest_total 42
+# HELP serve_latency_seconds Request latency.
+# TYPE serve_latency_seconds histogram
+serve_latency_seconds_bucket{le="0.001"} 10
+serve_latency_seconds_bucket{le="+Inf"} 12
+serve_latency_seconds_sum 0.25
+serve_latency_seconds_count 12
+# TYPE odd_gauge gauge
+odd_gauge{path="a\"b}c",shard="9"} 1.5
+bare_sample 7 1699999999000
+`
+
+func TestParsePromText(t *testing.T) {
+	fams, err := ParsePromText(strings.NewReader(fedFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["serve_ingest_total"]; f.Type != "counter" || len(f.Samples) != 1 || f.Samples[0].Value != "42" {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if f := byName["serve_latency_seconds"]; f.Type != "histogram" || len(f.Samples) != 4 {
+		t.Fatalf("histogram derivatives not grouped under the family: %+v", f)
+	}
+	// Quote-aware label scan: the '}' inside the quoted value must not
+	// terminate the label block.
+	odd := byName["odd_gauge"]
+	if len(odd.Samples) != 1 || len(odd.Samples[0].Labels) != 2 {
+		t.Fatalf("odd_gauge labels wrong: %+v", odd)
+	}
+	if got := odd.Samples[0].Labels[0].Value; got != `a\"b}c` {
+		t.Fatalf("escaped label value = %q", got)
+	}
+	// A sample with no metadata opens an implicit untyped family, and its
+	// trailing timestamp is dropped.
+	if f := byName["bare_sample"]; f.Type != "untyped" || f.Samples[0].Value != "7" {
+		t.Fatalf("bare sample wrong: %+v", f)
+	}
+}
+
+func TestRelabelMergeWriteRoundtrip(t *testing.T) {
+	fams, err := ParsePromText(strings.NewReader(fedFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	RelabelFamilies(fams, []PromLabel{
+		{Name: "shard", Value: "0"},
+		{Name: "role", Value: "primary"},
+	})
+
+	// Every sample now leads with the federation labels; a pre-existing
+	// "shard" label is renamed exported_shard, not clobbered.
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if len(s.Labels) < 2 || s.Labels[0] != (PromLabel{Name: "shard", Value: "0"}) ||
+				s.Labels[1] != (PromLabel{Name: "role", Value: "primary"}) {
+				t.Fatalf("sample %s labels = %+v", s.Name, s.Labels)
+			}
+			for _, l := range s.Labels[2:] {
+				if l.Name == "shard" {
+					t.Fatalf("member's own shard label not renamed: %+v", s.Labels)
+				}
+			}
+		}
+		if f.Name == "odd_gauge" {
+			names := []string{}
+			for _, l := range f.Samples[0].Labels {
+				names = append(names, l.Name)
+			}
+			if strings.Join(names, ",") != "shard,role,path,exported_shard" {
+				t.Fatalf("odd_gauge label names = %v", names)
+			}
+		}
+	}
+
+	other := []PromFamily{
+		{Name: "serve_ingest_total", Type: "counter", Samples: []PromSample{{Name: "serve_ingest_total", Value: "5",
+			Labels: []PromLabel{{Name: "shard", Value: "1"}}}}},
+		{Name: "router_only", Type: "gauge", Samples: []PromSample{{Name: "router_only", Value: "1"}}},
+	}
+	merged := MergeFamilies(fams, other)
+	var ingest *PromFamily
+	for i := range merged {
+		if i > 0 && merged[i].Name < merged[i-1].Name {
+			t.Fatalf("merged families not sorted: %s after %s", merged[i].Name, merged[i-1].Name)
+		}
+		if merged[i].Name == "serve_ingest_total" {
+			ingest = &merged[i]
+		}
+	}
+	if ingest == nil || len(ingest.Samples) != 2 {
+		t.Fatalf("serve_ingest_total samples not merged: %+v", ingest)
+	}
+
+	// Write → parse must be stable (samples and labels survive a roundtrip).
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParsePromText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(merged) {
+		t.Fatalf("roundtrip family count %d != %d\n%s", len(again), len(merged), buf.String())
+	}
+	for i := range again {
+		if again[i].Name != merged[i].Name || len(again[i].Samples) != len(merged[i].Samples) {
+			t.Fatalf("family %s changed across roundtrip: %d vs %d samples",
+				merged[i].Name, len(merged[i].Samples), len(again[i].Samples))
+		}
+	}
+}

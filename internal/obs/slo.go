@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO burn-rate tracking (DESIGN.md §16). An SLO tracks two service-level
+// indicators over every observed request — availability (non-5xx fraction)
+// and latency (fraction under a threshold) — in per-second ring buffers, and
+// reports the classic multi-window burn rate for each: the ratio of the
+// window's error rate to the error budget the objective allows. Burn 1.0
+// means the budget is being consumed exactly at the rate that exhausts it at
+// the window's end; 14.4 on the short window is the textbook page-worthy
+// fast burn. Two windows (5m short / 1h long by default) give the usual
+// fast-burn/slow-burn pairing without retaining per-request data.
+//
+// The tracker is mutex-guarded and cheap (one ring slot touched per
+// Observe); serve and the router call it from their request middleware.
+
+// SLOConfig parameterizes an SLO tracker. Zero fields take the defaults.
+type SLOConfig struct {
+	// AvailabilityObjective is the target fraction of successful requests
+	// (default 0.999 — a 0.1% error budget).
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of requests faster than
+	// LatencyThreshold (default 0.99).
+	LatencyObjective float64
+	// LatencyThreshold is the latency SLI's cutoff (default 250ms).
+	LatencyThreshold time.Duration
+	// ShortWindow is the fast-burn window (default 5m).
+	ShortWindow time.Duration
+	// LongWindow is the slow-burn window and the ring's retention
+	// (default 1h). Must be ≥ ShortWindow.
+	LongWindow time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.AvailabilityObjective == 0 {
+		c.AvailabilityObjective = 0.999
+	}
+	if c.LatencyObjective == 0 {
+		c.LatencyObjective = 0.99
+	}
+	if c.LatencyThreshold == 0 {
+		c.LatencyThreshold = 250 * time.Millisecond
+	}
+	if c.ShortWindow == 0 {
+		c.ShortWindow = 5 * time.Minute
+	}
+	if c.LongWindow == 0 {
+		c.LongWindow = time.Hour
+	}
+	if c.LongWindow < c.ShortWindow {
+		c.LongWindow = c.ShortWindow
+	}
+	return c
+}
+
+// sloBucket accumulates one second of outcomes.
+type sloBucket struct {
+	total  uint64
+	errors uint64
+	slow   uint64
+}
+
+// SLO is a multi-window error-budget burn tracker. The zero value is not
+// usable; construct with NewSLO. A nil *SLO is inert.
+type SLO struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets []sloBucket
+	secs    []int64 // unix second each slot currently holds; -1 when empty
+	now     func() time.Time
+}
+
+// NewSLO builds a tracker with cfg (zero fields defaulted).
+func NewSLO(cfg SLOConfig) *SLO {
+	cfg = cfg.withDefaults()
+	n := int(cfg.LongWindow / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	s := &SLO{cfg: cfg, buckets: make([]sloBucket, n), secs: make([]int64, n), now: time.Now}
+	for i := range s.secs {
+		s.secs[i] = -1
+	}
+	return s
+}
+
+// Config returns the tracker's resolved configuration.
+func (s *SLO) Config() SLOConfig {
+	if s == nil {
+		return SLOConfig{}.withDefaults()
+	}
+	return s.cfg
+}
+
+// SetClock replaces the time source (tests only).
+func (s *SLO) SetClock(now func() time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Observe records one request outcome: whether it succeeded (for the
+// availability SLI) and how long it took (for the latency SLI). Nil-safe.
+func (s *SLO) Observe(ok bool, latency time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	sec := s.now().Unix()
+	idx := int(sec % int64(len(s.buckets)))
+	if idx < 0 {
+		idx += len(s.buckets)
+	}
+	if s.secs[idx] != sec {
+		s.buckets[idx] = sloBucket{}
+		s.secs[idx] = sec
+	}
+	b := &s.buckets[idx]
+	b.total++
+	if !ok {
+		b.errors++
+	}
+	if latency > s.cfg.LatencyThreshold {
+		b.slow++
+	}
+	s.mu.Unlock()
+}
+
+// SLOWindow is one window's rolled-up SLI state.
+type SLOWindow struct {
+	// Window is the lookback this row summarizes.
+	Window time.Duration
+	// Total, Errors and Slow count requests observed in the window.
+	Total  uint64
+	Errors uint64
+	Slow   uint64
+	// Availability is the achieved success fraction (1 when Total is 0:
+	// an idle window has burned no budget).
+	Availability float64
+	// FastRate is the achieved under-threshold fraction (1 when idle).
+	FastRate float64
+	// AvailabilityBurn is errRate / (1 − availability objective); 1.0
+	// consumes the budget exactly over the window.
+	AvailabilityBurn float64
+	// LatencyBurn is slowRate / (1 − latency objective).
+	LatencyBurn float64
+	// AvailabilityBudgetLeft and LatencyBudgetLeft are the fraction of
+	// each window's error budget still unspent (clamped to [0,1]).
+	AvailabilityBudgetLeft float64
+	LatencyBudgetLeft      float64
+}
+
+// Window rolls up the last d of observations. d is clamped to the ring's
+// retention (LongWindow). Nil-safe: a nil tracker reports an idle window.
+func (s *SLO) Window(d time.Duration) SLOWindow {
+	if s == nil {
+		return SLOWindow{Window: d, Availability: 1, FastRate: 1, AvailabilityBudgetLeft: 1, LatencyBudgetLeft: 1}
+	}
+	if d > s.cfg.LongWindow {
+		d = s.cfg.LongWindow
+	}
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w := SLOWindow{Window: d}
+	s.mu.Lock()
+	nowSec := s.now().Unix()
+	for sec := nowSec - secs + 1; sec <= nowSec; sec++ {
+		idx := int(sec % int64(len(s.buckets)))
+		if idx < 0 {
+			idx += len(s.buckets)
+		}
+		if s.secs[idx] != sec {
+			continue
+		}
+		b := s.buckets[idx]
+		w.Total += b.total
+		w.Errors += b.errors
+		w.Slow += b.slow
+	}
+	availObj, latObj := s.cfg.AvailabilityObjective, s.cfg.LatencyObjective
+	s.mu.Unlock()
+
+	w.Availability, w.FastRate = 1, 1
+	if w.Total > 0 {
+		w.Availability = 1 - float64(w.Errors)/float64(w.Total)
+		w.FastRate = 1 - float64(w.Slow)/float64(w.Total)
+	}
+	w.AvailabilityBurn = burnRate(1-w.Availability, availObj)
+	w.LatencyBurn = burnRate(1-w.FastRate, latObj)
+	w.AvailabilityBudgetLeft = clamp01(1 - w.AvailabilityBurn)
+	w.LatencyBudgetLeft = clamp01(1 - w.LatencyBurn)
+	return w
+}
+
+// burnRate is errRate over the budget the objective leaves. An objective of
+// 1.0 has zero budget: any error is an infinite burn, represented by a large
+// finite sentinel so the exposition stays parseable.
+func burnRate(errRate, objective float64) float64 {
+	if errRate <= 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		return 1e9
+	}
+	return errRate / budget
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Scorecard reports both configured windows, short first.
+func (s *SLO) Scorecard() []SLOWindow {
+	cfg := s.Config()
+	return []SLOWindow{s.Window(cfg.ShortWindow), s.Window(cfg.LongWindow)}
+}
+
+// windowLabel renders a duration as a compact label ("5m", "1h") by
+// stripping time.Duration.String's zero-valued trailing units.
+func windowLabel(d time.Duration) string {
+	s := d.String()
+	for _, suffix := range []string{"m0s", "h0m"} {
+		if len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix {
+			s = s[:len(s)-len(suffix)+1]
+		}
+	}
+	return s
+}
+
+// Register adds the tracker to reg's exposition as a collector emitting the
+// slo_* gauge families:
+//
+//	slo_availability_burn_rate{window="5m"}  — availability SLI burn
+//	slo_latency_burn_rate{window="5m"}       — latency SLI burn
+//	slo_error_budget_remaining{sli="availability",window="5m"}
+//	slo_window_requests{window="5m"}         — observations in the window
+//
+// one sample per configured window.
+func (s *SLO) Register(reg *Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(w io.Writer) error {
+		wins := s.Scorecard()
+		fmt.Fprintf(w, "# HELP slo_availability_burn_rate Error-budget burn rate of the availability SLI (1.0 exhausts the budget over the window).\n")
+		fmt.Fprintf(w, "# TYPE slo_availability_burn_rate gauge\n")
+		for _, win := range wins {
+			fmt.Fprintf(w, "slo_availability_burn_rate{window=%q} %s\n", windowLabel(win.Window), formatFloat(win.AvailabilityBurn))
+		}
+		fmt.Fprintf(w, "# HELP slo_latency_burn_rate Error-budget burn rate of the latency SLI.\n")
+		fmt.Fprintf(w, "# TYPE slo_latency_burn_rate gauge\n")
+		for _, win := range wins {
+			fmt.Fprintf(w, "slo_latency_burn_rate{window=%q} %s\n", windowLabel(win.Window), formatFloat(win.LatencyBurn))
+		}
+		fmt.Fprintf(w, "# HELP slo_error_budget_remaining Fraction of the window's error budget unspent, per SLI.\n")
+		fmt.Fprintf(w, "# TYPE slo_error_budget_remaining gauge\n")
+		for _, win := range wins {
+			fmt.Fprintf(w, "slo_error_budget_remaining{sli=\"availability\",window=%q} %s\n", windowLabel(win.Window), formatFloat(win.AvailabilityBudgetLeft))
+		}
+		for _, win := range wins {
+			fmt.Fprintf(w, "slo_error_budget_remaining{sli=\"latency\",window=%q} %s\n", windowLabel(win.Window), formatFloat(win.LatencyBudgetLeft))
+		}
+		fmt.Fprintf(w, "# HELP slo_window_requests Requests observed in each SLO window.\n")
+		fmt.Fprintf(w, "# TYPE slo_window_requests gauge\n")
+		for _, win := range wins {
+			fmt.Fprintf(w, "slo_window_requests{window=%q} %d\n", windowLabel(win.Window), win.Total)
+		}
+		return nil
+	})
+}
+
+// FormatScorecard renders the scorecard as aligned human-readable lines —
+// the block tools/chaos prints per scenario. name labels the workload.
+func (s *SLO) FormatScorecard(name string) string {
+	cfg := s.Config()
+	out := fmt.Sprintf("SLO scorecard [%s] (availability %.4g, latency %.4g @ %s):\n",
+		name, cfg.AvailabilityObjective, cfg.LatencyObjective, cfg.LatencyThreshold)
+	wins := s.Scorecard()
+	sort.SliceStable(wins, func(i, j int) bool { return wins[i].Window < wins[j].Window })
+	for _, w := range wins {
+		out += fmt.Sprintf("  window %-4s requests=%-6d avail=%.5f burn=%-8.3g fast=%.5f lat_burn=%-8.3g budget_left avail=%.3f lat=%.3f\n",
+			windowLabel(w.Window), w.Total, w.Availability, w.AvailabilityBurn,
+			w.FastRate, w.LatencyBurn, w.AvailabilityBudgetLeft, w.LatencyBudgetLeft)
+	}
+	return out
+}

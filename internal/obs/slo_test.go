@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloAt builds a tracker on a frozen, steppable clock.
+func sloAt(cfg SLOConfig) (*SLO, *time.Time) {
+	s := NewSLO(cfg)
+	now := time.Unix(1_000_000, 0)
+	s.SetClock(func() time.Time { return now })
+	return s, &now
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	// 99.9% objective → 0.1% budget. 1000 requests with 10 errors is a 1%
+	// error rate: burn 10× on both windows that saw the traffic.
+	s, now := sloAt(SLOConfig{LatencyThreshold: 100 * time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		s.Observe(i%100 != 0, 10*time.Millisecond) // 10 errors, all fast
+		if i%10 == 9 {
+			*now = now.Add(time.Second)
+		}
+	}
+	w := s.Window(5 * time.Minute)
+	if w.Total != 1000 || w.Errors != 10 {
+		t.Fatalf("window saw %d/%d, want 1000/10", w.Total, w.Errors)
+	}
+	if w.Availability != 0.99 {
+		t.Fatalf("availability = %v", w.Availability)
+	}
+	if w.AvailabilityBurn < 9.99 || w.AvailabilityBurn > 10.01 {
+		t.Fatalf("availability burn = %v, want ~10", w.AvailabilityBurn)
+	}
+	if w.LatencyBurn != 0 {
+		t.Fatalf("latency burn = %v with no slow requests", w.LatencyBurn)
+	}
+	if w.AvailabilityBudgetLeft != 0 {
+		t.Fatalf("budget left = %v after 10x burn (clamped to 0)", w.AvailabilityBudgetLeft)
+	}
+	if w.LatencyBudgetLeft != 1 {
+		t.Fatalf("latency budget left = %v, want 1", w.LatencyBudgetLeft)
+	}
+}
+
+func TestSLOLatencySLI(t *testing.T) {
+	// 99% latency objective → 1% budget; 2% over-threshold → burn 2.
+	s, _ := sloAt(SLOConfig{LatencyThreshold: 100 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		lat := 10 * time.Millisecond
+		if i < 2 {
+			lat = 500 * time.Millisecond
+		}
+		s.Observe(true, lat)
+	}
+	w := s.Window(5 * time.Minute)
+	if w.Slow != 2 {
+		t.Fatalf("slow = %d", w.Slow)
+	}
+	if w.LatencyBurn < 1.99 || w.LatencyBurn > 2.01 {
+		t.Fatalf("latency burn = %v, want ~2", w.LatencyBurn)
+	}
+	if w.AvailabilityBurn != 0 {
+		t.Fatalf("availability burn = %v with no errors", w.AvailabilityBurn)
+	}
+}
+
+func TestSLOWindowIsolation(t *testing.T) {
+	// Errors older than the short window burn only the long window.
+	s, now := sloAt(SLOConfig{})
+	for i := 0; i < 100; i++ {
+		s.Observe(false, time.Millisecond)
+	}
+	*now = now.Add(10 * time.Minute) // past 5m, within 1h
+	for i := 0; i < 100; i++ {
+		s.Observe(true, time.Millisecond)
+	}
+	short, long := s.Window(5*time.Minute), s.Window(time.Hour)
+	if short.Errors != 0 || short.Total != 100 {
+		t.Fatalf("short window %d/%d, want 0 errors of 100", short.Errors, short.Total)
+	}
+	if long.Errors != 100 || long.Total != 200 {
+		t.Fatalf("long window %d/%d, want 100 errors of 200", long.Errors, long.Total)
+	}
+	if short.AvailabilityBurn != 0 {
+		t.Fatalf("short burn = %v", short.AvailabilityBurn)
+	}
+	if long.AvailabilityBurn <= 0 {
+		t.Fatalf("long burn = %v, want > 0", long.AvailabilityBurn)
+	}
+}
+
+func TestSLOIdleBurnsNothing(t *testing.T) {
+	s, _ := sloAt(SLOConfig{})
+	w := s.Window(5 * time.Minute)
+	if w.Total != 0 || w.Availability != 1 || w.AvailabilityBurn != 0 ||
+		w.AvailabilityBudgetLeft != 1 || w.LatencyBudgetLeft != 1 {
+		t.Fatalf("idle window burned budget: %+v", w)
+	}
+	// Nil tracker behaves like an idle one.
+	var nilSLO *SLO
+	nilSLO.Observe(false, time.Second)
+	if nw := nilSLO.Window(time.Minute); nw.Availability != 1 {
+		t.Fatalf("nil tracker window: %+v", nw)
+	}
+}
+
+func TestSLORingEviction(t *testing.T) {
+	// Observations older than LongWindow fall out of every window once the
+	// ring wraps onto their slots.
+	s, now := sloAt(SLOConfig{ShortWindow: 10 * time.Second, LongWindow: 30 * time.Second})
+	s.Observe(false, time.Millisecond)
+	*now = now.Add(2 * time.Minute)
+	s.Observe(true, time.Millisecond)
+	w := s.Window(30 * time.Second)
+	if w.Total != 1 || w.Errors != 0 {
+		t.Fatalf("stale slot leaked into window: %+v", w)
+	}
+}
+
+func TestSLORegisterExposition(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := sloAt(SLOConfig{})
+	s.Register(reg)
+	s.Observe(false, time.Second) // one failing, slow request
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`slo_availability_burn_rate{window="5m"}`,
+		`slo_availability_burn_rate{window="1h"}`,
+		`slo_latency_burn_rate{window="5m"}`,
+		`slo_error_budget_remaining{sli="availability",window="1h"}`,
+		`slo_error_budget_remaining{sli="latency",window="5m"}`,
+		`slo_window_requests{window="5m"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The exposition must stay parseable by the federation parser.
+	fams, err := ParsePromText(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "slo_availability_burn_rate" {
+			found = f.Type == "gauge" && len(f.Samples) == 2
+		}
+	}
+	if !found {
+		t.Fatalf("federation parser did not recover slo_availability_burn_rate gauge:\n%s", out)
+	}
+}
+
+func TestSLOScorecardFormat(t *testing.T) {
+	s, _ := sloAt(SLOConfig{})
+	s.Observe(true, time.Millisecond)
+	out := s.FormatScorecard("unit")
+	for _, want := range []string{"SLO scorecard [unit]", "window 5m", "window 1h", "requests=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scorecard missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -229,6 +229,10 @@ type Span struct {
 	root     *Span
 	treeSize *atomic.Int32
 
+	// sctx is the span's distributed-trace identity (ctx.go). Written once
+	// by StartRemote before the span escapes; zero for plain Start spans.
+	sctx SpanContext
+
 	mu       sync.Mutex
 	attrs    []Attr
 	children []*Span

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Trace merging (DESIGN.md §16). Each process writes its own -trace-chrome
+// file with timestamps relative to its own tracer epoch, so the router's
+// and the shards' files do not share a timeline. MergeChromeTraces joins
+// them into one Perfetto-loadable array: each input file becomes one pid,
+// and per-file clock offsets are estimated from the distributed-trace spans
+// the processes share — a shard span carrying remote_parent belongs inside
+// the router span with the same trace_id, so aligning their midpoints
+// recovers the epoch skew without any clock protocol on the wire.
+
+// TraceFile is one input: a per-process Chrome trace and a display name
+// (typically the file path) used to label its process lane.
+type TraceFile struct {
+	Name string
+	Data []byte
+}
+
+// MergeReport summarizes a merge for callers that assert on it (tracesmoke)
+// or print it (tools/tracemerge).
+type MergeReport struct {
+	// Processes lists the input names in pid order (pid = index+1).
+	Processes []string
+	// Events counts non-metadata events in the merged output.
+	Events int
+	// Traces maps each distributed trace-id to the sorted set of input
+	// names whose spans carry it.
+	Traces map[string][]string
+	// Offsets maps each input name to the clock offset (µs) added to its
+	// timestamps; the reference process has offset 0.
+	Offsets map[string]float64
+}
+
+// mergeEvent is chromeEvent plus the bookkeeping fields the merge needs.
+type mergeEvent struct {
+	ev   chromeEvent
+	file int
+	meta bool
+}
+
+// MergeChromeTraces merges per-process Chrome trace files onto one timeline.
+// Inputs may be truncated (a crashed process never wrote the closing "]");
+// the parser repairs trailing commas and missing terminators. Returns the
+// merged JSON array, ready for chrome://tracing or Perfetto.
+func MergeChromeTraces(files []TraceFile) ([]byte, MergeReport, error) {
+	rep := MergeReport{Traces: map[string][]string{}, Offsets: map[string]float64{}}
+	var events []mergeEvent
+	for i, f := range files {
+		rep.Processes = append(rep.Processes, f.Name)
+		evs, err := parseChromeEvents(f.Data)
+		if err != nil {
+			return nil, rep, fmt.Errorf("parse %s: %w", f.Name, err)
+		}
+		for _, ev := range evs {
+			events = append(events, mergeEvent{ev: ev, file: i, meta: ev.Ph == "M"})
+		}
+	}
+
+	offsets := estimateOffsets(len(files), events)
+	for i, f := range files {
+		rep.Offsets[f.Name] = offsets[i]
+	}
+
+	// Rewrite: pid = file index + 1, process_name = file name, shifted ts.
+	traceFiles := map[string]map[int]bool{}
+	var out []chromeEvent
+	for _, me := range events {
+		ev := me.ev
+		ev.Pid = me.file + 1
+		if me.meta {
+			if ev.Name == "process_name" {
+				ev.Args = map[string]any{"name": files[me.file].Name}
+			}
+			out = append(out, ev)
+			continue
+		}
+		ev.Ts += offsets[me.file]
+		if tid, ok := eventTraceID(ev); ok {
+			if traceFiles[tid] == nil {
+				traceFiles[tid] = map[int]bool{}
+			}
+			traceFiles[tid][me.file] = true
+		}
+		out = append(out, ev)
+		rep.Events++
+	}
+	for tid, fs := range traceFiles {
+		var names []string
+		for fi := range fs {
+			names = append(names, files[fi].Name)
+		}
+		sort.Strings(names)
+		rep.Traces[tid] = names
+	}
+
+	// Metadata first, then spans by shifted start time.
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			return false
+		}
+		return out[i].Ts < out[j].Ts
+	})
+
+	var buf bytes.Buffer
+	buf.WriteString("[\n")
+	for i, ev := range out {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, rep, err
+		}
+		if i > 0 {
+			buf.WriteString(",\n")
+		}
+		buf.Write(b)
+	}
+	buf.WriteString("\n]\n")
+	return buf.Bytes(), rep, nil
+}
+
+// parseChromeEvents decodes a Chrome trace array, tolerating the truncated
+// form a killed process leaves behind (no closing "]", possibly a trailing
+// comma or a torn final record).
+func parseChromeEvents(data []byte) ([]chromeEvent, error) {
+	var evs []chromeEvent
+	if err := json.Unmarshal(data, &evs); err == nil {
+		return evs, nil
+	}
+	// Repair pass: scan the array body with a quote-aware brace counter and
+	// keep the prefix up to the last COMPLETE top-level object — a torn
+	// final record (the process died mid-write) is dropped, not guessed at.
+	start := bytes.IndexByte(data, '[')
+	if start < 0 {
+		return nil, fmt.Errorf("not a chrome trace array")
+	}
+	lastComplete := -1
+	depth, inStr, esc := 0, false, false
+	for i := start + 1; i < len(data); i++ {
+		c := data[i]
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				lastComplete = i
+			}
+		}
+	}
+	if lastComplete < 0 {
+		return nil, fmt.Errorf("not a chrome trace array")
+	}
+	repaired := append(append([]byte(nil), data[start:lastComplete+1]...), ']')
+	if err := json.Unmarshal(repaired, &evs); err != nil {
+		return nil, fmt.Errorf("not a chrome trace array")
+	}
+	return evs, nil
+}
+
+// eventTraceID extracts the distributed trace-id attribute, if present.
+func eventTraceID(ev chromeEvent) (string, bool) {
+	v, ok := ev.Args["trace_id"]
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok && s != ""
+}
+
+// estimateOffsets recovers per-file clock offsets (µs to add to each file's
+// timestamps) from shared distributed traces. A span with remote_parent is
+// the continuation of a span in another file with the same trace_id; on one
+// timeline the child's midpoint sits at the parent's (the child covers most
+// of the parent's duration — the network skew left over is exactly the
+// clock error we cannot observe). The file with the most parent-side spans
+// (the router) anchors the timeline at offset 0; other files get the mean
+// midpoint delta over every matched pair, resolved breadth-first so shards
+// that only ever talk to the router still align through it.
+func estimateOffsets(n int, events []mergeEvent) []float64 {
+	offsets := make([]float64, n)
+	if n <= 1 {
+		return offsets
+	}
+	type anchor struct {
+		file int
+		mid  float64
+	}
+	parents := map[string][]anchor{} // trace_id → spans without remote_parent
+	children := map[string][]anchor{}
+	parentCount := make([]int, n)
+	for _, me := range events {
+		if me.meta {
+			continue
+		}
+		tid, ok := eventTraceID(me.ev)
+		if !ok {
+			continue
+		}
+		a := anchor{file: me.file, mid: me.ev.Ts + me.ev.Dur/2}
+		if _, remote := me.ev.Args["remote_parent"]; remote {
+			children[tid] = append(children[tid], a)
+		} else {
+			parents[tid] = append(parents[tid], a)
+			parentCount[me.file]++
+		}
+	}
+
+	ref := 0
+	for i, c := range parentCount {
+		if c > parentCount[ref] {
+			ref = i
+		}
+	}
+	resolved := make([]bool, n)
+	resolved[ref] = true
+
+	// Each pass aligns any unresolved file that shares a trace with a
+	// resolved one; n−1 passes suffice for any connected topology.
+	for pass := 0; pass < n; pass++ {
+		progress := false
+		sum := make([]float64, n)
+		cnt := make([]int, n)
+		for tid, kids := range children {
+			for _, p := range parents[tid] {
+				if !resolved[p.file] {
+					continue
+				}
+				pmid := p.mid + offsets[p.file]
+				for _, k := range kids {
+					if resolved[k.file] || k.file == p.file {
+						continue
+					}
+					sum[k.file] += pmid - k.mid
+					cnt[k.file]++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !resolved[i] && cnt[i] > 0 {
+				offsets[i] = sum[i] / float64(cnt[i])
+				resolved[i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return offsets
+}

@@ -187,6 +187,10 @@ type ReadyStatus struct {
 	Ready   bool     `json:"ready"`
 	Reasons []string `json:"reasons"`
 	Role    string   `json:"role"`
+	// ReplLagRecords is how many committed records the standby has yet to
+	// ack (primaries with replication only; 0 otherwise). Informational —
+	// it never flips Ready by itself until it crosses LagBound.
+	ReplLagRecords uint64 `json:"repl_lag_records"`
 }
 
 // Readyz evaluates the readiness reasons without HTTP (shared by the
@@ -208,25 +212,28 @@ func (s *Server) Readyz() ReadyStatus {
 	// A primary with a dead or lagging replication stream is still serving,
 	// but its durability promise is degraded — surface it so the operator
 	// (and the router's stats) can see the exposure window.
+	var replLag uint64
 	if Role(s.role.Load()) == RolePrimary && s.repl != nil {
 		if !s.repl.Connected() {
 			reasons = append(reasons, "standby disconnected")
 		} else {
 			s.mu.Lock()
-			var lag uint64
 			if s.wlog != nil {
 				if committed := s.wlog.CommittedSeq(); committed > s.repl.AckedSeq() {
-					lag = committed - s.repl.AckedSeq()
+					replLag = committed - s.repl.AckedSeq()
 				}
 			}
 			bound := s.replOpts.LagBound
 			s.mu.Unlock()
-			if bound > 0 && lag > bound {
+			if bound > 0 && replLag > bound {
 				reasons = append(reasons, "standby lagging")
 			}
 		}
 	}
-	return ReadyStatus{Ready: len(reasons) == 0, Reasons: reasons, Role: Role(s.role.Load()).String()}
+	return ReadyStatus{
+		Ready: len(reasons) == 0, Reasons: reasons,
+		Role: Role(s.role.Load()).String(), ReplLagRecords: replLag,
+	}
 }
 
 // handleReadyz is the readiness probe: 503 while draining, while the wait

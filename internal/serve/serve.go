@@ -65,6 +65,7 @@ type Server struct {
 	tracer   *obs.Tracer
 	recorder *obs.FlightRecorder
 	logger   *slog.Logger
+	slo      *obs.SLO
 
 	// Overload resilience (see overload.go). All optional: nil admission
 	// controller, breaker and injector are inert, nil stale disables the
@@ -164,6 +165,14 @@ func WithInjector(inj *faultinject.Injector) Option {
 	return func(s *Server) { s.inj = inj }
 }
 
+// WithSLO replaces the default error-budget tracker (availability 99.9%,
+// 99% of requests under 250ms, 5m/1h windows) with a custom-configured one.
+// Every server has a tracker — the slo_* gauges are always on /metrics —
+// this option only tunes the objectives.
+func WithSLO(slo *obs.SLO) Option {
+	return func(s *Server) { s.slo = slo }
+}
+
 // New builds a server around a trained model and its predictor head (the
 // trainer's head; see train.Trainer.Predictor).
 func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Server {
@@ -174,6 +183,10 @@ func New(model models.TGNN, predictor *nn.MLP, numNodes int, opts ...Option) *Se
 	if s.metrics == nil {
 		s.metrics = obs.NewRegistry()
 	}
+	if s.slo == nil {
+		s.slo = obs.NewSLO(obs.SLOConfig{})
+	}
+	s.slo.Register(s.metrics)
 	// The controller and breaker are built after option processing so they
 	// export into the final registry.
 	if s.limits != nil {
@@ -275,11 +288,18 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument wraps a route with request counting, error counting and a
 // latency histogram (`serve_<route>_seconds`), plus optional per-request
-// trace records.
+// trace records. A propagated traceparent header (the router's, or any
+// client's) continues the remote trace: the span — and the slog line —
+// carry the cluster-wide trace-id.
 func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		sp := s.tracer.Start("serve_"+route, obs.PhaseOther)
+		var sp *obs.Span
+		if parent, ok := obs.Extract(r.Header); ok {
+			sp = s.tracer.StartRemote("serve_"+route, obs.PhaseOther, parent)
+		} else {
+			sp = s.tracer.Start("serve_"+route, obs.PhaseOther)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next(sw, r)
 		elapsed := time.Since(start)
@@ -291,6 +311,11 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 			s.metrics.Counter("serve_" + route + "_errors_total").Inc()
 		}
 		s.metrics.Histogram("serve_"+route+"_seconds", obs.LatencyEdges...).Observe(elapsed.Seconds())
+		if route == "ingest" || route == "score" {
+			// SLO outcomes count serving requests only, and 5xx only: a shed
+			// (429) or a bad request spent no error budget.
+			s.slo.Observe(sw.status < 500, elapsed)
+		}
 		_ = s.trace.Emit(map[string]any{
 			"route": route, "status": sw.status, "duration_ns": elapsed.Nanoseconds(),
 		})
@@ -299,10 +324,15 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 			if sw.status >= 400 {
 				lvl = slog.LevelWarn
 			}
-			s.logger.Log(r.Context(), lvl, "request",
+			args := []any{
 				"route", route, "status", sw.status,
-				"duration_ms", float64(elapsed.Nanoseconds())/1e6,
-				"span_id", sp.ID())
+				"duration_ms", float64(elapsed.Nanoseconds()) / 1e6,
+				"span_id", sp.ID(),
+			}
+			if tid := sp.TraceID(); tid != "" {
+				args = append(args, "trace_id", tid)
+			}
+			s.logger.Log(r.Context(), lvl, "request", args...)
 		}
 	})
 }
